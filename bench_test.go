@@ -1,0 +1,426 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per table
+// and figure (see DESIGN.md §5 for the experiment index):
+//
+//	BenchmarkFig4_MemcachedYCSB          — Figure 4 (per-op cost per variant/worker count)
+//	BenchmarkTable_MemcachedRewind       — §V-A rewind latency
+//	BenchmarkTable_MemcachedRestart      — §V-A restart+reload reference
+//	BenchmarkFig5_NginxThroughput        — Figure 5 (per-request cost per variant/size)
+//	BenchmarkTable_NginxRewind           — §V-B rewind latency
+//	BenchmarkTable_NginxWorkerRestart    — §V-B worker-restart reference
+//	BenchmarkTable_OpenSSLSpeed          — §V-C speed benchmark
+//	BenchmarkTable_X509Rewind            — §V-C CVE-2022-3786 recovery
+//	BenchmarkTable_DomainSwitch          — §V-B profiling (PKRU share)
+//	BenchmarkAblation_*                  — DESIGN.md §6 ablations
+//
+// The cmd/sdrad-bench binary renders the same experiments as paper-style
+// tables with relative overheads.
+package sdrad_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sdrad"
+	"sdrad/internal/cryptolib"
+	"sdrad/internal/httpd"
+	"sdrad/internal/memcache"
+	"sdrad/internal/ycsb"
+)
+
+// --- Figure 4: Memcached YCSB -----------------------------------------------
+
+func benchMemcachedOps(b *testing.B, variant memcache.Variant, workers int) {
+	b.Helper()
+	const records = 2000
+	s, err := memcache.NewServer(memcache.Config{
+		Variant:    variant,
+		Workers:    workers,
+		HashPower:  13,
+		CacheBytes: records*1536 + 8<<20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Stop()
+	conn := s.NewConn()
+	for i := 0; i < records; i++ {
+		if _, _, err := conn.Do(memcache.FormatSet(ycsb.Key(i), ycsb.Value(i, 1024), 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	val := ycsb.Value(0, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := ycsb.Key(rng.Intn(records))
+		var err error
+		if rng.Float64() < 0.95 {
+			_, _, err = conn.Do(memcache.FormatGet(key))
+		} else {
+			_, _, err = conn.Do(memcache.FormatSet(key, val, 0))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_MemcachedYCSB(b *testing.B) {
+	for _, v := range []memcache.Variant{memcache.VariantVanilla, memcache.VariantTLSF, memcache.VariantSDRaD} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", v, workers), func(b *testing.B) {
+				benchMemcachedOps(b, v, workers)
+			})
+		}
+	}
+}
+
+// --- §V-A: Memcached recovery ------------------------------------------------
+
+func BenchmarkTable_MemcachedRewind(b *testing.B) {
+	s, err := memcache.NewServer(memcache.Config{
+		Variant:    memcache.VariantSDRaD,
+		Workers:    1,
+		CacheBytes: 8 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Stop()
+	attack := memcache.FormatBSet("atk", 64<<20, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evil := s.NewConn()
+		_, closed, err := evil.Do(attack)
+		if err != nil || !closed {
+			b.Fatalf("attack not recovered: closed=%v err=%v", closed, err)
+		}
+	}
+	b.StopTimer()
+	if s.Rewinds() != int64(b.N) {
+		b.Fatalf("rewinds = %d, want %d", s.Rewinds(), b.N)
+	}
+}
+
+func BenchmarkTable_MemcachedRestart(b *testing.B) {
+	const records = 1000
+	for i := 0; i < b.N; i++ {
+		s, err := memcache.NewServer(memcache.Config{
+			Variant:    memcache.VariantSDRaD,
+			Workers:    1,
+			CacheBytes: records*1536 + 8<<20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn := s.NewConn()
+		for j := 0; j < records; j++ {
+			if _, _, err := conn.Do(memcache.FormatSet(ycsb.Key(j), ycsb.Value(j, 1024), 0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Stop()
+	}
+}
+
+// --- Figure 5: NGINX throughput ----------------------------------------------
+
+func benchNginxRequests(b *testing.B, variant httpd.Variant, sizeKiB int) {
+	b.Helper()
+	path := fmt.Sprintf("/f%dk.bin", sizeKiB)
+	m, err := httpd.NewMaster(httpd.Config{
+		Variant: variant,
+		Workers: 1,
+		Files:   map[string]int{path: sizeKiB * 1024},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Stop()
+	conn := m.Worker(0).NewConn()
+	req := httpd.FormatRequest(path, true)
+	b.SetBytes(int64(sizeKiB * 1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, _, err := conn.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.HasPrefix(resp, []byte("HTTP/1.1 200")) {
+			b.Fatalf("resp = %q", resp[:20])
+		}
+	}
+}
+
+func BenchmarkFig5_NginxThroughput(b *testing.B) {
+	for _, v := range []httpd.Variant{httpd.VariantVanilla, httpd.VariantTLSF, httpd.VariantSDRaD} {
+		for _, kib := range []int{1, 16, 128} {
+			b.Run(fmt.Sprintf("%s/size=%dKiB", v, kib), func(b *testing.B) {
+				benchNginxRequests(b, v, kib)
+			})
+		}
+	}
+}
+
+// --- §V-B: NGINX recovery ------------------------------------------------------
+
+func BenchmarkTable_NginxRewind(b *testing.B) {
+	m, err := httpd.NewMaster(httpd.Config{
+		Variant: httpd.VariantSDRaD,
+		Workers: 1,
+		Files:   map[string]int{"/x": 64},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Stop()
+	w := m.Worker(0)
+	attack := httpd.FormatRequest("/"+strings.Repeat("../", 200), true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evil := w.NewConn()
+		_, closed, err := evil.Do(attack)
+		if err != nil || !closed {
+			b.Fatalf("attack not recovered: closed=%v err=%v", closed, err)
+		}
+	}
+}
+
+func BenchmarkTable_NginxWorkerRestart(b *testing.B) {
+	m, err := httpd.NewMaster(httpd.Config{
+		Variant: httpd.VariantVanilla,
+		Workers: 1,
+		Files:   map[string]int{"/x": 64},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Stop()
+	attack := httpd.FormatRequest("/"+strings.Repeat("../", 200), true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evil := m.Worker(0).NewConn()
+		if _, _, err := evil.Do(attack); err == nil {
+			b.Fatal("worker survived the attack")
+		}
+		if _, err := m.RestartWorker(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §V-C: OpenSSL -------------------------------------------------------------
+
+func benchOpenSSL(b *testing.B, mode cryptolib.Mode, size int) {
+	b.Helper()
+	p := sdrad.NewProcess("openssl-bench", sdrad.WithSeed(9))
+	lib, err := sdrad.Setup(p, sdrad.WithRootHeapSize(4<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := bytes.Repeat([]byte{0x33}, 32)
+	err = p.Attach("main", func(t *sdrad.Thread) error {
+		eng := cryptolib.NewEngine()
+		cr, err := cryptolib.NewCrypto(t, lib, eng, mode, key, 65536)
+		if err != nil {
+			return err
+		}
+		var in, out sdrad.Addr
+		if mode == cryptolib.ModeShared {
+			in, out = cr.DataBuf(), cr.SharedOut()
+		} else {
+			if in, err = lib.Malloc(t, sdrad.RootUDI, uint64(size)); err != nil {
+				return err
+			}
+			if out, err = lib.Malloc(t, sdrad.RootUDI, uint64(size)+cryptolib.GCMTagSize); err != nil {
+				return err
+			}
+		}
+		t.CPU().Memset(in, 0x61, size)
+		b.SetBytes(int64(size))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cr.EncryptUpdate(t, out, in, size); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTable_OpenSSLSpeed(b *testing.B) {
+	for _, mode := range []cryptolib.Mode{cryptolib.ModeNative, cryptolib.ModeCopyOut, cryptolib.ModeCopyBoth, cryptolib.ModeShared} {
+		for _, size := range []int{64, 1024, 32768} {
+			b.Run(fmt.Sprintf("%s/size=%d", mode, size), func(b *testing.B) {
+				benchOpenSSL(b, mode, size)
+			})
+		}
+	}
+}
+
+func BenchmarkTable_X509Rewind(b *testing.B) {
+	p := sdrad.NewProcess("x509-bench", sdrad.WithSeed(10))
+	lib, err := sdrad.Setup(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = p.Attach("main", func(t *sdrad.Thread) error {
+		v := cryptolib.NewVerifier(lib, 4096)
+		evil := cryptolib.MaliciousCertificate()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, verr := v.Verify(t, evil)
+			var abn *sdrad.AbnormalExit
+			if !errors.As(verr, &abn) {
+				return fmt.Errorf("attack %d: %v", i, verr)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- §V-B profiling + ablations -------------------------------------------------
+
+func benchSwitch(b *testing.B, wrpkruIters int) {
+	b.Helper()
+	p := sdrad.NewProcess("switch-bench", sdrad.WithSeed(5),
+		sdrad.WithWRPKRUCost(wrpkruIters))
+	lib, err := sdrad.Setup(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = p.Attach("main", func(t *sdrad.Thread) error {
+		return lib.Guard(t, 1, func() error {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := lib.Enter(t, 1); err != nil {
+					return err
+				}
+				if err := lib.Exit(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTable_DomainSwitch(b *testing.B) {
+	for _, iters := range []int{0, 1600, 25600} {
+		b.Run(fmt.Sprintf("wrpkru=%d", iters), func(b *testing.B) {
+			benchSwitch(b, iters)
+		})
+	}
+}
+
+func BenchmarkAblation_StackReuse(b *testing.B) {
+	for _, reuse := range []bool{true, false} {
+		b.Run(fmt.Sprintf("reuse=%v", reuse), func(b *testing.B) {
+			p := sdrad.NewProcess("ablation", sdrad.WithSeed(6))
+			lib, err := sdrad.Setup(p, sdrad.WithStackReuse(reuse))
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = p.Attach("main", func(t *sdrad.Thread) error {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := lib.InitDomain(t, 1); err != nil {
+						return err
+					}
+					if err := lib.Destroy(t, 1, sdrad.NoHeapMerge); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkAblation_HeapMergeVsDiscard(b *testing.B) {
+	for _, opt := range []sdrad.DestroyOption{sdrad.HeapMerge, sdrad.NoHeapMerge} {
+		name := "merge"
+		if opt == sdrad.NoHeapMerge {
+			name = "discard"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := sdrad.NewProcess("ablation", sdrad.WithSeed(7))
+			lib, err := sdrad.Setup(p, sdrad.WithRootHeapSize(256<<20))
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = p.Attach("main", func(t *sdrad.Thread) error {
+				warm, err := lib.Malloc(t, sdrad.RootUDI, 8)
+				if err != nil {
+					return err
+				}
+				defer func() { _ = lib.Free(t, sdrad.RootUDI, warm) }()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					gerr := lib.Guard(t, 1, func() error {
+						_, err := lib.Malloc(t, 1, 256)
+						return err
+					}, sdrad.Accessible())
+					if gerr != nil {
+						return gerr
+					}
+					if err := lib.Destroy(t, 1, opt); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkAblation_RewindWithScrub(b *testing.B) {
+	for _, scrub := range []bool{false, true} {
+		b.Run(fmt.Sprintf("scrub=%v", scrub), func(b *testing.B) {
+			p := sdrad.NewProcess("ablation", sdrad.WithSeed(8))
+			lib, err := sdrad.Setup(p, sdrad.WithScrubOnDiscard(scrub))
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = p.Attach("main", func(t *sdrad.Thread) error {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					gerr := lib.Guard(t, 1, func() error {
+						if err := lib.Enter(t, 1); err != nil {
+							return err
+						}
+						t.CPU().WriteU8(0xDEAD0000, 1)
+						return nil
+					})
+					var abn *sdrad.AbnormalExit
+					if !errors.As(gerr, &abn) {
+						return fmt.Errorf("no rewind: %v", gerr)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+// Command sdrad-bench regenerates the paper's evaluation tables and
+// figures on the simulated substrate and prints them as text.
+//
+// Usage:
+//
+//	sdrad-bench                  # run every experiment at full scale
+//	sdrad-bench -quick           # run every experiment at test scale
+//	sdrad-bench -fig4 -fig5      # run selected experiments
+//	sdrad-bench -list            # list experiment names
+//
+// See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdrad/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdrad-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdrad-bench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "use the reduced test scale")
+	list := fs.Bool("list", false, "list experiment names and exit")
+	selected := make(map[string]*bool, len(bench.Experiments))
+	for _, name := range bench.Experiments {
+		selected[name] = fs.Bool(name, false, "run the "+name+" experiment")
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range bench.Experiments {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	scale := bench.Full
+	scaleName := "full"
+	if *quick {
+		scale = bench.Quick
+		scaleName = "quick"
+	}
+	var toRun []string
+	for _, name := range bench.Experiments {
+		if *selected[name] {
+			toRun = append(toRun, name)
+		}
+	}
+	if len(toRun) == 0 {
+		toRun = bench.Experiments
+	}
+	fmt.Printf("SDRaD-Go evaluation (scale: %s)\n", scaleName)
+	fmt.Printf("Reproducing: Gülmez et al., \"Rewind & Discard\", DSN 2023\n\n")
+	for _, name := range toRun {
+		if err := bench.Run(os.Stdout, name, scale); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestQuickSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	if err := run([]string{"-quick", "-rewind-openssl"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Command sdrad-httpd runs the SDRaD-hardened NGINX-style web server as a
+// real TCP server.
+//
+// Usage:
+//
+//	sdrad-httpd [-addr 127.0.0.1:8089] [-workers 2] [-variant sdrad]
+//
+// Try it:
+//
+//	curl -s http://127.0.0.1:8089/index.html | head -c 64
+//
+// Attack the parser (CVE-2009-2629 analog) and watch the hardened build
+// close only that connection:
+//
+//	curl -s --path-as-is "http://127.0.0.1:8089/$(python3 -c 'print("../"*200)')"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"sdrad/internal/httpd"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdrad-httpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdrad-httpd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8089", "listen address")
+	workers := fs.Int("workers", 2, "worker processes")
+	variantName := fs.String("variant", "sdrad", "build variant: vanilla, tlsf, or sdrad")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var variant httpd.Variant
+	switch *variantName {
+	case "vanilla":
+		variant = httpd.VariantVanilla
+	case "tlsf":
+		variant = httpd.VariantTLSF
+	case "sdrad":
+		variant = httpd.VariantSDRaD
+	default:
+		return fmt.Errorf("unknown variant %q", *variantName)
+	}
+	m, err := httpd.NewMaster(httpd.Config{
+		Variant: variant,
+		Workers: *workers,
+		Files: map[string]int{
+			"/index.html": 1024,
+			"/big.bin":    128 * 1024,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sdrad-httpd (%s, %d workers) listening on %s\n", variant, *workers, ln.Addr())
+	fmt.Println("files: /index.html (1KiB), /big.bin (128KiB)")
+	return m.ServeListener(ln)
+}

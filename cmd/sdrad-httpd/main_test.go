@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBadVariant(t *testing.T) {
+	if err := run([]string{"-variant", "bogus"}); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestHTTPOverTCP(t *testing.T) {
+	addr := "127.0.0.1:18289"
+	go func() { _ = run([]string{"-addr", addr, "-workers", "1"}) }()
+	var nc net.Conn
+	var err error
+	for i := 0; i < 50; i++ {
+		nc, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = nc.Close() }()
+	if _, err := nc.Write([]byte("GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(nc).ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "HTTP/1.1 200") {
+		t.Fatalf("status %q err %v", line, err)
+	}
+}

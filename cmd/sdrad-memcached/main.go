@@ -1,0 +1,77 @@
+// Command sdrad-memcached runs the SDRaD-hardened Memcached port as a
+// real TCP server speaking (a subset of) the memcached text protocol.
+//
+// Usage:
+//
+//	sdrad-memcached [-addr 127.0.0.1:11311] [-workers 4] [-variant sdrad]
+//
+// Try it with a TCP client:
+//
+//	printf 'set k 0 0 5\r\nhello\r\n' | nc 127.0.0.1 11311
+//	printf 'get k\r\n'                | nc 127.0.0.1 11311
+//
+// Attack it (CVE-2011-4971 analog) and watch it survive in sdrad mode —
+// or die in vanilla mode:
+//
+//	printf 'bset k 67108864 0\r\n\r\n' | nc 127.0.0.1 11311
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"sdrad/internal/memcache"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdrad-memcached:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdrad-memcached", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:11311", "listen address")
+	workers := fs.Int("workers", 4, "worker threads")
+	variantName := fs.String("variant", "sdrad", "build variant: vanilla, tlsf, or sdrad")
+	cacheMB := fs.Int("cache-mb", 64, "cache memory limit (MiB)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var variant memcache.Variant
+	switch *variantName {
+	case "vanilla":
+		variant = memcache.VariantVanilla
+	case "tlsf":
+		variant = memcache.VariantTLSF
+	case "sdrad":
+		variant = memcache.VariantSDRaD
+	default:
+		return fmt.Errorf("unknown variant %q", *variantName)
+	}
+	s, err := memcache.NewServer(memcache.Config{
+		Variant:    variant,
+		Workers:    *workers,
+		CacheBytes: uint64(*cacheMB) << 20,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sdrad-memcached (%s, %d workers) listening on %s\n", variant, *workers, ln.Addr())
+	serveErr := s.ServeListener(ln)
+	if crashed, cause := s.Crashed(); crashed {
+		fmt.Printf("server process CRASHED: %v\n", cause)
+		fmt.Printf("rewinds before crash: %d\n", s.Rewinds())
+		return cause
+	}
+	fmt.Printf("server stopped (rewinds absorbed: %d)\n", s.Rewinds())
+	return serveErr
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBadVariant(t *testing.T) {
+	if err := run([]string{"-variant", "bogus"}); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestProtocolOverTCP(t *testing.T) {
+	addr := "127.0.0.1:11391"
+	go func() { _ = run([]string{"-addr", addr, "-workers", "1", "-cache-mb", "4"}) }()
+	var nc net.Conn
+	var err error
+	for i := 0; i < 50; i++ {
+		nc, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = nc.Close() }()
+	if _, err := nc.Write([]byte("set k 0 0 2\r\nhi\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	n, err := nc.Read(buf)
+	if err != nil || !strings.HasPrefix(string(buf[:n]), "STORED") {
+		t.Fatalf("resp %q err %v", buf[:n], err)
+	}
+}

@@ -1,0 +1,113 @@
+package sdrad_test
+
+import (
+	"errors"
+	"fmt"
+
+	"sdrad"
+)
+
+// ExampleLibrary_Guard shows the paper's Listing-1 pattern: a function
+// runs isolated in its own domain; an attack against it is absorbed.
+func ExampleLibrary_Guard() {
+	p := sdrad.NewProcess("example", sdrad.WithSeed(1))
+	lib, err := sdrad.Setup(p)
+	if err != nil {
+		panic(err)
+	}
+	_ = p.Attach("main", func(t *sdrad.Thread) error {
+		const udi = sdrad.UDI(1)
+		gerr := lib.Guard(t, udi, func() error {
+			buf, err := lib.Malloc(t, udi, 64)
+			if err != nil {
+				return err
+			}
+			if err := lib.Enter(t, udi); err != nil {
+				return err
+			}
+			// The "vulnerable library call": writes out of bounds.
+			t.CPU().WriteU8(buf+1<<40, 0x41)
+			return lib.Exit(t)
+		}, sdrad.Accessible())
+
+		var abn *sdrad.AbnormalExit
+		if errors.As(gerr, &abn) {
+			fmt.Printf("recovered: domain %d discarded, process alive: %v\n",
+				abn.FailedUDI, !p.Killed())
+		}
+		return nil
+	})
+	// Output: recovered: domain 1 discarded, process alive: true
+}
+
+// ExampleLibrary_DProtect shows a shared data domain with a read-only
+// grant: the worker domain can read the shared state but a write is a
+// protection-key violation that rewinds the worker.
+func ExampleLibrary_DProtect() {
+	p := sdrad.NewProcess("example", sdrad.WithSeed(1))
+	lib, err := sdrad.Setup(p)
+	if err != nil {
+		panic(err)
+	}
+	_ = p.Attach("main", func(t *sdrad.Thread) error {
+		const (
+			shared = sdrad.UDI(2)
+			worker = sdrad.UDI(3)
+		)
+		if err := lib.InitDomain(t, shared, sdrad.AsData(), sdrad.Accessible()); err != nil {
+			return err
+		}
+		state, err := lib.Malloc(t, shared, 8)
+		if err != nil {
+			return err
+		}
+		t.CPU().WriteU64(state, 7)
+
+		if err := lib.InitDomain(t, worker); err != nil {
+			return err
+		}
+		if err := lib.DProtect(t, worker, shared, sdrad.ProtRead); err != nil {
+			return err
+		}
+		gerr := lib.Guard(t, worker, func() error {
+			if err := lib.Enter(t, worker); err != nil {
+				return err
+			}
+			fmt.Printf("worker reads shared state: %d\n", t.CPU().ReadU64(state))
+			t.CPU().WriteU64(state, 8) // read-only grant: traps
+			return lib.Exit(t)
+		})
+		var abn *sdrad.AbnormalExit
+		if errors.As(gerr, &abn) {
+			fmt.Printf("write blocked and rewound; state still %d\n", t.CPU().ReadU64(state))
+		}
+		return nil
+	})
+	// Output:
+	// worker reads shared state: 7
+	// write blocked and rewound; state still 7
+}
+
+// ExampleWithRewindObserver shows the §VI incident feed.
+func ExampleWithRewindObserver() {
+	p := sdrad.NewProcess("example", sdrad.WithSeed(1))
+	lib, err := sdrad.Setup(p, sdrad.WithRewindObserver(func(e sdrad.RewindEvent) {
+		fmt.Printf("incident #%d: domain %d failed\n", e.Seq, e.FailedUDI)
+	}))
+	if err != nil {
+		panic(err)
+	}
+	_ = p.Attach("main", func(t *sdrad.Thread) error {
+		gerr := lib.Guard(t, 1, func() error {
+			if err := lib.Enter(t, 1); err != nil {
+				return err
+			}
+			t.CPU().WriteU8(0xBAD, 1)
+			return nil
+		})
+		var abn *sdrad.AbnormalExit
+		_ = errors.As(gerr, &abn)
+		return nil
+	})
+	// Output: incident #1: domain 1 failed
+}

@@ -1,0 +1,89 @@
+// Example: the paper's Figure 2 — deeply nested domains with mixed
+// rewind targets, plus the incident-reporting and rewind-limit policies
+// from §VI.
+//
+// An outer transient domain T wraps an inner persistent domain P that is
+// configured with handler-at-grandparent: a fault inside P rewinds past
+// T's recovery point all the way to the root-level handler, exactly as
+// the figure shows ("abnormal exits may deviate from reverse entering
+// order: both persistent and transient domain rewind to root domain").
+//
+//	go run ./examples/nesting
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"sdrad"
+)
+
+const (
+	udiT = sdrad.UDI(1) // outer transient domain
+	udiP = sdrad.UDI(2) // inner persistent domain (handler at grandparent)
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nesting:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	p := sdrad.NewProcess("nesting")
+	lib, err := sdrad.Setup(p,
+		// §VI: report every rewind as an incident (SIEM feed)...
+		sdrad.WithRewindObserver(func(e sdrad.RewindEvent) {
+			fmt.Printf("  [incident] rewind #%d: domain %d on thread %q (%v at 0x%x)\n",
+				e.Seq, e.FailedUDI, e.ThreadName, e.Signal, e.Addr)
+		}),
+		// ...and force a restart after too many of them (ASLR probing
+		// protection). The limit is generous here so the demo completes.
+		sdrad.WithRewindLimit(16),
+	)
+	if err != nil {
+		return err
+	}
+	return p.Attach("main", func(t *sdrad.Thread) error {
+		// Root-level recovery point: faults in P arrive HERE, not at T's
+		// guard, because P uses HandlerAtGrandparent.
+		err := lib.Guard(t, udiT, func() error {
+			if err := lib.Enter(t, udiT); err != nil {
+				return err
+			}
+			fmt.Println("entered outer transient domain T")
+
+			// The inner persistent domain, nested inside T.
+			err := lib.Guard(t, udiP, func() error {
+				if err := lib.Enter(t, udiP); err != nil {
+					return err
+				}
+				fmt.Println("entered inner persistent domain P — now faulting")
+				t.CPU().WriteU8(0xBADBADBAD, 1)
+				return nil
+			}, sdrad.HandlerAtGrandparent())
+			// Unreachable: the rewind targets T's scope and unwinds
+			// through this frame.
+			fmt.Println("UNREACHABLE: inner guard returned", err)
+			return err
+		})
+
+		var abn *sdrad.AbnormalExit
+		if !errors.As(err, &abn) {
+			return fmt.Errorf("expected abnormal exit at the root handler, got %v", err)
+		}
+		fmt.Printf("root-level handler caught the rewind: failed domain = %d (P)\n", abn.FailedUDI)
+		fmt.Printf("current domain after rewind: %d (root)\n", lib.Current(t))
+
+		// T survived the pass-through (its memory is intact, its context
+		// is invalidated); the error handler decides its fate — here we
+		// destroy it, per the transient pattern.
+		if err := lib.Destroy(t, udiT, sdrad.NoHeapMerge); err != nil {
+			return err
+		}
+		fmt.Println("outer domain T destroyed by the error handler; service continues")
+		return nil
+	})
+}

@@ -1,0 +1,104 @@
+// Quickstart: the paper's Listing 1 — call a function F in its own
+// isolated domain, survive an attack against it, and keep running.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"sdrad"
+)
+
+// udiF is the domain index we give F's sandbox.
+const udiF = sdrad.UDI(1)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A simulated process with SDRaD linked in.
+	p := sdrad.NewProcess("quickstart")
+	lib, err := sdrad.Setup(p)
+	if err != nil {
+		return err
+	}
+	return p.Attach("main", func(t *sdrad.Thread) error {
+		// 1. A well-behaved call: F checksums its argument in isolation.
+		sum, err := isolatedF(lib, t, []byte("benign input"), false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("F(benign input) = %d (computed inside domain %d)\n", sum, udiF)
+
+		// 2. A malicious call: F is attacked and corrupts memory. The
+		// fault is confined to the domain, which is discarded; we get an
+		// AbnormalExit instead of a dead process.
+		_, err = isolatedF(lib, t, []byte("malicious input"), true)
+		var abn *sdrad.AbnormalExit
+		if !errors.As(err, &abn) {
+			return fmt.Errorf("expected an abnormal exit, got %v", err)
+		}
+		fmt.Printf("attack detected: domain %d had an abnormal exit (%v, code %d)\n",
+			abn.FailedUDI, abn.Signal, abn.Code)
+		fmt.Printf("process alive: %v, rewinds: %d\n",
+			!p.Killed(), lib.Stats().Rewinds.Load())
+
+		// 3. Life goes on: the same domain index is usable again.
+		sum, err = isolatedF(lib, t, []byte("more work"), false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("F(more work) = %d — service continues after the rewind\n", sum)
+		return nil
+	})
+}
+
+// isolatedF is Listing 1: allocate the argument inside an accessible
+// nested domain, enter it, run F on the copy, exit, read the result back,
+// and destroy the domain (transient pattern).
+func isolatedF(lib *sdrad.Library, t *sdrad.Thread, arg []byte, attack bool) (byte, error) {
+	var result byte
+	err := lib.Guard(t, udiF, func() error {
+		// Copy the argument into the domain.
+		adr, err := lib.Malloc(t, udiF, uint64(len(arg)))
+		if err != nil {
+			return err
+		}
+		lib.WriteBytes(t, adr, arg)
+		// Enter the domain and invoke F on the copy.
+		if err := lib.Enter(t, udiF); err != nil {
+			return err
+		}
+		result = f(t, adr, len(arg), attack)
+		// Exit back to the parent.
+		return lib.Exit(t)
+	}, sdrad.Accessible())
+	if err != nil {
+		return 0, err
+	}
+	// Transient pattern: the domain is destroyed before we return.
+	return result, lib.Destroy(t, udiF, sdrad.NoHeapMerge)
+}
+
+// f is the "third-party code with unknown memory vulnerabilities": it
+// checksums its in-memory argument and, when attacked, scribbles far
+// outside its allocation.
+func f(t *sdrad.Thread, arg sdrad.Addr, n int, attack bool) byte {
+	var sum byte
+	for i := 0; i < n; i++ {
+		sum += t.CPU().ReadU8(arg + sdrad.Addr(i))
+	}
+	if attack {
+		// A wild write, e.g. through a corrupted pointer. This faults
+		// against the domain boundary and triggers the rewind.
+		t.CPU().WriteU8(0xDEADBEEF000, sum)
+	}
+	return sum
+}

@@ -1,0 +1,97 @@
+// Example: the paper's NGINX case study (§V-B) — a web server whose HTTP
+// parser runs in an isolated domain, attacked with the CVE-2009-2629
+// analog (a URI whose "../" segments underflow the normalization buffer).
+//
+// The baseline worker process dies and the master must restart it,
+// dropping every connection the worker held. The hardened build rewinds
+// the parser domain and only the malicious connection is closed.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"sdrad/internal/httpd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "webserver example:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	for _, variant := range []httpd.Variant{httpd.VariantVanilla, httpd.VariantSDRaD} {
+		fmt.Printf("=== %s build ===\n", variant)
+		if err := scenario(variant); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func scenario(variant httpd.Variant) error {
+	m, err := httpd.NewMaster(httpd.Config{
+		Variant: variant,
+		Workers: 1,
+		Files:   map[string]int{"/index.html": 512},
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Stop()
+	w := m.Worker(0)
+
+	// A keep-alive client browsing the site.
+	browser := w.NewConn()
+	resp, _, err := browser.Do(httpd.FormatRequest("/index.html", true))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("browser: GET /index.html -> %s\n", statusLine(resp))
+
+	// The attacker sends the parser-smashing URI.
+	attacker := w.NewConn()
+	evil := "/" + strings.Repeat("../", 200)
+	fmt.Printf("attacker: GET with %d parent-directory segments...\n", 200)
+	_, closed, aerr := attacker.Do(httpd.FormatRequest(evil, true))
+	switch {
+	case aerr != nil:
+		fmt.Printf("attacker: transport error: %v\n", aerr)
+	case closed:
+		fmt.Println("attacker: connection closed by the server")
+	}
+
+	// Is the browser's keep-alive connection still alive?
+	resp, _, err = browser.Do(httpd.FormatRequest("/index.html", true))
+	if err != nil {
+		fmt.Printf("browser: follow-up request -> CONNECTION LOST (%v)\n", err)
+	} else {
+		fmt.Printf("browser: follow-up request -> %s (connection preserved)\n", statusLine(resp))
+	}
+
+	if crashed, cause := w.Crashed(); crashed {
+		fmt.Printf("outcome: worker process DIED (%v)\n", cause)
+		dur, err := m.RestartWorker(0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("         master restarted it in %v; all its connections were lost\n", dur)
+	} else {
+		fmt.Printf("outcome: worker survived; parser rewinds: %d\n", w.Rewinds())
+	}
+	return nil
+}
+
+func statusLine(resp []byte) string {
+	s := string(resp)
+	if i := strings.Index(s, "\r\n"); i > 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module sdrad
+
+go 1.24

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny is an even smaller scale than Quick, for unit tests.
+var tiny = Scale{
+	MemcachedRecords: 300,
+	MemcachedOps:     600,
+	ClientThreads:    2,
+	NginxRequests:    300,
+	NginxConns:       4,
+	CryptoIters:      20,
+	RewindTrials:     4,
+}
+
+func TestFig4Memcached(t *testing.T) {
+	tbl, err := Fig4MemcachedThroughput(tiny, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 { // 2 worker counts x 3 variants
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"Fig.4", "vanilla", "tlsf", "sdrad"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestMemcachedRewindLatency(t *testing.T) {
+	tbl, err := MemcachedRewindLatency(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	if !strings.Contains(buf.String(), "rewind") {
+		t.Error("missing rewind row")
+	}
+}
+
+func TestMemcachedMemoryOverhead(t *testing.T) {
+	tbl, err := MemcachedMemoryOverhead(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig5Nginx(t *testing.T) {
+	tbl, err := Fig5NginxThroughput(tiny, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestNginxRewindLatency(t *testing.T) {
+	tbl, err := NginxRewindLatency(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestNginxMemoryOverhead(t *testing.T) {
+	tbl, err := NginxMemoryOverhead(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestOpenSSLSpeed(t *testing.T) {
+	tbl, err := OpenSSLSpeed(tiny, []int{64, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 { // 2 sizes x 4 modes
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+	// The shared mode must copy no bytes per op; copy-both must copy
+	// input + output.
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	t.Log("\n" + buf.String())
+}
+
+func TestX509Rewind(t *testing.T) {
+	tbl, err := X509Rewind(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	if !strings.Contains(buf.String(), "true") {
+		t.Error("process-survived row missing")
+	}
+}
+
+func TestDomainSwitchBreakdown(t *testing.T) {
+	tbl, err := DomainSwitchBreakdown(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	for name, fn := range map[string]func(Scale) (*Table, error){
+		"stack-reuse": AblationStackReuse,
+		"heap-merge":  AblationHeapMerge,
+		"scrub":       AblationScrub,
+	} {
+		tbl, err := fn(tiny)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", name)
+		}
+	}
+}
+
+func TestRunDispatcher(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "rewind-openssl", tiny); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+	if err := Run(&buf, "nope", tiny); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if fmtDur(1500*time.Nanosecond) == "" || fmtDur(2*time.Millisecond) == "" || fmtDur(3*time.Second) == "" {
+		t.Error("fmtDur broken")
+	}
+	if fmtPct(110, 100) != "+10.0%" {
+		t.Errorf("fmtPct = %s", fmtPct(110, 100))
+	}
+	if fmtPct(1, 0) != "n/a" {
+		t.Error("fmtPct zero baseline")
+	}
+	if fmtTput(2e6) == "" || fmtTput(2e3) == "" || fmtTput(2) == "" {
+		t.Error("fmtTput broken")
+	}
+	mean, std := meanStd([]time.Duration{10, 10, 10})
+	if mean != 10 || std != 0 {
+		t.Errorf("meanStd = %v %v", mean, std)
+	}
+	if m, _ := meanStd(nil); m != 0 {
+		t.Error("empty meanStd")
+	}
+	if fmtSize(16) != "16B" || fmtSize(2048) != "2KiB" {
+		t.Error("fmtSize broken")
+	}
+}
+
+func TestNginxWorkerScaling(t *testing.T) {
+	tbl, err := NginxWorkerScaling(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}

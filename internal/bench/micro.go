@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sdrad/internal/core"
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+)
+
+// switchCost measures the mean Enter+Exit round trip under a given WRPKRU
+// cost model, plus the PKRU-write count per round trip.
+func switchCost(wrpkruIters, rounds int) (perSwitch time.Duration, pkruWritesPerSwitch float64, err error) {
+	p := proc.NewProcess("switch-bench",
+		proc.WithSeed(5),
+		proc.WithMemOptions(mem.WithWRPKRUCost(wrpkruIters)),
+	)
+	lib, err := core.Setup(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	err = p.Attach("main", func(t *proc.Thread) error {
+		return lib.Guard(t, 1, func() error {
+			// Warm up: first enter initializes structures.
+			if err := lib.Enter(t, 1); err != nil {
+				return err
+			}
+			if err := lib.Exit(t); err != nil {
+				return err
+			}
+			stats := p.AddressSpace().Stats()
+			pkru0 := stats.PKRUWrites.Load()
+			start := time.Now()
+			for i := 0; i < rounds; i++ {
+				if err := lib.Enter(t, 1); err != nil {
+					return err
+				}
+				if err := lib.Exit(t); err != nil {
+					return err
+				}
+			}
+			elapsed := time.Since(start)
+			perSwitch = elapsed / time.Duration(rounds)
+			pkruWritesPerSwitch = float64(stats.PKRUWrites.Load()-pkru0) / float64(rounds)
+			return nil
+		})
+	})
+	return perSwitch, pkruWritesPerSwitch, err
+}
+
+// DomainSwitchBreakdown regenerates the §V-B profiling observation that
+// 30-50% of domain-switch cost is the PKRU write. On real hardware WRPKRU
+// costs ~25ns against a lean inline monitor; in the simulation the
+// monitor is software, so the experiment sweeps a modeled WRPKRU cost and
+// reports the share it contributes — the same saturating curve, with the
+// hardware operating point marked by the cost model.
+func DomainSwitchBreakdown(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "Tab.V-B-profile",
+		Title:  "Domain-switch cost breakdown: PKRU-write share vs modeled WRPKRU cost",
+		Header: []string{"WRPKRU model (iters)", "per Enter+Exit", "PKRU writes/switch", "PKRU share of switch"},
+		Notes: []string{
+			"paper: 30-50% of switch cost is the PKRU write (pipeline flush)",
+			"share = (T_model - T_0) / T_model, with T_0 the free-WRPKRU switch cost",
+		},
+	}
+	rounds := sc.RewindTrials * 40
+	base, writes, err := switchCost(0, rounds)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("0 (free)", fmtDur(base), fmt.Sprintf("%.1f", writes), "0% (baseline)")
+	for _, iters := range []int{100, 400, 1600, 6400, 25600} {
+		cost, writes, err := switchCost(iters, rounds)
+		if err != nil {
+			return nil, err
+		}
+		share := 0.0
+		if cost > base {
+			share = float64(cost-base) / float64(cost) * 100
+		}
+		t.AddRow(fmt.Sprintf("%d", iters), fmtDur(cost), fmt.Sprintf("%.1f", writes), fmt.Sprintf("%.0f%%", share))
+	}
+	return t, nil
+}
+
+// AblationStackReuse measures the §IV-C stack-reuse optimization: domain
+// init+destroy cycles with the stack pool on and off.
+func AblationStackReuse(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "Abl.1",
+		Title:  "Ablation: stack-area reuse on domain create/destroy",
+		Header: []string{"configuration", "per init+destroy"},
+		Notes:  []string{"paper §IV-C: stacks are never unmapped, they are kept for reuse"},
+	}
+	cycles := sc.RewindTrials * 10
+	for _, reuse := range []bool{true, false} {
+		p := proc.NewProcess("stack-reuse-bench", proc.WithSeed(6))
+		lib, err := core.Setup(p, core.WithStackReuse(reuse))
+		if err != nil {
+			return nil, err
+		}
+		var per time.Duration
+		err = p.Attach("main", func(th *proc.Thread) error {
+			// Warm-up creates the pooled stack.
+			if err := lib.InitDomain(th, 1); err != nil {
+				return err
+			}
+			if err := lib.Destroy(th, 1, core.NoHeapMerge); err != nil {
+				return err
+			}
+			start := time.Now()
+			for i := 0; i < cycles; i++ {
+				if err := lib.InitDomain(th, 1); err != nil {
+					return err
+				}
+				if err := lib.Destroy(th, 1, core.NoHeapMerge); err != nil {
+					return err
+				}
+			}
+			per = time.Since(start) / time.Duration(cycles)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := "reuse on (paper default)"
+		if !reuse {
+			label = "reuse off"
+		}
+		t.AddRow(label, fmtDur(per))
+	}
+	return t, nil
+}
+
+// AblationHeapMerge measures transient-domain destruction with heap merge
+// versus discard, across live-allocation counts.
+func AblationHeapMerge(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "Abl.2",
+		Title:  "Ablation: transient-domain destroy — heap merge vs discard",
+		Header: []string{"live allocations", "merge", "discard"},
+		Notes:  []string{"merge retags pages and adopts the subheap; discard unmaps it"},
+	}
+	measure := func(allocs int, opt core.DestroyOption) (time.Duration, error) {
+		p := proc.NewProcess("merge-bench", proc.WithSeed(7))
+		lib, err := core.Setup(p, core.WithRootHeapSize(64<<20))
+		if err != nil {
+			return 0, err
+		}
+		var dur time.Duration
+		err = p.Attach("main", func(th *proc.Thread) error {
+			// Root heap must exist to receive merges.
+			warm, err := lib.Malloc(th, core.RootUDI, 8)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = lib.Free(th, core.RootUDI, warm) }()
+			const trials = 10
+			start := time.Now()
+			for i := 0; i < trials; i++ {
+				gerr := lib.Guard(th, 1, func() error {
+					for j := 0; j < allocs; j++ {
+						if _, err := lib.Malloc(th, 1, 128); err != nil {
+							return err
+						}
+					}
+					return nil
+				}, core.Accessible(), core.HeapSize(uint64(allocs)*256+256*1024))
+				if gerr != nil {
+					return gerr
+				}
+				if err := lib.Destroy(th, 1, opt); err != nil {
+					return err
+				}
+			}
+			dur = time.Since(start) / trials
+			return nil
+		})
+		return dur, err
+	}
+	for _, allocs := range []int{0, 64, 512} {
+		mergeDur, err := measure(allocs, core.HeapMerge)
+		if err != nil {
+			return nil, err
+		}
+		discardDur, err := measure(allocs, core.NoHeapMerge)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", allocs), fmtDur(mergeDur), fmtDur(discardDur))
+	}
+	return t, nil
+}
+
+// AblationScrub measures the rewind-latency cost of scrubbing discarded
+// domain memory (the paper's confidentiality extension).
+func AblationScrub(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "Abl.3",
+		Title:  "Ablation: scrub-on-discard cost per rewind",
+		Header: []string{"configuration", "per rewind"},
+		Notes:  []string{"paper leaves scrubbing to the developer; this is the library-side option"},
+	}
+	measure := func(scrub bool) (time.Duration, error) {
+		runtime.GC()
+		p := proc.NewProcess("scrub-bench", proc.WithSeed(8))
+		lib, err := core.Setup(p, core.WithScrubOnDiscard(scrub))
+		if err != nil {
+			return 0, err
+		}
+		var per time.Duration
+		err = p.Attach("main", func(th *proc.Thread) error {
+			trials := sc.RewindTrials
+			oneRewind := func(i int) error {
+				gerr := lib.Guard(th, 1, func() error {
+					if err := lib.Enter(th, 1); err != nil {
+						return err
+					}
+					th.CPU().WriteU8(0xDEAD0000, 1) // trigger rewind
+					return nil
+				})
+				var abn *core.AbnormalExit
+				if !errors.As(gerr, &abn) {
+					return fmt.Errorf("bench: rewind %d: %v", i, gerr)
+				}
+				return nil
+			}
+			// Warm up: populate the stack pool and allocator paths.
+			for i := 0; i < 5; i++ {
+				if err := oneRewind(-1); err != nil {
+					return err
+				}
+			}
+			start := time.Now()
+			for i := 0; i < trials; i++ {
+				if err := oneRewind(i); err != nil {
+					return err
+				}
+			}
+			per = time.Since(start) / time.Duration(trials)
+			return nil
+		})
+		return per, err
+	}
+	for _, scrub := range []bool{false, true} {
+		per, err := measure(scrub)
+		if err != nil {
+			return nil, err
+		}
+		label := "no scrub (paper default)"
+		if scrub {
+			label = "scrub on discard"
+		}
+		t.AddRow(label, fmtDur(per))
+	}
+	return t, nil
+}

@@ -1,0 +1,145 @@
+// Package ckpt implements the checkpoint & restore baseline the paper
+// positions SDRaD against (§II-A, §VII): a CRIU-style snapshot of the
+// whole process memory image that can later be restored. Its costs — a
+// full-image copy at checkpoint time, serialized size at rest, and a
+// full-image rebuild at restore time — are exactly what makes rollback by
+// checkpointing expensive for large-state services like Memcached, and
+// what SDRaD's per-domain discard avoids.
+package ckpt
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"sdrad/internal/mem"
+)
+
+// Image is an in-memory checkpoint of a process address space.
+type Image struct {
+	pages []mem.PageDump
+	taken time.Duration
+}
+
+// ErrBadImage reports a corrupt serialized checkpoint.
+var ErrBadImage = errors.New("ckpt: malformed checkpoint image")
+
+// magic identifies serialized images.
+const magic = 0x53445243_4B505431 // "SDRCKPT1"
+
+// Capture snapshots every mapped page of the address space. The recorded
+// duration is the checkpoint cost.
+func Capture(as *mem.AddressSpace) *Image {
+	start := time.Now()
+	pages := as.ExportPages()
+	return &Image{pages: pages, taken: time.Since(start)}
+}
+
+// Pages returns the number of captured pages.
+func (im *Image) Pages() int { return len(im.pages) }
+
+// Bytes returns the raw captured memory size.
+func (im *Image) Bytes() int64 { return int64(len(im.pages)) * mem.PageSize }
+
+// CaptureCost returns how long the snapshot took.
+func (im *Image) CaptureCost() time.Duration { return im.taken }
+
+// Restore rebuilds a fresh address space from the image, returning it and
+// the restore duration.
+func (im *Image) Restore() (*mem.AddressSpace, time.Duration, error) {
+	start := time.Now()
+	as := mem.NewAddressSpace()
+	if err := as.ImportPages(im.pages); err != nil {
+		return nil, 0, err
+	}
+	return as, time.Since(start), nil
+}
+
+// WriteTo serializes the image (gzip-compressed), modeling checkpoint
+// data at rest. Returns bytes written.
+func (im *Image) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	zw := gzip.NewWriter(cw)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], magic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(im.pages)))
+	if _, err := zw.Write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+	var rec [24]byte
+	for _, pg := range im.pages {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(pg.Addr))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(pg.Prot))
+		binary.LittleEndian.PutUint64(rec[16:], uint64(pg.PKey))
+		if _, err := zw.Write(rec[:]); err != nil {
+			return cw.n, err
+		}
+		if _, err := zw.Write(pg.Data); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Read deserializes an image written by WriteTo.
+func Read(r io.Reader) (*Image, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	defer func() { _ = zr.Close() }()
+	var hdr [16]byte
+	if _, err := io.ReadFull(zr, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != magic {
+		return nil, ErrBadImage
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	if n > 1<<24 {
+		return nil, ErrBadImage
+	}
+	im := &Image{pages: make([]mem.PageDump, 0, n)}
+	var rec [24]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(zr, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+		}
+		data := make([]byte, mem.PageSize)
+		if _, err := io.ReadFull(zr, data); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+		}
+		im.pages = append(im.pages, mem.PageDump{
+			Addr: mem.Addr(binary.LittleEndian.Uint64(rec[0:])),
+			Prot: mem.Prot(binary.LittleEndian.Uint64(rec[8:])),
+			PKey: int(binary.LittleEndian.Uint64(rec[16:])),
+			Data: data,
+		})
+	}
+	return im, nil
+}
+
+// SerializedSize returns the gzip-compressed at-rest size of the image.
+func (im *Image) SerializedSize() (int64, error) {
+	var buf bytes.Buffer
+	n, err := im.WriteTo(&buf)
+	return n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

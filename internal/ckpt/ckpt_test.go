@@ -1,0 +1,139 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sdrad/internal/mem"
+)
+
+// buildAS makes an address space with recognizable contents.
+func buildAS(t *testing.T) (*mem.AddressSpace, mem.Addr) {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	k, _ := as.PkeyAlloc()
+	a, err := as.MapAnon(3*mem.PageSize, mem.ProtRW, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := as.NewCPU()
+	cpu.WRPKRU(mem.PKRUAllow(mem.PKRUInit, k, true))
+	cpu.Memset(a, 0xAB, 3*mem.PageSize)
+	cpu.WriteU64(a+100, 0xFEEDC0DE)
+	return as, a
+}
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	as, a := buildAS(t)
+	im := Capture(as)
+	if im.Pages() != 3 {
+		t.Fatalf("pages = %d", im.Pages())
+	}
+	if im.Bytes() != 3*mem.PageSize {
+		t.Errorf("bytes = %d", im.Bytes())
+	}
+	if im.CaptureCost() <= 0 {
+		t.Error("no capture cost recorded")
+	}
+
+	// Corrupt the original after capture; the restore must be pristine.
+	if err := as.KernelWrite(a+100, []byte{0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	restored, dur, err := im.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 {
+		t.Error("no restore duration")
+	}
+	var buf [8]byte
+	if err := restored.KernelRead(a+100, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	got := uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16 | uint64(buf[3])<<24
+	if got != 0xFEEDC0DE {
+		t.Errorf("restored word = %#x", got)
+	}
+	// Protections and keys restored: same pkey checks apply.
+	prot, pkey, ok := restored.PageInfo(a)
+	if !ok || prot != mem.ProtRW || pkey == 0 {
+		t.Errorf("restored page info = %v %d %v", prot, pkey, ok)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	as, a := buildAS(t)
+	im := Capture(as)
+	var buf bytes.Buffer
+	n, err := im.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Errorf("written = %d, buffer = %d", n, buf.Len())
+	}
+	im2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im2.Pages() != im.Pages() {
+		t.Fatalf("pages = %d", im2.Pages())
+	}
+	restored, _, err := im2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var word [8]byte
+	if err := restored.KernelRead(a+100, word[:]); err != nil {
+		t.Fatal(err)
+	}
+	if word[0] != 0xDE || word[3] != 0xFE {
+		t.Errorf("deserialized word = %v", word)
+	}
+}
+
+func TestSerializedSizeCompresses(t *testing.T) {
+	as, _ := buildAS(t) // constant fill: compresses well
+	im := Capture(as)
+	n, err := im.SerializedSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || n >= im.Bytes() {
+		t.Errorf("serialized %d vs raw %d", n, im.Bytes())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("garbage"))); !errors.Is(err, ErrBadImage) {
+		t.Errorf("err = %v", err)
+	}
+	// Valid gzip, wrong magic.
+	var buf bytes.Buffer
+	im := &Image{}
+	if _, err := im.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Truncated stream.
+	if _, err := Read(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Error("truncated image accepted")
+	}
+}
+
+func TestEmptyImage(t *testing.T) {
+	as := mem.NewAddressSpace()
+	im := Capture(as)
+	if im.Pages() != 0 {
+		t.Errorf("pages = %d", im.Pages())
+	}
+	restored, _, err := im.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats().MappedBytes.Load() != 0 {
+		t.Error("empty restore mapped pages")
+	}
+}

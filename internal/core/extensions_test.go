@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+	"sdrad/internal/sig"
+)
+
+// triggerRewind runs a guarded fault on domain udi.
+func triggerRewind(t *testing.T, l *Library, th *proc.Thread, udi UDI) *AbnormalExit {
+	t.Helper()
+	err := l.Guard(th, udi, func() error {
+		if err := l.Enter(th, udi); err != nil {
+			return err
+		}
+		th.CPU().WriteU8(0xDEAD0000, 1)
+		return nil
+	})
+	var abn *AbnormalExit
+	if !errors.As(err, &abn) {
+		t.Fatalf("expected abnormal exit, got %v", err)
+	}
+	return abn
+}
+
+func TestRewindObserverReceivesEvents(t *testing.T) {
+	var events []RewindEvent
+	p := proc.NewProcess("obs", proc.WithSeed(7))
+	l, err := Setup(p, WithRewindObserver(func(e RewindEvent) {
+		events = append(events, e)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, p, func(th *proc.Thread) error {
+		triggerRewind(t, l, th, 1)
+		triggerRewind(t, l, th, 2)
+		return nil
+	})
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Errorf("seq = %d, %d", events[0].Seq, events[1].Seq)
+	}
+	if events[0].FailedUDI != 1 || events[1].FailedUDI != 2 {
+		t.Errorf("udis = %d, %d", events[0].FailedUDI, events[1].FailedUDI)
+	}
+	if events[0].Signal != sig.SIGSEGV || events[0].ThreadName != "main" {
+		t.Errorf("event = %+v", events[0])
+	}
+}
+
+func TestRewindLimitForcesRestart(t *testing.T) {
+	// §VI: after the configured number of rewinds, the process must be
+	// terminated (and restarted by its supervisor) instead of absorbing
+	// further attacks — protection for probabilistic defenses.
+	p := proc.NewProcess("limit", proc.WithSeed(7))
+	l, err := Setup(p, WithRewindLimit(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Attach("main", func(th *proc.Thread) error {
+		// Two rewinds absorbed normally.
+		triggerRewind(t, l, th, 1)
+		triggerRewind(t, l, th, 2)
+		// The third hits the limit: the fault escapes to the supervisor.
+		gerr := l.Guard(th, 3, func() error {
+			if err := l.Enter(th, 3); err != nil {
+				return err
+			}
+			th.CPU().WriteU8(0xDEAD0000, 1)
+			return nil
+		})
+		t.Errorf("unreachable: guard returned %v", gerr)
+		return nil
+	})
+	var crash *proc.CrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("err = %v, want crash", err)
+	}
+	if !p.Killed() {
+		t.Error("process survived past the rewind limit")
+	}
+	if got := l.Stats().Rewinds.Load(); got != 3 {
+		t.Errorf("rewinds = %d", got)
+	}
+}
+
+func TestWRPKRULockdownBlocksApplicationWrites(t *testing.T) {
+	// R4: application code must not be able to forge PKRU values. The
+	// simulation models the binary-inspection guarantee by panicking on
+	// WRPKRU from non-monitor code.
+	p, _ := newLib(t)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("application WRPKRU did not panic")
+		}
+	}()
+	_ = p.Attach("main", func(th *proc.Thread) error {
+		th.CPU().WRPKRU(mem.PKRUAllowAll) // forbidden
+		return nil
+	})
+}
+
+func TestWRPKRULockdownForeignToken(t *testing.T) {
+	p, _ := newLib(t)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("foreign-token WRPKRU did not panic")
+		}
+	}()
+	_ = p.Attach("main", func(th *proc.Thread) error {
+		th.CPU().MonitorWRPKRU(0xBAD70CE4, mem.PKRUAllowAll)
+		return nil
+	})
+}
+
+func TestWRPKRULockOnce(t *testing.T) {
+	as := mem.NewAddressSpace()
+	c := as.NewCPU()
+	if !c.LockWRPKRU(1) {
+		t.Fatal("first lock failed")
+	}
+	if c.LockWRPKRU(2) {
+		t.Fatal("relock succeeded")
+	}
+	if !c.WRPKRULocked() {
+		t.Fatal("not locked")
+	}
+	// The original token still works.
+	c.MonitorWRPKRU(1, mem.PKRUAllowAll)
+	if c.PKRU() != mem.PKRUAllowAll {
+		t.Error("monitor write did not apply")
+	}
+}
+
+func TestDomainIsolationSurvivesLockdown(t *testing.T) {
+	// End-to-end sanity: the whole Guard/Enter/Exit/rewind flow works
+	// with the lockdown active (it is always active after Setup).
+	p, l := newLib(t)
+	run(t, p, func(th *proc.Thread) error {
+		if !th.CPU().WRPKRULocked() {
+			t.Error("lockdown not active after Setup")
+		}
+		return l.Guard(th, 1, func() error {
+			if err := l.Enter(th, 1); err != nil {
+				return err
+			}
+			return l.Exit(th)
+		})
+	})
+}
+
+func TestThreadExitReleasesDomainKeys(t *testing.T) {
+	// Regression: short-lived threads with nested domains must not leak
+	// protection keys — thread exit runs the SDRaD destructor (the
+	// pthread TLS destructor analog).
+	p, l := newLib(t)
+	for gen := 0; gen < 10; gen++ {
+		h := p.Spawn("ephemeral", func(th *proc.Thread) error {
+			// Each generation claims several keys.
+			for udi := UDI(1); udi <= 4; udi++ {
+				if err := l.Guard(th, udi, func() error {
+					if err := l.Enter(th, udi); err != nil {
+						return err
+					}
+					return l.Exit(th)
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err := h.Join(); err != nil {
+			t.Fatalf("generation %d: %v", gen, err)
+		}
+	}
+	// 10 generations x 4 domains = 40 inits; without the destructor the
+	// 15-key pool would have been exhausted after the first generations.
+	if got := l.Stats().Inits.Load(); got != 40 {
+		t.Errorf("inits = %d", got)
+	}
+}
+
+func TestThreadExitKeepsDataDomains(t *testing.T) {
+	// Data domains are process-global: the creating thread's exit must
+	// not tear them down.
+	p, l := newLib(t)
+	var shared mem.Addr
+	h := p.Spawn("creator", func(th *proc.Thread) error {
+		if err := l.InitDomain(th, 7, AsData(), Accessible()); err != nil {
+			return err
+		}
+		ptr, err := l.Malloc(th, 7, 16)
+		if err != nil {
+			return err
+		}
+		th.CPU().WriteU64(ptr, 0xDA7A)
+		shared = ptr
+		return nil
+	})
+	if err := h.Join(); err != nil {
+		t.Fatal(err)
+	}
+	h2 := p.Spawn("consumer", func(th *proc.Thread) error {
+		if got := th.CPU().ReadU64(shared); got != 0xDA7A {
+			t.Errorf("shared data = %#x", got)
+		}
+		return l.Free(th, 7, shared)
+	})
+	if err := h2.Join(); err != nil {
+		t.Fatal(err)
+	}
+}

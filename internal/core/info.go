@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+)
+
+// DomainInfo is an observability snapshot of one domain, for debugging
+// and operational dashboards (complementing the §VI incident feed).
+type DomainInfo struct {
+	UDI        UDI
+	Kind       Kind
+	Key        int
+	ParentUDI  UDI
+	Accessible bool
+	// Guarded reports whether a recovery context is currently valid.
+	Guarded bool
+	// Entered reports whether the thread is executing inside the domain.
+	Entered bool
+	// StackSize and HeapSize are the provisioned region sizes.
+	StackSize uint64
+	HeapSize  uint64
+	// HeapUsed and HeapFree are allocator-reported payload bytes; zero
+	// until the lazily-built heap exists.
+	HeapUsed uint64
+	HeapFree uint64
+}
+
+// ThreadDomains returns snapshots of every execution domain the calling
+// thread has initialized (excluding the root), plus every global data
+// domain, in unspecified order.
+func (l *Library) ThreadDomains(t *proc.Thread) []DomainInfo {
+	ts := l.state(t)
+	l.monitorEnter(t)
+	defer l.monitorExit(t)
+
+	var out []DomainInfo
+	for _, d := range ts.domains {
+		if d.isRoot() {
+			continue
+		}
+		out = append(out, l.domainInfo(t, d))
+	}
+	l.mu.Lock()
+	dataDomains := make([]*Domain, 0, len(l.dataDomains))
+	for _, d := range l.dataDomains {
+		dataDomains = append(dataDomains, d)
+	}
+	l.mu.Unlock()
+	for _, d := range dataDomains {
+		out = append(out, l.domainInfo(t, d))
+	}
+	return out
+}
+
+// domainInfo builds one snapshot; the monitor raises the domain key to
+// read allocator state.
+func (l *Library) domainInfo(t *proc.Thread, d *Domain) DomainInfo {
+	info := DomainInfo{
+		UDI:        d.udi,
+		Kind:       d.kind,
+		Key:        d.key,
+		Accessible: d.accessible,
+		Guarded:    d.contextValid,
+		Entered:    d.entered,
+		StackSize:  d.stackSize,
+		HeapSize:   d.heapSize,
+	}
+	if d.parent != nil {
+		info.ParentUDI = d.parent.udi
+	}
+	if d.heap != nil {
+		c := t.CPU()
+		l.wrpkru(t, mem.PKRUAllow(c.PKRU(), d.key, true))
+		d.lockHeap()
+		used, free, _, _ := d.heap.Usage(c)
+		d.unlockHeap()
+		info.HeapUsed = used
+		info.HeapFree = free
+	}
+	return info
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+)
+
+func TestThreadDomainsSnapshot(t *testing.T) {
+	p, l := newLib(t)
+	run(t, p, func(th *proc.Thread) error {
+		if got := l.ThreadDomains(th); len(got) != 0 {
+			t.Fatalf("fresh thread has %d domains", len(got))
+		}
+		if err := l.InitDomain(th, 5, Accessible(), HeapSize(128*1024), StackSize(32*1024)); err != nil {
+			return err
+		}
+		if err := l.InitDomain(th, 6, AsData(), Accessible()); err != nil {
+			return err
+		}
+		// Touch domain 5's heap so allocator usage is reported.
+		ptr, err := l.Malloc(th, 5, 1000)
+		if err != nil {
+			return err
+		}
+		infos := l.ThreadDomains(th)
+		if len(infos) != 2 {
+			t.Fatalf("domains = %d", len(infos))
+		}
+		byUDI := map[UDI]DomainInfo{}
+		for _, in := range infos {
+			byUDI[in.UDI] = in
+		}
+		d5 := byUDI[5]
+		if d5.Kind != ExecDomain || !d5.Accessible || d5.Guarded || d5.Entered {
+			t.Errorf("d5 = %+v", d5)
+		}
+		if d5.ParentUDI != RootUDI || d5.StackSize != 32*1024 || d5.HeapSize != 128*1024 {
+			t.Errorf("d5 geometry = %+v", d5)
+		}
+		if d5.HeapUsed < 1000 || d5.HeapFree == 0 {
+			t.Errorf("d5 heap usage = %d used / %d free", d5.HeapUsed, d5.HeapFree)
+		}
+		d6 := byUDI[6]
+		if d6.Kind != DataDomain {
+			t.Errorf("d6 = %+v", d6)
+		}
+		// Policy is intact afterwards (info walk raised keys internally).
+		if ad, _ := mem.PKRURights(th.CPU().PKRU(), l.monitorKey); !ad {
+			t.Error("monitor key leaked accessible after ThreadDomains")
+		}
+		return l.Free(th, 5, ptr)
+	})
+}
+
+func TestThreadDomainsGuardedFlag(t *testing.T) {
+	p, l := newLib(t)
+	run(t, p, func(th *proc.Thread) error {
+		return l.Guard(th, 1, func() error {
+			for _, in := range l.ThreadDomains(th) {
+				if in.UDI == 1 && !in.Guarded {
+					t.Error("guarded domain not reported as guarded")
+				}
+			}
+			if err := l.Enter(th, 1); err != nil {
+				return err
+			}
+			for _, in := range l.ThreadDomains(th) {
+				if in.UDI == 1 && !in.Entered {
+					t.Error("entered domain not reported as entered")
+				}
+			}
+			return l.Exit(th)
+		})
+	})
+}

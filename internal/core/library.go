@@ -1,0 +1,428 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+	"sdrad/internal/sig"
+	"sdrad/internal/stack"
+)
+
+// UDI is a user domain index: the developer-chosen handle for a domain
+// (Table I of the paper).
+type UDI int
+
+// RootUDI is the reserved index of the root domain.
+const RootUDI UDI = 0
+
+// Default region sizes; the C library reads these from environment
+// variables, here they are Setup options.
+const (
+	DefaultStackSize    = 64 * 1024
+	DefaultHeapSize     = 256 * 1024
+	DefaultRootHeapSize = 8 * 1024 * 1024
+)
+
+// Library is the SDRaD reference monitor plus its control data. One
+// Library serves one simulated process. The Go struct plays the role of
+// the paper's "monitor data domain": a dedicated protection key guards a
+// mapped monitor region that the monitor touches only while it has raised
+// its own access rights, so domain code can never tamper with rewind
+// state (requirement R4).
+type Library struct {
+	p *proc.Process
+
+	rootKey    int
+	monitorKey int
+	// monitorBase is the monitor data domain mapping; the reference
+	// monitor keeps its transition ledger there (a per-call counter and
+	// the current domain index), accessible only while monitor rights
+	// are raised.
+	monitorBase mem.Addr
+
+	defaultStackSize uint64
+	defaultHeapSize  uint64
+	rootHeapSize     uint64
+	scrubOnDiscard   bool
+	reuseStacks      bool
+	rewindLimit      int64
+	onRewind         func(RewindEvent)
+
+	// pkruToken authorizes the monitor's PKRU writes on locked CPUs.
+	pkruToken uint64
+
+	mu          sync.Mutex
+	threads     map[int]*threadState
+	dataDomains map[UDI]*Domain
+	stackPool   []*pooledStack
+	root        *Domain // shared root domain
+
+	scopeCtr atomic.Uint64
+	stats    Stats
+}
+
+// pooledStack is a destroyed domain's stack kept mapped for reuse
+// (paper §IV-C: "we never unmap the stack area ... but keep it for
+// reuse").
+type pooledStack struct {
+	stk  *stack.Stack
+	key  int
+	size uint64
+}
+
+// threadState is the per-thread SDRaD control data (the C library keeps
+// it in the monitor data domain, keyed by thread id).
+type threadState struct {
+	t       *proc.Thread
+	domains map[UDI]*Domain // execution domains of this thread
+	current *Domain         // currently executing domain
+	// enterStack records Enter nesting so Exit can restore the previous
+	// domain ("switch back to the parent domain's stack").
+	enterStack []enterRecord
+}
+
+type enterRecord struct {
+	prev    *Domain
+	entered *Domain
+	// frame is the canary-protected return record pushed on the entered
+	// domain's stack; verified on Exit.
+	frame *stack.Frame
+}
+
+// Stats counts monitor activity.
+type Stats struct {
+	// DomainSwitches counts Enter+Exit transitions.
+	DomainSwitches atomic.Int64
+	// Rewinds counts abnormal domain exits recovered by Guards.
+	Rewinds atomic.Int64
+	// MonitorCalls counts reference-monitor invocations (API calls).
+	MonitorCalls atomic.Int64
+	// Inits and Destroys count domain life-cycle events.
+	Inits    atomic.Int64
+	Destroys atomic.Int64
+	// BytesCopied counts explicit argument/result copies through
+	// lib.Copy (the paper's memcpy overhead source).
+	BytesCopied atomic.Int64
+}
+
+// SetupOption configures Setup.
+type SetupOption func(*Library)
+
+// WithDefaultStackSize sets the default nested-domain stack size.
+func WithDefaultStackSize(n uint64) SetupOption {
+	return func(l *Library) { l.defaultStackSize = n }
+}
+
+// WithDefaultHeapSize sets the default nested-domain heap size.
+func WithDefaultHeapSize(n uint64) SetupOption {
+	return func(l *Library) { l.defaultHeapSize = n }
+}
+
+// WithRootHeapSize sets the root domain heap size.
+func WithRootHeapSize(n uint64) SetupOption {
+	return func(l *Library) { l.rootHeapSize = n }
+}
+
+// WithScrubOnDiscard zeroes discarded domain memory. The paper leaves
+// scrubbing to the developer; this option is the library-side variant
+// discussed under Limitations (confidentiality of destroyed domains).
+func WithScrubOnDiscard(on bool) SetupOption {
+	return func(l *Library) { l.scrubOnDiscard = on }
+}
+
+// WithStackReuse toggles the stack-reuse optimization (§IV-C); disabling
+// it is used by the ablation benchmarks.
+func WithStackReuse(on bool) SetupOption {
+	return func(l *Library) { l.reuseStacks = on }
+}
+
+// RewindEvent describes one absorbed attack, for incident reporting.
+// The paper (§VI, Applicability) suggests feeding rewinds to a Security
+// Information and Event Management system as early warnings of an attack
+// campaign, and blocking repeat offenders upstream.
+type RewindEvent struct {
+	// Seq is the process-wide rewind sequence number (1-based).
+	Seq int64
+	// ThreadID and ThreadName identify the victim thread.
+	ThreadID   int
+	ThreadName string
+	// FailedUDI is the discarded domain.
+	FailedUDI UDI
+	// Signal, Code, Addr, PKey describe the detection oracle.
+	Signal sig.Signal
+	Code   int
+	Addr   uint64
+	PKey   int
+}
+
+// WithRewindObserver registers a callback invoked on every abnormal
+// domain exit, after the failing domain has been discarded and before
+// execution resumes at the recovery point. The callback runs on the
+// victim thread and must not call back into the library.
+func WithRewindObserver(fn func(RewindEvent)) SetupOption {
+	return func(l *Library) { l.onRewind = fn }
+}
+
+// WithRewindLimit forces process termination once limit rewinds have
+// been absorbed, implementing the paper's probabilistic-defense
+// protection (§VI, Limitations): unbounded rewinding would let an
+// attacker probe ASLR-style defenses indefinitely, so after the limit
+// the application is restarted instead of rewound.
+func WithRewindLimit(limit int) SetupOption {
+	return func(l *Library) { l.rewindLimit = int64(limit) }
+}
+
+// Setup initializes SDRaD for a process: it allocates the root and
+// monitor protection keys, maps the monitor data domain, installs the
+// SIGSEGV handler, and registers the thread constructor that gives every
+// thread its root-domain state. It mirrors the constructor that the C
+// library runs before main() (paper §IV-B, "Initialization").
+func Setup(p *proc.Process, opts ...SetupOption) (*Library, error) {
+	l := &Library{
+		p:                p,
+		defaultStackSize: DefaultStackSize,
+		defaultHeapSize:  DefaultHeapSize,
+		rootHeapSize:     DefaultRootHeapSize,
+		reuseStacks:      true,
+		threads:          make(map[int]*threadState),
+		dataDomains:      make(map[UDI]*Domain),
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	l.pkruToken = p.Rand64()
+	as := p.AddressSpace()
+	var err error
+	if l.rootKey, err = as.PkeyAlloc(); err != nil {
+		return nil, fmt.Errorf("sdrad: allocating root key: %w", err)
+	}
+	if l.monitorKey, err = as.PkeyAlloc(); err != nil {
+		return nil, fmt.Errorf("sdrad: allocating monitor key: %w", err)
+	}
+	if l.monitorBase, err = as.MapAnon(mem.PageSize, mem.ProtRW, l.monitorKey); err != nil {
+		return nil, fmt.Errorf("sdrad: mapping monitor domain: %w", err)
+	}
+
+	// The shared root domain: all application memory tagged with the
+	// root key (and untagged key-0 memory) belongs to it.
+	l.root = &Domain{
+		udi:  RootUDI,
+		kind: ExecDomain,
+		key:  l.rootKey,
+		lib:  l,
+	}
+
+	// SIGSEGV handler: in the real library this is where rewinding
+	// starts. In the simulation, faults inside guarded domains are
+	// recovered by the Guard scopes before they ever reach the process
+	// signal table; a delivery here therefore means the fault was not
+	// attributable to a guarded nested domain and the process must die
+	// (paper: "For faults occurring in the root domain ... the process
+	// is still terminated").
+	p.Signals().Register(sig.SIGSEGV, func(info *sig.Info, tls any) sig.Action {
+		return sig.ActionTerminate
+	})
+
+	p.RegisterThreadConstructor(func(t *proc.Thread) error {
+		l.initThread(t)
+		return nil
+	})
+	// Thread exit releases the thread's execution domains (and their
+	// protection keys) like a pthread TLS destructor; without this,
+	// short-lived threads with nested domains would exhaust the 15 keys.
+	p.RegisterThreadDestructor(func(t *proc.Thread) {
+		l.destroyThread(t)
+	})
+	return l, nil
+}
+
+// destroyThread tears down a finished thread's SDRaD state: every
+// execution domain it initialized is destroyed (heaps discarded, stacks
+// pooled, keys recycled) and its control data is dropped.
+func (l *Library) destroyThread(t *proc.Thread) {
+	ts, ok := t.Local.(*threadState)
+	if !ok {
+		return
+	}
+	// The thread is gone: no domain can be "current" anymore.
+	ts.current = l.root
+	ts.enterStack = nil
+	for udi, d := range ts.domains {
+		if d.isRoot() {
+			continue
+		}
+		d.contextValid = false
+		d.entered = false
+		l.discardHeap(t, d)
+		l.releaseDomain(t, d)
+		delete(ts.domains, udi)
+	}
+	l.mu.Lock()
+	delete(l.threads, t.ID())
+	l.mu.Unlock()
+}
+
+// initThread builds the per-thread control data and grants the thread
+// root-domain rights.
+func (l *Library) initThread(t *proc.Thread) {
+	ts := &threadState{
+		t:       t,
+		domains: make(map[UDI]*Domain),
+		current: l.root,
+	}
+	ts.domains[RootUDI] = l.root
+	t.Local = ts
+	l.mu.Lock()
+	l.threads[t.ID()] = ts
+	l.mu.Unlock()
+	// From here on, only the reference monitor may touch PKRU (R4).
+	t.CPU().LockWRPKRU(l.pkruToken)
+	// The thread starts executing in the root domain.
+	l.wrpkru(t, l.computePKRU(ts, l.root))
+}
+
+// state returns the thread's SDRaD control data, initializing it if the
+// thread predates Setup (possible in tests).
+func (l *Library) state(t *proc.Thread) *threadState {
+	if ts, ok := t.Local.(*threadState); ok {
+		return ts
+	}
+	l.initThread(t)
+	return t.Local.(*threadState)
+}
+
+// Process returns the process this library instance serves.
+func (l *Library) Process() *proc.Process { return l.p }
+
+// RootKey returns the protection key of the root domain. Application
+// substrates use it to tag memory they map themselves.
+func (l *Library) RootKey() int { return l.rootKey }
+
+// MonitorBase returns the address of the monitor data domain (exposed for
+// the security tests that verify domain code cannot touch it).
+func (l *Library) MonitorBase() mem.Addr { return l.monitorBase }
+
+// Stats returns the live monitor counters.
+func (l *Library) Stats() *Stats { return &l.stats }
+
+// Current returns the UDI of the domain the thread is executing in.
+func (l *Library) Current(t *proc.Thread) UDI {
+	return l.state(t).current.udi
+}
+
+// monitorEnter raises the monitor's own access rights (one WRPKRU) and
+// records the call in the monitor data domain. Every public API call is
+// bracketed by monitorEnter/monitorExit, which is where the two PKRU
+// writes per transition — the dominant switch cost in the paper's
+// profiling — come from.
+func (l *Library) monitorEnter(t *proc.Thread) {
+	c := t.CPU()
+	l.wrpkru(t, mem.PKRUAllow(c.PKRU(), l.monitorKey, true))
+	l.stats.MonitorCalls.Add(1)
+	// Touch the transition ledger in the monitor data domain. The ledger
+	// is shared by all threads, so its read-modify-write is serialized —
+	// the synchronization the monitor data domain needs in any
+	// multithreaded deployment.
+	l.mu.Lock()
+	c.WriteU64(l.monitorBase, c.ReadU64(l.monitorBase)+1)
+	c.WriteU64(l.monitorBase+8, uint64(t.ID()))
+	l.mu.Unlock()
+}
+
+// monitorExit lowers rights back to the policy of the thread's current
+// domain, recomputed from the (possibly just-changed) control data. The
+// monitor owns the PKRU register: whatever internal raises an API call
+// performed are dropped here.
+func (l *Library) monitorExit(t *proc.Thread) {
+	ts := l.state(t)
+	l.wrpkru(t, l.computePKRU(ts, ts.current))
+}
+
+// wrpkru is the monitor's PKRU write, presenting the lockdown token.
+func (l *Library) wrpkru(t *proc.Thread, v uint32) {
+	t.CPU().MonitorWRPKRU(l.pkruToken, v)
+}
+
+// computePKRU derives the PKRU policy for executing domain d on thread
+// ts: the domain's own key is fully accessible; the root domain is
+// read-only from nested domains (globals readable, not writable); keys of
+// accessible initialized children are granted; data-domain grants
+// configured via DProtect apply; everything else — including the monitor
+// key — is denied.
+//
+// It locks the library mutex because the root domain is shared by all
+// threads: its child list and grants can be mutated concurrently by other
+// threads initializing domains.
+func (l *Library) computePKRU(ts *threadState, d *Domain) uint32 {
+	pkru := mem.PKRUDenyAll
+	pkru = mem.PKRUAllow(pkru, d.key, true)
+	if d.isRoot() {
+		// Untagged (key 0) memory also belongs to the root domain.
+		pkru = mem.PKRUAllow(pkru, 0, true)
+	} else {
+		pkru = mem.PKRUAllow(pkru, l.rootKey, false)
+		pkru = mem.PKRUAllow(pkru, 0, false)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range d.children {
+		if c.accessible && c.initialized {
+			pkru = mem.PKRUAllow(pkru, c.key, true)
+		}
+	}
+	for tddi, prot := range d.grants {
+		dd := l.dataDomains[tddi]
+		if dd == nil || !dd.initialized {
+			continue
+		}
+		switch {
+		case prot&mem.ProtWrite != 0:
+			pkru = mem.PKRUAllow(pkru, dd.key, true)
+		case prot&mem.ProtRead != 0:
+			pkru = mem.PKRUAllow(pkru, dd.key, false)
+		}
+	}
+	return pkru
+}
+
+// lookupDataDomain returns the global data domain for udi, or nil.
+func (l *Library) lookupDataDomain(udi UDI) *Domain {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dataDomains[udi]
+}
+
+// newScope issues a unique recovery-scope identifier.
+func (l *Library) newScope() uint64 { return l.scopeCtr.Add(1) }
+
+// takePooledStack returns a reusable stack of at least size bytes, or nil.
+func (l *Library) takePooledStack(size uint64) *pooledStack {
+	if !l.reuseStacks {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, ps := range l.stackPool {
+		if ps.size >= size {
+			l.stackPool = append(l.stackPool[:i], l.stackPool[i+1:]...)
+			return ps
+		}
+	}
+	return nil
+}
+
+// returnPooledStack parks a stack (and its protection key) for reuse.
+// Returns false if pooling is disabled, in which case the caller unmaps.
+func (l *Library) returnPooledStack(ps *pooledStack) bool {
+	if !l.reuseStacks {
+		return false
+	}
+	ps.stk.Reset()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stackPool = append(l.stackPool, ps)
+	return true
+}

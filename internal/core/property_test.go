@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+)
+
+// TestRandomizedDomainLifecycles drives a random interleaving of the
+// Table-I operations on one thread and checks the monitor's invariants
+// continuously:
+//
+//  1. the thread is always in a well-defined current domain;
+//  2. after any completed Guard, the thread is back where it started;
+//  3. rewinds never kill the process;
+//  4. protection keys never leak (every Init either succeeds or leaves
+//     the key pool unchanged, and Destroy releases what Init took unless
+//     the stack pool retains it).
+func TestRandomizedDomainLifecycles(t *testing.T) {
+	p := proc.NewProcess("fuzz", proc.WithSeed(123))
+	l, err := Setup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+
+	err = p.Attach("main", func(th *proc.Thread) error {
+		for iter := 0; iter < 400; iter++ {
+			udi := UDI(1 + rng.Intn(4))
+			action := rng.Intn(10)
+			switch {
+			case action < 5:
+				// Guarded round trip with random inner behaviour.
+				inner := rng.Intn(4)
+				gerr := l.Guard(th, udi, func() error {
+					switch inner {
+					case 0:
+						// Empty body.
+						return nil
+					case 1:
+						// Enter/exit with domain-heap traffic.
+						ptr, err := l.Malloc(th, udi, uint64(8+rng.Intn(500)))
+						if err != nil {
+							return err
+						}
+						if err := l.Enter(th, udi); err != nil {
+							return err
+						}
+						th.CPU().WriteU64(ptr, uint64(iter))
+						if err := l.Exit(th); err != nil {
+							return err
+						}
+						return l.Free(th, udi, ptr)
+					case 2:
+						// Fault inside the domain (rewind).
+						if err := l.Enter(th, udi); err != nil {
+							return err
+						}
+						th.CPU().WriteU8(0xF00D0000, 1)
+						return nil
+					default:
+						// Nested guard one level deeper.
+						inner := UDI(10 + rng.Intn(3))
+						if err := l.Enter(th, udi); err != nil {
+							return err
+						}
+						gerr := l.Guard(th, inner, func() error {
+							if err := l.Enter(th, inner); err != nil {
+								return err
+							}
+							if rng.Intn(2) == 0 {
+								th.CPU().WriteU8(0xF00D0000, 1)
+							}
+							return l.Exit(th)
+						})
+						var abn *AbnormalExit
+						if gerr != nil && !errors.As(gerr, &abn) {
+							// The inner domain may persist from an earlier
+							// iteration under a different parent; a domain
+							// is only re-guardable by its own parent.
+							if errors.Is(gerr, ErrNotChild) || errors.Is(gerr, ErrTooManyDomains) {
+								return l.Exit(th)
+							}
+							return gerr
+						}
+						if cur := l.Current(th); cur != udi {
+							t.Fatalf("iter %d: after nested guard current=%d want %d", iter, cur, udi)
+						}
+						return l.Exit(th)
+					}
+				}, Accessible(), HeapSize(64*1024))
+				var abn *AbnormalExit
+				if gerr != nil && !errors.As(gerr, &abn) {
+					// Key exhaustion is a legal outcome when many domains
+					// are live.
+					if errors.Is(gerr, ErrTooManyDomains) {
+						continue
+					}
+					t.Fatalf("iter %d: guard error %v", iter, gerr)
+				}
+			case action < 7:
+				// Destroy if it exists.
+				err := l.Destroy(th, udi, DestroyOption(rng.Intn(2)))
+				if err != nil && !errors.Is(err, ErrUnknownDomain) && !errors.Is(err, ErrNotChild) {
+					t.Fatalf("iter %d: destroy error %v", iter, err)
+				}
+			case action < 8:
+				// Plain init (no guard); may already exist.
+				err := l.InitDomain(th, udi, Accessible(), HeapSize(64*1024))
+				if err != nil && !errors.Is(err, ErrAlreadyInit) && !errors.Is(err, ErrTooManyDomains) {
+					t.Fatalf("iter %d: init error %v", iter, err)
+				}
+			case action < 9:
+				// Root heap traffic interleaved.
+				ptr, err := l.Malloc(th, RootUDI, uint64(8+rng.Intn(200)))
+				if err != nil {
+					return err
+				}
+				if err := l.Free(th, RootUDI, ptr); err != nil {
+					return err
+				}
+			default:
+				// Deinit of possibly-unknown domains.
+				err := l.Deinit(th, udi)
+				if err != nil && !errors.Is(err, ErrUnknownDomain) {
+					t.Fatalf("iter %d: deinit error %v", iter, err)
+				}
+			}
+			// Invariant: outside a guard, we are in the root domain with
+			// the root policy installed.
+			if cur := l.Current(th); cur != RootUDI {
+				t.Fatalf("iter %d: current = %d outside guards", iter, cur)
+			}
+			if ad, _ := mem.PKRURights(th.CPU().PKRU(), l.RootKey()); ad {
+				t.Fatalf("iter %d: root key inaccessible in root domain", iter)
+			}
+			if ad, _ := mem.PKRURights(th.CPU().PKRU(), l.monitorKey); !ad {
+				t.Fatalf("iter %d: monitor key accessible outside monitor", iter)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed() {
+		t.Fatalf("process died during fuzz: %v", p.ExitError())
+	}
+}
+
+// TestRandomizedMultithreaded runs the lifecycle fuzz on several threads
+// concurrently, sharing the root domain and a common data domain.
+func TestRandomizedMultithreaded(t *testing.T) {
+	p := proc.NewProcess("fuzz-mt", proc.WithSeed(321))
+	l, err := Setup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shared = UDI(9)
+	if err := p.Attach("init", func(th *proc.Thread) error {
+		return l.InitDomain(th, shared, AsData(), Accessible(), HeapSize(1<<20))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	worker := func(seed int64) func(th *proc.Thread) error {
+		return func(th *proc.Thread) error {
+			rng := rand.New(rand.NewSource(seed))
+			for iter := 0; iter < 120; iter++ {
+				gerr := l.Guard(th, 1, func() error {
+					if err := l.DProtect(th, 1, shared, mem.ProtRW); err != nil {
+						return err
+					}
+					if err := l.Enter(th, 1); err != nil {
+						return err
+					}
+					if rng.Intn(4) == 0 {
+						th.CPU().WriteU8(0xF00D0000, 1) // rewind
+					}
+					return l.Exit(th)
+				}, Accessible())
+				var abn *AbnormalExit
+				if gerr != nil && !errors.As(gerr, &abn) {
+					return gerr
+				}
+				// Shared data-domain traffic from root (accessible child
+				// of the shared root domain).
+				ptr, err := l.Malloc(th, shared, uint64(16+rng.Intn(100)))
+				if err != nil {
+					return err
+				}
+				th.CPU().WriteU64(ptr, uint64(iter))
+				if err := l.Free(th, shared, ptr); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	h1 := p.Spawn("w1", worker(1))
+	h2 := p.Spawn("w2", worker(2))
+	h3 := p.Spawn("w3", worker(3))
+	for _, h := range []*proc.Handle{h1, h2, h3} {
+		if err := h.Join(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Killed() {
+		t.Fatalf("process died: %v", p.ExitError())
+	}
+}

@@ -1,0 +1,192 @@
+// Package cryptolib is an OpenSSL-like cryptographic library used as the
+// paper's third case study (§V-C). It provides an EVP-style cipher API
+// whose contexts — including key material — live in simulated memory, so
+// SDRaD can isolate them in a persistent inaccessible domain (protecting
+// the library from its callers), and a toy X.509 certificate checker with
+// the CVE-2022-3786 stack-overflow analog in its punycode decoder
+// (protecting the application from the library).
+//
+// The wrapper types implement the paper's three argument-passing design
+// choices for the inaccessible-domain configuration (Listing 2):
+//
+//  1. the OpenSSL domain reads input directly from its (read-only) parent
+//     and copies output out through the shared data domain;
+//  2. both input and output are copied through the shared data domain;
+//  3. the caller places buffers in the shared data domain up front and no
+//     copies are needed.
+package cryptolib
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sdrad/internal/mem"
+)
+
+// Context memory layout (all in simulated memory, inside whatever domain
+// owns the context):
+//
+//	+0:  magic
+//	+8:  key length (bytes)
+//	+16: key material (up to 32 bytes)
+//	+48: nonce counter
+//	+56: generation (bumped on every re-init; invalidates schedule cache)
+const (
+	ctxOffMagic  = 0
+	ctxOffKeyLen = 8
+	ctxOffKey    = 16
+	ctxOffNonce  = 48
+	ctxOffGen    = 56
+	// CtxSize is the allocation size of an EVP context.
+	CtxSize = 64
+)
+
+const ctxMagic = 0x45565043_54580001 // "EVPCTX"
+
+// GCMTagSize is the AEAD tag appended to every ciphertext.
+const GCMTagSize = 16
+
+// Engine errors.
+var (
+	ErrBadContext = errors.New("cryptolib: invalid or uninitialized context")
+	ErrBadKeyLen  = errors.New("cryptolib: key must be 32 bytes (AES-256)")
+	ErrAuth       = errors.New("cryptolib: message authentication failed")
+)
+
+// Engine is the cipher implementation ("libcrypto"). It caches expanded
+// key schedules Go-side — the moral equivalent of code-segment state —
+// keyed by context address and generation; all key bytes, nonces, and
+// data buffers live in simulated memory and are read and written through
+// the calling thread's CPU, subject to domain policy.
+type Engine struct {
+	mu    sync.Mutex
+	cache map[mem.Addr]cachedAEAD
+}
+
+type cachedAEAD struct {
+	gen  uint64
+	aead cipher.AEAD
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{cache: make(map[mem.Addr]cachedAEAD)}
+}
+
+// EncryptInit initializes the EVP context at ctx with the 32-byte AES-256
+// key stored at keyAddr. Both the context and the key are accessed
+// through c, so calling this inside a domain keeps the key inside the
+// domain.
+func (e *Engine) EncryptInit(c *mem.CPU, ctx, keyAddr mem.Addr, keyLen int) error {
+	if keyLen != 32 {
+		return ErrBadKeyLen
+	}
+	key := c.ReadBytes(keyAddr, keyLen)
+	c.WriteU64(ctx+ctxOffMagic, ctxMagic)
+	c.WriteU64(ctx+ctxOffKeyLen, uint64(keyLen))
+	c.Write(ctx+ctxOffKey, key)
+	c.WriteU64(ctx+ctxOffNonce, 1)
+	gen := c.ReadU64(ctx+ctxOffGen) + 1
+	c.WriteU64(ctx+ctxOffGen, gen)
+
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return fmt.Errorf("cryptolib: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return fmt.Errorf("cryptolib: %w", err)
+	}
+	e.mu.Lock()
+	e.cache[ctx] = cachedAEAD{gen: gen, aead: aead}
+	e.mu.Unlock()
+	return nil
+}
+
+// aeadFor retrieves (or rebuilds) the AEAD for a context.
+func (e *Engine) aeadFor(c *mem.CPU, ctx mem.Addr) (cipher.AEAD, error) {
+	if c.ReadU64(ctx+ctxOffMagic) != ctxMagic {
+		return nil, ErrBadContext
+	}
+	gen := c.ReadU64(ctx + ctxOffGen)
+	e.mu.Lock()
+	entry, ok := e.cache[ctx]
+	e.mu.Unlock()
+	if ok && entry.gen == gen {
+		return entry.aead, nil
+	}
+	// Schedule cache miss: rebuild from the key material in the context.
+	keyLen := int(c.ReadU64(ctx + ctxOffKeyLen))
+	if keyLen != 32 {
+		return nil, ErrBadContext
+	}
+	key := c.ReadBytes(ctx+ctxOffKey, keyLen)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cryptolib: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("cryptolib: %w", err)
+	}
+	e.mu.Lock()
+	e.cache[ctx] = cachedAEAD{gen: gen, aead: aead}
+	e.mu.Unlock()
+	return aead, nil
+}
+
+// nextNonce increments the context nonce counter and returns the 12-byte
+// GCM nonce.
+func nextNonce(c *mem.CPU, ctx mem.Addr) []byte {
+	n := c.ReadU64(ctx + ctxOffNonce)
+	c.WriteU64(ctx+ctxOffNonce, n+1)
+	nonce := make([]byte, 12)
+	binary.LittleEndian.PutUint64(nonce, n)
+	return nonce
+}
+
+// EncryptUpdate encrypts inl bytes at in, writing ciphertext plus tag to
+// out. It returns the output length (inl + GCMTagSize). Each update is
+// sealed under a fresh counter nonce (the simulation treats every update
+// as one AEAD record).
+func (e *Engine) EncryptUpdate(c *mem.CPU, ctx, out, in mem.Addr, inl int) (int, error) {
+	aead, err := e.aeadFor(c, ctx)
+	if err != nil {
+		return 0, err
+	}
+	pt := c.ReadBytes(in, inl)
+	ct := aead.Seal(nil, nextNonce(c, ctx), pt, nil)
+	c.Write(out, ct)
+	return len(ct), nil
+}
+
+// DecryptUpdate authenticates and decrypts inl bytes (ciphertext + tag)
+// at in, written under the given record nonce value, into out.
+func (e *Engine) DecryptUpdate(c *mem.CPU, ctx, out, in mem.Addr, inl int, nonceVal uint64) (int, error) {
+	aead, err := e.aeadFor(c, ctx)
+	if err != nil {
+		return 0, err
+	}
+	if inl < GCMTagSize {
+		return 0, ErrAuth
+	}
+	nonce := make([]byte, 12)
+	binary.LittleEndian.PutUint64(nonce, nonceVal)
+	ct := c.ReadBytes(in, inl)
+	pt, err := aead.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return 0, ErrAuth
+	}
+	c.Write(out, pt)
+	return len(pt), nil
+}
+
+// LastNonce returns the nonce value used by the most recent
+// EncryptUpdate on ctx (for pairing with DecryptUpdate).
+func (e *Engine) LastNonce(c *mem.CPU, ctx mem.Addr) uint64 {
+	return c.ReadU64(ctx+ctxOffNonce) - 1
+}

@@ -1,0 +1,213 @@
+package cryptolib
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+
+	"sdrad/internal/core"
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+	"sdrad/internal/stack"
+)
+
+// This file implements the toy X.509 certificate checker carrying the
+// CVE-2022-3786 analog. The real vulnerability: OpenSSL 3.0.6's punycode
+// decoder, reached during X.509 name-constraint checking of an email
+// address, can overflow a stack buffer with an arbitrary number of
+// attacker-controlled bytes; the overflow is caught by stack canaries,
+// crashing the application (denial of service). The paper isolates the
+// certificate-verification API in a nested domain so the canary failure
+// becomes an abnormal domain exit: the server closes the connection,
+// re-initializes the crypto domain, and keeps serving.
+
+// VerifyResult is the outcome of certificate verification.
+type VerifyResult struct {
+	CN    string
+	Email string
+	Valid bool
+}
+
+// Certificate parse errors (protocol level, not traps).
+var (
+	ErrBadCertificate = errors.New("cryptolib: malformed certificate")
+)
+
+// decodeBufSize is the fixed on-stack decode buffer for one label — the
+// overflow target.
+const decodeBufSize = 32
+
+// FormatCertificate builds a toy certificate blob.
+func FormatCertificate(cn, email string) []byte {
+	return []byte("CN=" + cn + "\nEMAIL=" + email + "\n")
+}
+
+// MaliciousCertificate builds a certificate whose email domain contains a
+// punycode label that decodes to far more than the on-stack buffer — the
+// CVE trigger.
+func MaliciousCertificate() []byte {
+	// Each coded character expands to two output bytes; 64 coded chars
+	// decode to 128 bytes into a 32-byte buffer.
+	label := "xn--a-" + strings.Repeat("k", 64)
+	return FormatCertificate("attacker", "root@"+label+".example.com")
+}
+
+// VerifyCertificate parses and checks the certificate at cert, using stk
+// for the decoder's stack-allocated buffers. The punycode path contains
+// the planted overflow: a label decoding to more than decodeBufSize
+// bytes clobbers the frame canary, and the stack protector fires when
+// the frame pops.
+func VerifyCertificate(c *mem.CPU, stk *stack.Stack, cert mem.Addr, certLen int) (VerifyResult, error) {
+	// The verifier's own frame: scratch locals that sit above the decode
+	// buffers, as the real call stack would have (the overflow lands in
+	// caller frames, not off the top of the stack).
+	outer, err := stk.PushFrame(c, 256)
+	if err != nil {
+		return VerifyResult{}, fmt.Errorf("cryptolib: %w", err)
+	}
+	res, verr := verifyInner(c, stk, cert, certLen)
+	if err := outer.Pop(c); err != nil {
+		return res, fmt.Errorf("cryptolib: %w", err)
+	}
+	return res, verr
+}
+
+// verifyInner parses and checks the certificate fields.
+func verifyInner(c *mem.CPU, stk *stack.Stack, cert mem.Addr, certLen int) (VerifyResult, error) {
+	var res VerifyResult
+	raw := c.ReadBytes(cert, certLen)
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		switch {
+		case bytes.HasPrefix(line, []byte("CN=")):
+			res.CN = string(line[3:])
+		case bytes.HasPrefix(line, []byte("EMAIL=")):
+			res.Email = string(line[6:])
+		case len(line) == 0:
+		default:
+			return res, fmt.Errorf("%w: unknown field", ErrBadCertificate)
+		}
+	}
+	if res.CN == "" || res.Email == "" {
+		return res, fmt.Errorf("%w: missing CN or EMAIL", ErrBadCertificate)
+	}
+	at := strings.IndexByte(res.Email, '@')
+	if at < 1 || at == len(res.Email)-1 {
+		return res, fmt.Errorf("%w: invalid email", ErrBadCertificate)
+	}
+	domain := res.Email[at+1:]
+
+	// Name-constraint checking: every IDN (xn--) label is decoded into a
+	// fixed on-stack buffer (the CVE-2022-3786 code path).
+	for _, label := range strings.Split(domain, ".") {
+		if !strings.HasPrefix(label, "xn--") {
+			continue
+		}
+		frame, err := stk.PushFrame(c, decodeBufSize)
+		if err != nil {
+			return res, fmt.Errorf("cryptolib: %w", err)
+		}
+		decodePunycodeLabel(c, []byte(label[4:]), frame.Locals())
+		// The canary check below is __stack_chk_fail: an overflowing
+		// decode panics with *stack.SmashError here.
+		if err := frame.Pop(c); err != nil {
+			return res, fmt.Errorf("cryptolib: %w", err)
+		}
+	}
+	res.Valid = true
+	return res, nil
+}
+
+// decodePunycodeLabel expands a simplified punycode label into dst: the
+// ASCII prefix (before the last '-') is copied verbatim and every coded
+// character expands to a two-byte sequence.
+//
+// BUG (intentional — the CVE-2022-3786 analog): the output length is
+// never validated against the caller's buffer, so a long coded section
+// writes past the fixed-size stack buffer.
+func decodePunycodeLabel(c *mem.CPU, label []byte, dst mem.Addr) int {
+	sep := bytes.LastIndexByte(label, '-')
+	var ascii, coded []byte
+	if sep >= 0 {
+		ascii, coded = label[:sep], label[sep+1:]
+	} else {
+		coded = label
+	}
+	n := 0
+	for _, b := range ascii {
+		c.WriteU8(dst+mem.Addr(n), b)
+		n++
+	}
+	for _, b := range coded {
+		c.WriteU8(dst+mem.Addr(n), 0xC3)
+		n++
+		c.WriteU8(dst+mem.Addr(n), b)
+		n++
+	}
+	return n
+}
+
+// X509UDI is the nested domain the isolated verifier runs in.
+const X509UDI = core.UDI(11)
+
+// Verifier runs certificate verification inside a nested SDRaD domain
+// (§V-C: "we isolated the vulnerable X.509 certificate verification API
+// of OpenSSL"). One Verifier belongs to one thread.
+type Verifier struct {
+	lib     *core.Library
+	bufCap  int
+	ready   bool
+	certBuf mem.Addr
+	rewinds int64
+}
+
+// NewVerifier builds an isolated verifier able to check certificates up
+// to bufCap bytes.
+func NewVerifier(lib *core.Library, bufCap int) *Verifier {
+	return &Verifier{lib: lib, bufCap: bufCap}
+}
+
+// Rewinds reports how many attacks the verifier absorbed.
+func (v *Verifier) Rewinds() int64 { return v.rewinds }
+
+// Verify checks the certificate inside the nested domain. A certificate
+// that triggers the planted overflow produces an *core.AbnormalExit
+// error (retrievable with errors.As); the domain is already discarded
+// and will be re-created on the next call.
+func (v *Verifier) Verify(t *proc.Thread, cert []byte) (VerifyResult, error) {
+	if len(cert) > v.bufCap {
+		return VerifyResult{}, fmt.Errorf("%w: too large", ErrBadCertificate)
+	}
+	lib := v.lib
+	var res VerifyResult
+	var verr error
+	gerr := lib.Guard(t, X509UDI, func() error {
+		if !v.ready {
+			buf, err := lib.Malloc(t, X509UDI, uint64(v.bufCap))
+			if err != nil {
+				return err
+			}
+			v.certBuf = buf
+			v.ready = true
+		}
+		lib.WriteBytes(t, v.certBuf, cert) // copy the certificate in
+		if err := lib.Enter(t, X509UDI); err != nil {
+			return err
+		}
+		stk, err := lib.Stack(t, X509UDI)
+		if err != nil {
+			return err
+		}
+		res, verr = VerifyCertificate(t.CPU(), stk, v.certBuf, len(cert))
+		return lib.Exit(t)
+	}, core.Accessible())
+	if gerr != nil {
+		var abn *core.AbnormalExit
+		if errors.As(gerr, &abn) {
+			v.ready = false
+			v.rewinds++
+		}
+		return VerifyResult{}, gerr
+	}
+	return res, verr
+}

@@ -1,0 +1,341 @@
+package httpd
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+var testFiles = map[string]int{
+	"/index.html": 512,
+	"/big.bin":    8 * 1024,
+	"/empty.bin":  0,
+}
+
+func startMaster(t testing.TB, v Variant, workers int) *Master {
+	t.Helper()
+	m, err := NewMaster(Config{Variant: v, Workers: workers, Files: testFiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	return m
+}
+
+func allVariants(t *testing.T, fn func(t *testing.T, v Variant)) {
+	for _, v := range []Variant{VariantVanilla, VariantTLSF, VariantSDRaD} {
+		t.Run(v.String(), func(t *testing.T) { fn(t, v) })
+	}
+}
+
+func mustGet(t *testing.T, c *Conn, path string) string {
+	t.Helper()
+	resp, closed, err := c.Do(FormatRequest(path, true))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	if closed {
+		t.Fatalf("GET %s: connection closed", path)
+	}
+	return string(resp)
+}
+
+func TestServeStaticFiles(t *testing.T) {
+	allVariants(t, func(t *testing.T, v Variant) {
+		m := startMaster(t, v, 1)
+		c := m.Worker(0).NewConn()
+		resp := mustGet(t, c, "/index.html")
+		if !strings.HasPrefix(resp, "HTTP/1.1 200 OK\r\n") {
+			t.Fatalf("resp = %q", resp[:min(len(resp), 80)])
+		}
+		if !strings.Contains(resp, "Content-Length: 512\r\n") {
+			t.Errorf("missing content length: %q", resp[:120])
+		}
+		body := resp[strings.Index(resp, "\r\n\r\n")+4:]
+		if len(body) != 512 {
+			t.Errorf("body len = %d", len(body))
+		}
+		if !strings.HasPrefix(body, "/index.html#") {
+			t.Errorf("body content = %q", body[:24])
+		}
+	})
+}
+
+func TestKeepAliveMultipleRequests(t *testing.T) {
+	allVariants(t, func(t *testing.T, v Variant) {
+		m := startMaster(t, v, 1)
+		c := m.Worker(0).NewConn()
+		for i := 0; i < 20; i++ {
+			resp := mustGet(t, c, "/big.bin")
+			if !strings.HasPrefix(resp, "HTTP/1.1 200") {
+				t.Fatalf("request %d failed", i)
+			}
+		}
+	})
+}
+
+func Test404(t *testing.T) {
+	m := startMaster(t, VariantSDRaD, 1)
+	c := m.Worker(0).NewConn()
+	resp := mustGet(t, c, "/nope")
+	if !strings.HasPrefix(resp, "HTTP/1.1 404") {
+		t.Errorf("resp = %q", resp[:40])
+	}
+}
+
+func TestConnectionClose(t *testing.T) {
+	m := startMaster(t, VariantVanilla, 1)
+	c := m.Worker(0).NewConn()
+	resp, closed, err := c.Do(FormatRequest("/index.html", false))
+	if err != nil || !closed {
+		t.Fatalf("closed=%v err=%v", closed, err)
+	}
+	if !strings.Contains(string(resp), "Connection: close") {
+		t.Error("missing close header")
+	}
+	if _, _, err := c.Do(FormatRequest("/index.html", true)); !errors.Is(err, ErrConnClosed) {
+		t.Errorf("reuse err = %v", err)
+	}
+}
+
+func TestHeadRequest(t *testing.T) {
+	m := startMaster(t, VariantTLSF, 1)
+	c := m.Worker(0).NewConn()
+	resp, _, err := c.Do([]byte("HEAD /big.bin HTTP/1.1\r\nHost: x\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(resp)
+	if !strings.Contains(text, "Content-Length: 8192") {
+		t.Errorf("resp = %q", text)
+	}
+	if body := text[strings.Index(text, "\r\n\r\n")+4:]; len(body) != 0 {
+		t.Errorf("HEAD returned a body of %d bytes", len(body))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	allVariants(t, func(t *testing.T, v Variant) {
+		m := startMaster(t, v, 1)
+		for _, raw := range []string{
+			"BREW /pot HTTP/1.1\r\n\r\n",
+			"GET /index.html\r\n\r\n",
+			"GET /x HTTP/0.9\r\n\r\n",
+			"GET noslash HTTP/1.1\r\n\r\n",
+			"garbage\r\n\r\n",
+			"GET /x HTTP/1.1\r\nBadHeaderNoColon\r\n\r\n",
+		} {
+			c := m.Worker(0).NewConn()
+			resp, _, err := c.Do([]byte(raw))
+			if err != nil {
+				t.Fatalf("%q: %v", raw, err)
+			}
+			if !strings.HasPrefix(string(resp), "HTTP/1.1 400") {
+				t.Errorf("%q -> %q, want 400", raw, resp[:min(len(resp), 40)])
+			}
+		}
+	})
+}
+
+func TestLegitimateComplexURIs(t *testing.T) {
+	allVariants(t, func(t *testing.T, v Variant) {
+		m := startMaster(t, v, 1)
+		c := m.Worker(0).NewConn()
+		// All of these normalize to /index.html.
+		for _, path := range []string{
+			"/foo/../index.html",
+			"//index.html",
+			"/./index.html",
+			"/a/b/../../index.html",
+			"/a/./b/.././../index.html",
+		} {
+			resp := mustGet(t, c, path)
+			if !strings.HasPrefix(resp, "HTTP/1.1 200") {
+				t.Errorf("%s -> %q", path, resp[:min(len(resp), 40)])
+			}
+		}
+		// Normalizing to an unknown path yields 404, not a crash.
+		resp := mustGet(t, c, "/foo/../bar")
+		if !strings.HasPrefix(resp, "HTTP/1.1 404") {
+			t.Errorf("/foo/../bar -> %q", resp[:40])
+		}
+	})
+}
+
+// attackURI underflows the URI normalization buffer (CVE-2009-2629
+// analog): far more ".." segments than path depth.
+func attackURI() string {
+	return "/" + strings.Repeat("../", 200)
+}
+
+func TestCVE2009_2629_BaselineKillsWorker(t *testing.T) {
+	m := startMaster(t, VariantVanilla, 1)
+	w := m.Worker(0)
+	good := w.NewConn()
+	mustGet(t, good, "/index.html")
+
+	evil := w.NewConn()
+	_, _, err := evil.Do(FormatRequest(attackURI(), true))
+	if !errors.Is(err, ErrWorkerDown) {
+		t.Fatalf("attack err = %v, want worker down", err)
+	}
+	crashed, cause := w.Crashed()
+	if !crashed {
+		t.Fatal("worker survived")
+	}
+	t.Logf("worker crash cause: %v", cause)
+	// The good client's connection is gone too — the paper's point.
+	if _, _, err := good.Do(FormatRequest("/index.html", true)); !errors.Is(err, ErrWorkerDown) {
+		t.Errorf("good client err = %v", err)
+	}
+	// The master restarts the worker; new connections work again.
+	if _, err := m.RestartWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Worker(0).NewConn()
+	if resp := mustGet(t, c, "/index.html"); !strings.HasPrefix(resp, "HTTP/1.1 200") {
+		t.Error("restarted worker not serving")
+	}
+	if m.Restarts() != 1 {
+		t.Errorf("restarts = %d", m.Restarts())
+	}
+}
+
+func TestCVE2009_2629_SDRaDRewinds(t *testing.T) {
+	m := startMaster(t, VariantSDRaD, 1)
+	w := m.Worker(0)
+	good := w.NewConn()
+	mustGet(t, good, "/index.html")
+
+	evil := w.NewConn()
+	resp, closed, err := evil.Do(FormatRequest(attackURI(), true))
+	if err != nil {
+		t.Fatalf("attack transport err: %v", err)
+	}
+	if !closed {
+		t.Fatalf("attacker connection not closed (resp %q)", resp[:min(len(resp), 60)])
+	}
+	if w.Rewinds() != 1 {
+		t.Errorf("rewinds = %d", w.Rewinds())
+	}
+	if crashed, cause := w.Crashed(); crashed {
+		t.Fatalf("hardened worker crashed: %v", cause)
+	}
+	// The good client's keep-alive connection is untouched.
+	if resp := mustGet(t, good, "/big.bin"); !strings.HasPrefix(resp, "HTTP/1.1 200") {
+		t.Error("good connection broken by rewind")
+	}
+}
+
+func TestRepeatedParserAttacks(t *testing.T) {
+	m := startMaster(t, VariantSDRaD, 1)
+	w := m.Worker(0)
+	survivor := w.NewConn()
+	for i := 0; i < 5; i++ {
+		evil := w.NewConn()
+		_, closed, err := evil.Do(FormatRequest(attackURI(), true))
+		if err != nil || !closed {
+			t.Fatalf("attack %d: closed=%v err=%v", i, closed, err)
+		}
+		if resp := mustGet(t, survivor, "/index.html"); !strings.HasPrefix(resp, "HTTP/1.1 200") {
+			t.Fatalf("survivor broken after attack %d", i)
+		}
+	}
+	if w.Rewinds() != 5 {
+		t.Errorf("rewinds = %d", w.Rewinds())
+	}
+}
+
+func TestMultipleWorkersIndependent(t *testing.T) {
+	m := startMaster(t, VariantVanilla, 3)
+	// Kill worker 1 with the CVE; workers 0 and 2 keep serving.
+	evil := m.Worker(1).NewConn()
+	if _, _, err := evil.Do(FormatRequest(attackURI(), true)); !errors.Is(err, ErrWorkerDown) {
+		t.Fatalf("err = %v", err)
+	}
+	for _, idx := range []int{0, 2} {
+		c := m.Worker(idx).NewConn()
+		if resp := mustGet(t, c, "/index.html"); !strings.HasPrefix(resp, "HTTP/1.1 200") {
+			t.Errorf("worker %d not serving", idx)
+		}
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	allVariants(t, func(t *testing.T, v Variant) {
+		m := startMaster(t, v, 2)
+		done := make(chan error, 10)
+		for g := 0; g < 10; g++ {
+			go func(g int) {
+				c := m.Worker(g % 2).NewConn()
+				for i := 0; i < 25; i++ {
+					resp, _, err := c.Do(FormatRequest("/index.html", true))
+					if err != nil {
+						done <- err
+						return
+					}
+					if !strings.HasPrefix(string(resp), "HTTP/1.1 200") {
+						done <- fmt.Errorf("g%d req%d: %q", g, i, resp[:20])
+						return
+					}
+				}
+				done <- nil
+			}(g)
+		}
+		for g := 0; g < 10; g++ {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestPoolExhaustionIs400(t *testing.T) {
+	// A URI bigger than the pool produces a clean 400, not a fault.
+	m, err := NewMaster(Config{
+		Variant:     VariantSDRaD,
+		Files:       testFiles,
+		PoolSize:    512,
+		ConnBufSize: 8 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	c := m.Worker(0).NewConn()
+	long := "/a/./" + strings.Repeat("b", 600) // complex + too big for pool
+	resp, _, err := c.Do(FormatRequest(long, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(resp), "HTTP/1.1 400") {
+		t.Errorf("resp = %q", resp[:min(len(resp), 40)])
+	}
+}
+
+func TestRequestTooLargeIsError(t *testing.T) {
+	m := startMaster(t, VariantVanilla, 1)
+	c := m.Worker(0).NewConn()
+	big := FormatRequest("/"+strings.Repeat("x", 9000), true)
+	if _, _, err := c.Do(big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMappedBytes(t *testing.T) {
+	m := startMaster(t, VariantSDRaD, 1)
+	if m.Worker(0).MappedBytes() == 0 {
+		t.Error("no mapped memory")
+	}
+}
+
+func TestMethodAndVariantStrings(t *testing.T) {
+	if MethodGET.String() != "GET" || MethodHEAD.String() != "HEAD" ||
+		MethodPOST.String() != "POST" || Method(9).String() != "UNKNOWN" {
+		t.Error("Method.String broken")
+	}
+	if VariantVanilla.String() != "vanilla" || Variant(9).String() != "unknown" {
+		t.Error("Variant.String broken")
+	}
+}

@@ -1,0 +1,318 @@
+// Package httpd is an architectural port of the NGINX worker used as the
+// paper's second case study (§V-B): a multi-process web server whose HTTP
+// parser — the component most exposed to untrusted input — can be
+// sandboxed in an accessible persistent nested domain. A detected memory
+// error in the parser then closes only the offending connection, where
+// the baseline loses every connection of the crashed worker process.
+//
+// The planted vulnerability reproduces CVE-2009-2629: the complex-URI
+// normalizer resolves "/../" segments by scanning a destination pointer
+// backwards for the previous '/' without checking the buffer start, so a
+// URI with enough parent references walks the pointer below the buffer
+// into foreign memory.
+package httpd
+
+import (
+	"fmt"
+
+	"sdrad/internal/mem"
+)
+
+// Method is a parsed HTTP method.
+type Method int
+
+// Supported methods.
+const (
+	MethodGET Method = iota + 1
+	MethodHEAD
+	MethodPOST
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodGET:
+		return "GET"
+	case MethodHEAD:
+		return "HEAD"
+	case MethodPOST:
+		return "POST"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Request is the parse result handed back from the parser domain.
+type Request struct {
+	Method    Method
+	Path      string
+	Version   string
+	KeepAlive bool
+	Headers   int // parsed header count
+	// ClientCert carries the X-Client-Cert header value when client
+	// certificate verification is enabled (the §V-C NGINX+OpenSSL
+	// integration).
+	ClientCert string
+}
+
+// parseError is a protocol-level parse failure (HTTP 400), distinct from
+// memory faults which surface as traps.
+type parseError struct{ reason string }
+
+func (e *parseError) Error() string { return "httpd: bad request: " + e.reason }
+
+// parserEnv is the memory environment of one parsing pass: the copied
+// request bytes inside the parser's reach and a request pool for
+// normalization buffers.
+type parserEnv struct {
+	c    *mem.CPU
+	buf  mem.Addr // request bytes (copied into the nested domain)
+	blen int
+	pool *Pool // request pool (data domain in the hardened build)
+}
+
+// parseRequestLine is phase one of the NGINX parser: method, URI, and
+// version, including complex-URI normalization. It returns the byte
+// offset where the headers begin.
+func parseRequestLine(env *parserEnv, req *Request) (headerOff int, err error) {
+	line, next := readLineAt(env, 0)
+	if line == nil {
+		return 0, &parseError{"missing request line"}
+	}
+	parts := splitSpaces(line)
+	if len(parts) != 3 {
+		return 0, &parseError{"malformed request line"}
+	}
+	switch string(parts[0]) {
+	case "GET":
+		req.Method = MethodGET
+	case "HEAD":
+		req.Method = MethodHEAD
+	case "POST":
+		req.Method = MethodPOST
+	default:
+		return 0, &parseError{"unsupported method"}
+	}
+	version := string(parts[2])
+	if version != "HTTP/1.0" && version != "HTTP/1.1" {
+		return 0, &parseError{"unsupported version"}
+	}
+	req.Version = version
+	req.KeepAlive = version == "HTTP/1.1"
+
+	uri := parts[1]
+	if len(uri) == 0 || uri[0] != '/' {
+		return 0, &parseError{"invalid URI"}
+	}
+	if isComplexURI(uri) {
+		norm, err := normalizeComplexURI(env, uri)
+		if err != nil {
+			return 0, err
+		}
+		req.Path = norm
+	} else {
+		req.Path = string(uri)
+	}
+	return next, nil
+}
+
+// parseHeaders is phase two: header lines until the empty line.
+func parseHeaders(env *parserEnv, req *Request, off int) error {
+	for {
+		line, next := readLineAt(env, off)
+		if line == nil {
+			return &parseError{"unterminated headers"}
+		}
+		off = next
+		if len(line) == 0 {
+			return nil // empty line: end of headers
+		}
+		colon := indexByte(line, ':')
+		if colon <= 0 {
+			return &parseError{"malformed header"}
+		}
+		name := string(trimSpaces(line[:colon]))
+		value := string(trimSpaces(line[colon+1:]))
+		req.Headers++
+		if asciiEqualFold(name, "Connection") {
+			switch {
+			case asciiEqualFold(value, "close"):
+				req.KeepAlive = false
+			case asciiEqualFold(value, "keep-alive"):
+				req.KeepAlive = true
+			}
+		}
+		if asciiEqualFold(name, "X-Client-Cert") {
+			req.ClientCert = value
+		}
+		if req.Headers > 100 {
+			return &parseError{"too many headers"}
+		}
+	}
+}
+
+// isComplexURI reports whether the URI needs normalization (NGINX's
+// "complex URI" detection: dot segments or double slashes).
+func isComplexURI(uri []byte) bool {
+	for i := 0; i+1 < len(uri); i++ {
+		if uri[i] == '/' && (uri[i+1] == '.' || uri[i+1] == '/') {
+			return true
+		}
+	}
+	return false
+}
+
+// normalizeComplexURI resolves ".", "..", and "//" segments into a
+// destination buffer taken from the request pool.
+//
+// BUG (intentional — the CVE-2009-2629 analog): the ".." handler backs
+// the write pointer up to the previous '/' by scanning memory backwards,
+// with no check against the start of the destination buffer. A URI such
+// as "/../../../.." walks the pointer below the buffer, reading (and
+// later writing) memory before it. In the hardened build this escapes
+// the request pool and faults inside the parser domain, triggering a
+// rewind; in the baseline it runs off the worker heap and kills the
+// worker process.
+func normalizeComplexURI(env *parserEnv, uri []byte) (string, error) {
+	dst, err := env.pool.Alloc(env.c, uint64(len(uri))+1)
+	if err != nil {
+		return "", &parseError{"request pool exhausted"}
+	}
+	c := env.c
+	dp := dst // next write position
+	i := 0
+	for i < len(uri) {
+		// Invariant: uri[i] == '/'.
+		j := i + 1
+		for j < len(uri) && uri[j] != '/' {
+			j++
+		}
+		seg := uri[i+1 : j]
+		switch {
+		case len(seg) == 0 || (len(seg) == 1 && seg[0] == '.'):
+			// "//" or "/./": skip.
+		case len(seg) == 2 && seg[0] == '.' && seg[1] == '.':
+			// "/../": drop the previous segment by scanning back to the
+			// prior '/'. The scan has no lower bound — the planted bug:
+			// with enough "..", dp walks below dst into foreign memory.
+			dp--
+			for c.ReadU8(dp) != '/' {
+				dp--
+			}
+		default:
+			c.WriteU8(dp, '/')
+			dp++
+			for k := 0; k < len(seg); k++ {
+				c.WriteU8(dp, seg[k])
+				dp++
+			}
+		}
+		i = j
+	}
+	if dp <= dst {
+		return "/", nil
+	}
+	return string(c.ReadBytes(dst, int(dp-dst))), nil
+}
+
+// readLineAt returns the bytes of the CRLF-terminated line starting at
+// off, and the offset just past it. A nil line means no terminator was
+// found.
+func readLineAt(env *parserEnv, off int) (line []byte, next int) {
+	if off >= env.blen {
+		return nil, off
+	}
+	chunk := env.c.ReadBytes(env.buf+mem.Addr(off), env.blen-off)
+	for i := 0; i+1 < len(chunk); i++ {
+		if chunk[i] == '\r' && chunk[i+1] == '\n' {
+			return chunk[:i], off + i + 2
+		}
+	}
+	return nil, off
+}
+
+func splitSpaces(b []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i := 0; i <= len(b); i++ {
+		if i == len(b) || b[i] == ' ' {
+			if i > start {
+				out = append(out, b[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func trimSpaces(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func indexByte(b []byte, c byte) int {
+	for i := range b {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// asciiEqualFold is a case-insensitive ASCII comparison.
+func asciiEqualFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 32
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 32
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Pool is the NGINX request-pool analog: a bump allocator over one block
+// of memory, reset between requests. In the hardened build the block
+// lives in a data domain accessible to the parser domain (paper §V-B).
+type Pool struct {
+	base mem.Addr
+	size uint64
+	off  uint64
+}
+
+// NewPool wraps [base, base+size) as a request pool.
+func NewPool(base mem.Addr, size uint64) *Pool {
+	return &Pool{base: base, size: size}
+}
+
+// Alloc grabs n bytes from the pool.
+func (p *Pool) Alloc(c *mem.CPU, n uint64) (mem.Addr, error) {
+	n = (n + 7) &^ 7
+	if p.off+n > p.size {
+		return 0, fmt.Errorf("httpd: pool exhausted (%d of %d used)", p.off, p.size)
+	}
+	a := p.base + mem.Addr(p.off)
+	p.off += n
+	return a, nil
+}
+
+// Reset recycles the pool for the next request, zeroing the used
+// prefix so stale request data cannot leak between requests.
+func (p *Pool) Reset(c *mem.CPU) {
+	if p.off > 0 {
+		c.Memset(p.base, 0, int(p.off))
+		p.off = 0
+	}
+}

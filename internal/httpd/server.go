@@ -1,0 +1,701 @@
+package httpd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sdrad/internal/core"
+	"sdrad/internal/cryptolib"
+	"sdrad/internal/galloc"
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+	"sdrad/internal/stack"
+	"sdrad/internal/tlsf"
+)
+
+// Variant selects the build under test (Figure 5 of the paper).
+type Variant int
+
+// Build variants.
+const (
+	// VariantVanilla is the unmodified baseline.
+	VariantVanilla Variant = iota + 1
+	// VariantTLSF swaps the allocator only.
+	VariantTLSF
+	// VariantSDRaD runs the HTTP parser in an accessible persistent
+	// nested domain with per-request pools in a data domain.
+	VariantSDRaD
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantVanilla:
+		return "vanilla"
+	case VariantTLSF:
+		return "tlsf"
+	case VariantSDRaD:
+		return "sdrad"
+	default:
+		return "unknown"
+	}
+}
+
+// Domain indices used by the hardened worker.
+const (
+	parserUDI = core.UDI(1) // the sandboxed HTTP parser
+	poolUDI   = core.UDI(8) // data domain holding request pools
+)
+
+// Config sizes the server.
+type Config struct {
+	// Variant selects the build (default VariantVanilla).
+	Variant Variant
+	// Workers is the number of worker processes (default 1).
+	Workers int
+	// Files maps URL paths to synthesized static-content sizes.
+	Files map[string]int
+	// ConnBufSize is the request-buffer size (default 8 KiB).
+	ConnBufSize int
+	// PoolSize is the per-request pool size (default 16 KiB).
+	PoolSize uint64
+	// MaxConns sizes the worker heap for concurrent connections
+	// (default 128).
+	MaxConns int
+	// VerifyClientCerts enables X.509 client-certificate checking of the
+	// X-Client-Cert request header — the paper's §V-C integration, where
+	// NGINX is compiled against the isolated OpenSSL verification API.
+	// In the SDRaD variant the (vulnerable) verifier runs in its own
+	// nested domain; in the baselines it runs unprotected.
+	VerifyClientCerts bool
+	// Seed fixes process randomness.
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Variant == 0 {
+		c.Variant = VariantVanilla
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Files == nil {
+		c.Files = map[string]int{"/index.html": 1024}
+	}
+	if c.ConnBufSize == 0 {
+		c.ConnBufSize = 8 * 1024
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 16 * 1024
+	}
+	if c.MaxConns == 0 {
+		c.MaxConns = 128
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Server errors.
+var (
+	ErrWorkerDown = errors.New("httpd: worker process terminated")
+	ErrConnClosed = errors.New("httpd: connection closed")
+	ErrTooLarge   = errors.New("httpd: request exceeds connection buffer")
+)
+
+// Master supervises the worker processes, mirroring the NGINX master: it
+// can restart a crashed worker, losing that worker's connections.
+type Master struct {
+	cfg      Config
+	workers  []*Worker
+	restarts atomic.Int64
+}
+
+// NewMaster builds the master and starts its workers.
+func NewMaster(cfg Config) (*Master, error) {
+	cfg.setDefaults()
+	m := &Master{cfg: cfg}
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := newWorker(cfg, i)
+		if err != nil {
+			return nil, err
+		}
+		m.workers = append(m.workers, w)
+	}
+	return m, nil
+}
+
+// Worker returns worker i.
+func (m *Master) Worker(i int) *Worker { return m.workers[i] }
+
+// Workers returns the worker count.
+func (m *Master) Workers() int { return len(m.workers) }
+
+// RestartWorker replaces a dead worker process with a fresh one,
+// returning the restart duration (the paper's worker-restart latency
+// reference point). Existing connections to the old worker are lost.
+func (m *Master) RestartWorker(i int) (time.Duration, error) {
+	start := time.Now()
+	old := m.workers[i]
+	old.Stop()
+	w, err := newWorker(m.cfg, i)
+	if err != nil {
+		return 0, err
+	}
+	m.workers[i] = w
+	m.restarts.Add(1)
+	return time.Since(start), nil
+}
+
+// Restarts reports how many workers were restarted.
+func (m *Master) Restarts() int64 { return m.restarts.Load() }
+
+// Stop terminates all workers.
+func (m *Master) Stop() {
+	for _, w := range m.workers {
+		w.Stop()
+	}
+}
+
+// Worker is one single-threaded worker process (NGINX workers are
+// event-loop processes; the simulated thread is its event loop).
+type Worker struct {
+	idx int
+	cfg Config
+	p   *proc.Process
+	lib *core.Library // hardened build only
+
+	ch      chan *event
+	alloc   connAllocator
+	files   map[string]fileEntry
+	rewinds atomic.Int64
+	handle  *proc.Handle
+
+	// Parser-domain state (owned by the worker thread).
+	domainReady  bool
+	parseBuf     mem.Addr
+	pool         *Pool
+	lastParseErr error // protocol error carried out of the guarded parse
+
+	// Client-certificate verification state (§V-C integration).
+	verifier  *cryptolib.Verifier // hardened build: isolated verifier
+	certStack *stack.Stack        // baselines: unprotected verifier stack
+	certBuf   mem.Addr            // baselines: certificate staging buffer
+}
+
+type fileEntry struct {
+	addr mem.Addr
+	size int
+}
+
+type event struct {
+	conn *Conn
+	req  []byte
+	resp chan result
+}
+
+type result struct {
+	data   []byte
+	closed bool
+	err    error
+}
+
+// Conn is a keep-alive client connection pinned to a worker.
+type Conn struct {
+	id     int
+	w      *Worker
+	rbuf   mem.Addr
+	wbuf   mem.Addr
+	wcap   int
+	ready  bool
+	closed bool
+}
+
+var connIDs atomic.Int64
+
+// connAllocator abstracts the per-variant malloc for worker state.
+type connAllocator interface {
+	Alloc(c *mem.CPU, size uint64) (mem.Addr, error)
+	Free(c *mem.CPU, ptr mem.Addr) error
+}
+
+type gallocShim struct{ h *galloc.Heap }
+
+func (g gallocShim) Alloc(c *mem.CPU, size uint64) (mem.Addr, error) { return g.h.Alloc(c, size) }
+func (g gallocShim) Free(c *mem.CPU, ptr mem.Addr) error             { return g.h.Free(c, ptr) }
+
+type tlsfShim struct{ h *tlsf.Heap }
+
+func (t tlsfShim) Alloc(c *mem.CPU, size uint64) (mem.Addr, error) { return t.h.Alloc(c, size) }
+func (t tlsfShim) Free(c *mem.CPU, ptr mem.Addr) error             { return t.h.Free(c, ptr) }
+
+// newWorker provisions and starts one worker process.
+func newWorker(cfg Config, idx int) (*Worker, error) {
+	w := &Worker{
+		idx: idx,
+		cfg: cfg,
+		p:   proc.NewProcess(fmt.Sprintf("nginx-worker-%d-%s", idx, cfg.Variant.String()), proc.WithSeed(cfg.Seed+int64(idx))),
+		ch:  make(chan *event),
+	}
+	if cfg.Variant == VariantSDRaD {
+		lib, err := core.Setup(w.p, core.WithRootHeapSize(heapBudget(cfg)))
+		if err != nil {
+			return nil, err
+		}
+		w.lib = lib
+	}
+	if err := w.p.Attach("init", w.provision); err != nil {
+		return nil, fmt.Errorf("httpd: provisioning worker %d: %w", idx, err)
+	}
+	w.handle = w.p.Spawn("event-loop", w.run)
+	return w, nil
+}
+
+// heapBudget sizes the worker heap: content plus per-connection buffers
+// (a read buffer and a write buffer sized for the largest response).
+func heapBudget(cfg Config) uint64 {
+	var total uint64 = 4 << 20
+	maxFile := 0
+	for _, sz := range cfg.Files {
+		total += uint64(sz) + 4096
+		if sz > maxFile {
+			maxFile = sz
+		}
+	}
+	total += uint64(cfg.MaxConns) * (uint64(cfg.ConnBufSize) + uint64(maxFile) + 2048)
+	return total
+}
+
+// provision maps the worker heap and synthesizes the static content.
+func (w *Worker) provision(t *proc.Thread) error {
+	c := t.CPU()
+	switch w.cfg.Variant {
+	case VariantSDRaD:
+		// Request pools live in a dedicated data domain (paper §V-B);
+		// allocate it before anything else so the memory below a pool is
+		// domain metadata, not application data.
+		if err := w.lib.InitDomain(t, poolUDI, core.AsData(), core.Accessible(),
+			core.HeapSize(w.cfg.PoolSize+64*1024)); err != nil {
+			return err
+		}
+		poolBlock, err := w.lib.Malloc(t, poolUDI, w.cfg.PoolSize)
+		if err != nil {
+			return err
+		}
+		w.pool = NewPool(poolBlock, w.cfg.PoolSize)
+	case VariantTLSF:
+		base, err := w.p.AddressSpace().MapAnon(int(heapBudget(w.cfg)), mem.ProtRW, 0)
+		if err != nil {
+			return err
+		}
+		h, err := tlsf.Init(c, base, heapBudget(w.cfg))
+		if err != nil {
+			return err
+		}
+		w.alloc = tlsfShim{h: h}
+	case VariantVanilla:
+		base, err := w.p.AddressSpace().MapAnon(int(heapBudget(w.cfg)), mem.ProtRW, 0)
+		if err != nil {
+			return err
+		}
+		h, err := galloc.Init(c, base, heapBudget(w.cfg))
+		if err != nil {
+			return err
+		}
+		w.alloc = gallocShim{h: h}
+	}
+	if w.cfg.Variant != VariantSDRaD {
+		// The baseline request pool comes from the worker heap, allocated
+		// first so the memory below it is allocator metadata.
+		poolBlock, err := w.alloc.Alloc(c, w.cfg.PoolSize)
+		if err != nil {
+			return err
+		}
+		w.pool = NewPool(poolBlock, w.cfg.PoolSize)
+	}
+	if w.cfg.VerifyClientCerts && w.cfg.Variant != VariantSDRaD {
+		// The baseline verifier runs on an ordinary stack with its
+		// staging buffer in the worker heap — no isolation.
+		base, err := w.p.AddressSpace().MapAnon(64*1024, mem.ProtRW, 0)
+		if err != nil {
+			return err
+		}
+		w.certStack = stack.New(base, 64*1024, w.p.Rand64())
+		buf, err := w.alloc.Alloc(c, maxCertSize)
+		if err != nil {
+			return err
+		}
+		w.certBuf = buf
+	}
+	// Static content, deterministic bytes, in root/key0 memory.
+	w.files = make(map[string]fileEntry, len(w.cfg.Files))
+	paths := make([]string, 0, len(w.cfg.Files))
+	for p := range w.cfg.Files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		size := w.cfg.Files[path]
+		addr, err := w.allocRoot(t, uint64(size)+1)
+		if err != nil {
+			return err
+		}
+		pattern := []byte(path + "#")
+		buf := make([]byte, size)
+		for i := range buf {
+			buf[i] = pattern[i%len(pattern)]
+		}
+		c.Write(addr, buf)
+		w.files[path] = fileEntry{addr: addr, size: size}
+	}
+	return nil
+}
+
+// allocRoot allocates from root memory in the way the variant provides.
+func (w *Worker) allocRoot(t *proc.Thread, size uint64) (mem.Addr, error) {
+	if w.cfg.Variant == VariantSDRaD {
+		return w.lib.Malloc(t, core.RootUDI, size)
+	}
+	return w.alloc.Alloc(t.CPU(), size)
+}
+
+// run is the worker's event loop.
+func (w *Worker) run(t *proc.Thread) error {
+	if w.cfg.Variant == VariantSDRaD {
+		// The persistent parser domain, created once; its recovery point
+		// is re-established per request by the Guard (the paper saves the
+		// first parser entry point as the rewind context).
+		if err := w.lib.InitDomain(t, parserUDI, core.Accessible()); err != nil {
+			return err
+		}
+		if err := w.lib.DProtect(t, parserUDI, poolUDI, mem.ProtRW); err != nil {
+			return err
+		}
+		if w.cfg.VerifyClientCerts {
+			w.verifier = cryptolib.NewVerifier(w.lib, maxCertSize)
+		}
+	}
+	for {
+		select {
+		case <-w.p.Done():
+			return nil
+		case ev := <-w.ch:
+			ev.resp <- w.handleEvent(t, ev)
+		}
+	}
+}
+
+// NewConn opens a keep-alive connection to this worker.
+func (w *Worker) NewConn() *Conn {
+	return &Conn{id: int(connIDs.Add(1)), w: w}
+}
+
+// Do sends one HTTP request and returns the raw response.
+func (c *Conn) Do(req []byte) (resp []byte, closed bool, err error) {
+	ev := &event{conn: c, req: req, resp: make(chan result, 1)}
+	select {
+	case c.w.ch <- ev:
+	case <-c.w.p.Done():
+		return nil, true, ErrWorkerDown
+	}
+	select {
+	case r := <-ev.resp:
+		return r.data, r.closed, r.err
+	case <-c.w.p.Done():
+		return nil, true, ErrWorkerDown
+	}
+}
+
+// Stop terminates the worker process.
+func (w *Worker) Stop() {
+	w.p.Shutdown()
+	w.p.Wait()
+}
+
+// Crashed reports whether the worker process died with a cause.
+func (w *Worker) Crashed() (bool, error) {
+	if !w.p.Killed() {
+		return false, nil
+	}
+	return w.p.ExitError() != nil, w.p.ExitError()
+}
+
+// Rewinds reports recovered parser attacks.
+func (w *Worker) Rewinds() int64 { return w.rewinds.Load() }
+
+// MappedBytes is the worker's resident-set-size analog.
+func (w *Worker) MappedBytes() int64 {
+	return w.p.AddressSpace().Stats().MappedBytes.Load()
+}
+
+// Process exposes the worker's simulated process.
+func (w *Worker) Process() *proc.Process { return w.p }
+
+// Library exposes the SDRaD library (nil for baselines).
+func (w *Worker) Library() *core.Library { return w.lib }
+
+// handleEvent serves one HTTP request.
+func (w *Worker) handleEvent(t *proc.Thread, ev *event) result {
+	conn := ev.conn
+	if conn.closed {
+		return result{closed: true, err: ErrConnClosed}
+	}
+	if len(ev.req) > w.cfg.ConnBufSize {
+		return result{err: ErrTooLarge}
+	}
+	c := t.CPU()
+	if !conn.ready {
+		if err := w.allocConnBuffers(t, conn); err != nil {
+			return result{err: err}
+		}
+	}
+	c.Write(conn.rbuf, ev.req)
+
+	var req Request
+	var perr error
+	if w.cfg.Variant == VariantSDRaD {
+		res := w.parseHardened(t, conn, len(ev.req), &req)
+		if res != nil {
+			return *res
+		}
+		perr = w.lastParseErr
+		w.lastParseErr = nil
+	} else {
+		env := &parserEnv{c: c, buf: conn.rbuf, blen: len(ev.req), pool: w.pool}
+		hdrOff, err := parseRequestLine(env, &req)
+		if err == nil {
+			err = parseHeaders(env, &req, hdrOff)
+		}
+		w.pool.Reset(c)
+		perr = err
+	}
+	status := ""
+	if perr == nil && w.cfg.VerifyClientCerts {
+		var closed bool
+		status, closed = w.checkClientCert(t, conn, &req)
+		if closed {
+			return result{closed: true}
+		}
+	}
+	return w.respond(t, conn, &req, perr, status)
+}
+
+// maxCertSize bounds the client certificates the server accepts.
+const maxCertSize = 4096
+
+// checkClientCert verifies the X-Client-Cert header (if present) through
+// the X.509 checker carrying the CVE-2022-3786 analog. In the hardened
+// build a malicious certificate is absorbed by the verifier domain and
+// only the offending connection closes; in the baselines the stack-canary
+// failure kills the worker process.
+func (w *Worker) checkClientCert(t *proc.Thread, conn *Conn, req *Request) (status string, closeConn bool) {
+	if req.ClientCert == "" {
+		return "", false
+	}
+	cert := DecodeCertHeader(req.ClientCert)
+	if len(cert) > maxCertSize {
+		return "HTTP/1.1 403 Forbidden\r\n", false
+	}
+	if w.cfg.Variant == VariantSDRaD {
+		res, err := w.verifier.Verify(t, cert)
+		if err != nil {
+			var abn *core.AbnormalExit
+			if errors.As(err, &abn) {
+				// The certificate attacked the verifier; the domain is
+				// discarded and re-created on the next verification.
+				w.rewinds.Add(1)
+				conn.closed = true
+				w.freeConnBuffers(t, conn)
+				return "", true
+			}
+			return "HTTP/1.1 403 Forbidden\r\n", false
+		}
+		if !res.Valid {
+			return "HTTP/1.1 403 Forbidden\r\n", false
+		}
+		return "", false
+	}
+	// Baseline: the vulnerable verifier runs unprotected. A malicious
+	// certificate smashes the canary and the resulting SIGABRT kills the
+	// worker (the panic propagates to the process supervisor).
+	c := t.CPU()
+	c.Write(w.certBuf, cert)
+	res, err := cryptolib.VerifyCertificate(c, w.certStack, w.certBuf, len(cert))
+	if err != nil || !res.Valid {
+		return "HTTP/1.1 403 Forbidden\r\n", false
+	}
+	return "", false
+}
+
+// EncodeCertHeader flattens a certificate blob into a header-safe value.
+func EncodeCertHeader(cert []byte) string {
+	return strings.ReplaceAll(string(cert), "\n", "|")
+}
+
+// DecodeCertHeader reverses EncodeCertHeader.
+func DecodeCertHeader(v string) []byte {
+	return []byte(strings.ReplaceAll(v, "|", "\n"))
+}
+
+// parseHardened runs the two parser phases inside the persistent parser
+// domain on a copy of the request bytes (paper Figure: domain transitions
+// occur repeatedly in one request; one recovery point covers all phases).
+// It returns a non-nil result when the connection must be closed due to a
+// rewind.
+func (w *Worker) parseHardened(t *proc.Thread, conn *Conn, rlen int, req *Request) *result {
+	lib := w.lib
+	gerr := lib.Guard(t, parserUDI, func() error {
+		if !w.domainReady {
+			if err := lib.DProtect(t, parserUDI, poolUDI, mem.ProtRW); err != nil {
+				return err
+			}
+			buf, err := lib.Malloc(t, parserUDI, uint64(w.cfg.ConnBufSize))
+			if err != nil {
+				return err
+			}
+			w.parseBuf = buf
+			w.domainReady = true
+		}
+		// Copy the request bytes into the parser domain (the paper copies
+		// the linked header/URI data so the parser never touches root
+		// memory directly).
+		lib.Copy(t, w.parseBuf, conn.rbuf, rlen)
+		env := &parserEnv{c: t.CPU(), buf: w.parseBuf, blen: rlen, pool: w.pool}
+
+		// Phase 1: request line (with the vulnerable URI normalizer).
+		if err := lib.Enter(t, parserUDI); err != nil {
+			return err
+		}
+		hdrOff, perr := parseRequestLine(env, req)
+		if err := lib.Exit(t); err != nil {
+			return err
+		}
+		// Phase 2: headers.
+		if perr == nil {
+			if err := lib.Enter(t, parserUDI); err != nil {
+				return err
+			}
+			perr = parseHeaders(env, req, hdrOff)
+			if err := lib.Exit(t); err != nil {
+				return err
+			}
+		}
+		w.pool.Reset(t.CPU())
+		w.lastParseErr = perr
+		return nil
+	}, core.Accessible())
+	if gerr == nil {
+		return nil
+	}
+	var abn *core.AbnormalExit
+	if errors.As(gerr, &abn) {
+		// Rewind: the parser domain is gone (recreated lazily); close
+		// only this connection. The pool data domain survives; reset it.
+		w.domainReady = false
+		w.pool.Reset(t.CPU())
+		w.rewinds.Add(1)
+		conn.closed = true
+		w.freeConnBuffers(t, conn)
+		return &result{closed: true}
+	}
+	return &result{err: gerr}
+}
+
+// respond builds the HTTP response in the connection write buffer.
+// statusOverride, when non-empty, replaces the normal status line (403
+// from certificate checking).
+func (w *Worker) respond(t *proc.Thread, conn *Conn, req *Request, perr error, statusOverride string) result {
+	c := t.CPU()
+	var status string
+	var body fileEntry
+	var haveBody bool
+	switch {
+	case statusOverride != "":
+		status = statusOverride
+	case perr != nil:
+		status = "HTTP/1.1 400 Bad Request\r\n"
+		req.KeepAlive = false
+	default:
+		if fe, ok := w.files[req.Path]; ok {
+			status = "HTTP/1.1 200 OK\r\n"
+			body = fe
+			haveBody = req.Method != MethodHEAD
+		} else {
+			status = "HTTP/1.1 404 Not Found\r\n"
+		}
+	}
+	conLine := "Connection: keep-alive\r\n"
+	if !req.KeepAlive {
+		conLine = "Connection: close\r\n"
+	}
+	header := fmt.Sprintf("%sServer: sdrad-httpd/1.23\r\nContent-Length: %d\r\n%s\r\n",
+		status, body.size, conLine)
+	if len(header)+body.size > conn.wcap {
+		return result{err: ErrTooLarge}
+	}
+	c.Write(conn.wbuf, []byte(header))
+	wlen := len(header)
+	if haveBody && body.size > 0 {
+		// The file content is copied from the content store to the
+		// connection buffer — the per-size cost that shapes Figure 5.
+		c.Copy(conn.wbuf+mem.Addr(wlen), body.addr, body.size)
+		wlen += body.size
+	}
+	resp := c.ReadBytes(conn.wbuf, wlen)
+	if !req.KeepAlive {
+		conn.closed = true
+		w.freeConnBuffers(t, conn)
+	}
+	return result{data: resp, closed: !req.KeepAlive}
+}
+
+// freeConnBuffers releases a closed connection's buffers back to the
+// worker heap.
+func (w *Worker) freeConnBuffers(t *proc.Thread, conn *Conn) {
+	if !conn.ready {
+		return
+	}
+	if w.cfg.Variant == VariantSDRaD {
+		_ = w.lib.Free(t, core.RootUDI, conn.rbuf)
+		_ = w.lib.Free(t, core.RootUDI, conn.wbuf)
+	} else {
+		_ = w.alloc.Free(t.CPU(), conn.rbuf)
+		_ = w.alloc.Free(t.CPU(), conn.wbuf)
+	}
+	conn.ready = false
+}
+
+// allocConnBuffers provisions connection buffers sized for the largest
+// configured response.
+func (w *Worker) allocConnBuffers(t *proc.Thread, conn *Conn) error {
+	maxFile := 0
+	for _, fe := range w.files {
+		if fe.size > maxFile {
+			maxFile = fe.size
+		}
+	}
+	conn.wcap = maxFile + 1024
+	rb, err := w.allocRoot(t, uint64(w.cfg.ConnBufSize))
+	if err != nil {
+		return err
+	}
+	wb, err := w.allocRoot(t, uint64(conn.wcap))
+	if err != nil {
+		return err
+	}
+	conn.rbuf, conn.wbuf = rb, wb
+	conn.ready = true
+	return nil
+}
+
+// FormatRequest builds a simple HTTP/1.1 GET request.
+func FormatRequest(path string, keepAlive bool) []byte {
+	conn := "keep-alive"
+	if !keepAlive {
+		conn = "close"
+	}
+	return []byte(fmt.Sprintf("GET %s HTTP/1.1\r\nHost: bench\r\nConnection: %s\r\n\r\n", path, conn))
+}

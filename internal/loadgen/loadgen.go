@@ -1,0 +1,87 @@
+// Package loadgen is an ApacheBench-style HTTP load generator for the
+// internal/httpd server, reproducing the paper's NGINX benchmark setup
+// (§V-B): a fixed number of concurrent keep-alive connections all
+// requesting the same file, reporting requests/second.
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdrad/internal/httpd"
+)
+
+// Config describes one benchmark run.
+type Config struct {
+	// Path is the requested file.
+	Path string
+	// Connections is the number of concurrent keep-alive connections
+	// (paper: 75).
+	Connections int
+	// Requests is the total request budget across all connections.
+	Requests int
+}
+
+// Result summarizes a run.
+type Result struct {
+	Requests   int
+	Errors     int
+	Elapsed    time.Duration
+	Throughput float64 // requests per second
+	BytesRead  int64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d requests in %v: %.0f req/s (%d errors, %d bytes)",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Errors, r.BytesRead)
+}
+
+// Run drives the master's workers with Config.Connections concurrent
+// clients until Config.Requests requests have completed. Connections are
+// spread round-robin over the workers.
+func Run(m *httpd.Master, cfg Config) Result {
+	if cfg.Connections <= 0 {
+		cfg.Connections = 1
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 1000
+	}
+	req := httpd.FormatRequest(cfg.Path, true)
+	var remaining atomic.Int64
+	remaining.Store(int64(cfg.Requests))
+	var errs, bytesRead atomic.Int64
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for i := 0; i < cfg.Connections; i++ {
+		w := m.Worker(i % m.Workers())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn := w.NewConn()
+			for remaining.Add(-1) >= 0 {
+				resp, closed, err := conn.Do(req)
+				if err != nil {
+					errs.Add(1)
+					return
+				}
+				bytesRead.Add(int64(len(resp)))
+				if closed {
+					conn = w.NewConn()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	done := cfg.Requests - int(errs.Load())
+	return Result{
+		Requests:   done,
+		Errors:     int(errs.Load()),
+		Elapsed:    elapsed,
+		Throughput: float64(done) / elapsed.Seconds(),
+		BytesRead:  bytesRead.Load(),
+	}
+}

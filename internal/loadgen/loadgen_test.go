@@ -1,0 +1,69 @@
+package loadgen
+
+import (
+	"testing"
+
+	"sdrad/internal/httpd"
+)
+
+func TestRunAgainstServer(t *testing.T) {
+	m, err := httpd.NewMaster(httpd.Config{
+		Variant: httpd.VariantVanilla,
+		Workers: 2,
+		Files:   map[string]int{"/f.bin": 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	res := Run(m, Config{Path: "/f.bin", Connections: 8, Requests: 400})
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Requests != 400 {
+		t.Errorf("requests = %d", res.Requests)
+	}
+	if res.Throughput <= 0 {
+		t.Error("no throughput")
+	}
+	// Each response carries the 1 KiB body plus headers.
+	if res.BytesRead < 400*1024 {
+		t.Errorf("bytes read = %d", res.BytesRead)
+	}
+	if res.String() == "" {
+		t.Error("empty result string")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	m, err := httpd.NewMaster(httpd.Config{
+		Variant: httpd.VariantSDRaD,
+		Files:   map[string]int{"/x": 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	res := Run(m, Config{Path: "/x"})
+	if res.Requests != 1000 || res.Errors != 0 {
+		t.Errorf("defaults run = %+v", res)
+	}
+}
+
+func TestRunCountsErrorsOnDeadWorker(t *testing.T) {
+	m, err := httpd.NewMaster(httpd.Config{
+		Variant: httpd.VariantVanilla,
+		Workers: 1,
+		Files:   map[string]int{"/x": 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	m.Worker(0).Process().Terminate(nil)
+	res := Run(m, Config{Path: "/x", Connections: 4, Requests: 100})
+	if res.Errors != 4 {
+		t.Errorf("errors = %d, want one per connection", res.Errors)
+	}
+}

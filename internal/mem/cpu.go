@@ -1,0 +1,367 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PKRU bit layout: for key k, bit 2k is the access-disable (AD) bit and bit
+// 2k+1 is the write-disable (WD) bit, exactly as on 64-bit x86.
+const (
+	// PKRUDenyAll disables access to every key.
+	PKRUDenyAll uint32 = 0x5555_5555
+	// PKRUInit is the architectural reset value used by Linux: every key
+	// access-disabled except key 0.
+	PKRUInit uint32 = 0x5555_5554
+	// PKRUAllowAll grants full access to every key (all bits clear).
+	PKRUAllowAll uint32 = 0
+)
+
+// PKRUAllow returns pkru with access to key enabled. If write is false the
+// write-disable bit is set, yielding read-only access — the mechanism SDRaD
+// uses to make the root domain readable but not writable from nested
+// domains.
+func PKRUAllow(pkru uint32, key int, write bool) uint32 {
+	ad := uint32(1) << (2 * uint(key))
+	wd := uint32(1) << (2*uint(key) + 1)
+	pkru &^= ad
+	if write {
+		pkru &^= wd
+	} else {
+		pkru |= wd
+	}
+	return pkru
+}
+
+// PKRUDeny returns pkru with access to key fully disabled.
+func PKRUDeny(pkru uint32, key int) uint32 {
+	return pkru | 1<<(2*uint(key))
+}
+
+// PKRURights reports the AD/WD bits of key in pkru.
+func PKRURights(pkru uint32, key int) (accessDisable, writeDisable bool) {
+	return pkru&(1<<(2*uint(key))) != 0, pkru&(1<<(2*uint(key)+1)) != 0
+}
+
+// tlbSize is the number of direct-mapped TLB entries per CPU context.
+const tlbSize = 64
+
+type tlbEntry struct {
+	gen  uint64
+	pn   uint64
+	pg   *page
+	used bool
+}
+
+// CPU is a simulated hardware-thread context: the PKRU register plus a
+// small TLB. Every simulated thread owns exactly one CPU and performs all
+// its loads and stores through it, so protection-key rights are enforced
+// per thread, as on real hardware. A CPU must only be used from the
+// goroutine that models its thread.
+type CPU struct {
+	as   *AddressSpace
+	pkru uint32
+	tlb  [tlbSize]tlbEntry
+
+	// WRPKRU lockdown: when locked, only the holder of the token (the
+	// SDRaD reference monitor) may write PKRU. This models the paper's
+	// R4 precondition that untrusted code contains no usable WRPKRU or
+	// XRSTOR instructions — guaranteed on real systems by W^X plus binary
+	// inspection (ERIM) or hardware call gates (Donky).
+	wrpkruLocked bool
+	wrpkruToken  uint64
+}
+
+// NewCPU returns a CPU attached to the address space with the
+// architectural initial PKRU value (only key 0 accessible).
+func (as *AddressSpace) NewCPU() *CPU {
+	return &CPU{as: as, pkru: PKRUInit}
+}
+
+// AddressSpace returns the address space this CPU is attached to.
+func (c *CPU) AddressSpace() *AddressSpace { return c.as }
+
+// PKRU returns the current PKRU value (RDPKRU).
+func (c *CPU) PKRU() uint32 { return c.pkru }
+
+// WRPKRU writes the PKRU register. The write is counted in the address
+// -space stats and, when a WRPKRU cost model is configured, burns the
+// configured number of busy iterations to model the pipeline flush the
+// real instruction causes.
+//
+// On a locked CPU (see LockWRPKRU) the call panics: it corresponds to an
+// unsanctioned WRPKRU instruction in application code, which the deployed
+// binary-inspection defense would have rejected at load time.
+func (c *CPU) WRPKRU(v uint32) {
+	if c.wrpkruLocked {
+		panic("mem: WRPKRU in untrusted code (rejected by binary inspection, paper §VI R4)")
+	}
+	c.wrpkru(v)
+}
+
+// LockWRPKRU enables WRPKRU enforcement: after this call, only
+// MonitorWRPKRU with the same token writes PKRU. It reports false if the
+// CPU was already locked (the token cannot be replaced).
+func (c *CPU) LockWRPKRU(token uint64) bool {
+	if c.wrpkruLocked {
+		return false
+	}
+	c.wrpkruLocked = true
+	c.wrpkruToken = token
+	return true
+}
+
+// WRPKRULocked reports whether the lockdown is active.
+func (c *CPU) WRPKRULocked() bool { return c.wrpkruLocked }
+
+// MonitorWRPKRU is the reference monitor's PKRU write: it presents the
+// lockdown token. A wrong token panics like WRPKRU.
+func (c *CPU) MonitorWRPKRU(token uint64, v uint32) {
+	if c.wrpkruLocked && token != c.wrpkruToken {
+		panic("mem: WRPKRU with foreign token (rejected by binary inspection, paper §VI R4)")
+	}
+	c.wrpkru(v)
+}
+
+func (c *CPU) wrpkru(v uint32) {
+	c.pkru = v
+	c.as.stats.PKRUWrites.Add(1)
+	if n := c.as.wrpkruSpin; n > 0 {
+		spin(n)
+	}
+}
+
+// spinSink defeats dead-code elimination of the WRPKRU cost-model loop.
+var spinSink uint64
+
+func spin(n int) {
+	var x uint64 = 88172645463325252
+	for i := 0; i < n; i++ { // xorshift keeps the loop non-collapsible
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	spinSink = x
+}
+
+// fault raises a memory fault: it counts the event and panics with a
+// *Fault, the simulation's synchronous hardware trap.
+func (c *CPU) fault(addr Addr, kind AccessKind, code FaultCode, pkey int) {
+	c.as.stats.Faults.Add(1)
+	panic(&Fault{Addr: addr, Kind: kind, Code: code, PKey: pkey})
+}
+
+// translate returns the page containing addr after performing the full
+// protection check for an access of the given kind, faulting on violation.
+func (c *CPU) translate(addr Addr, kind AccessKind) *page {
+	pn := addr.PageNum()
+	e := &c.tlb[pn%tlbSize]
+	gen := c.as.generation()
+	var pg *page
+	if e.used && e.gen == gen && e.pn == pn {
+		pg = e.pg
+	} else {
+		pg = c.as.lookup(pn)
+		if pg == nil {
+			c.fault(addr, kind, CodeMapErr, 0)
+		}
+		*e = tlbEntry{gen: gen, pn: pn, pg: pg, used: true}
+	}
+	switch kind {
+	case AccessRead:
+		if pg.prot&ProtRead == 0 {
+			c.fault(addr, kind, CodeAccErr, 0)
+		}
+	case AccessWrite:
+		if pg.prot&ProtWrite == 0 {
+			c.fault(addr, kind, CodeAccErr, 0)
+		}
+	case AccessExec:
+		if pg.prot&ProtExec == 0 {
+			c.fault(addr, kind, CodeAccErr, 0)
+		}
+	}
+	// Protection keys gate data accesses only; instruction fetch is not
+	// subject to PKU on x86.
+	if kind != AccessExec {
+		ad, wd := PKRURights(c.pkru, int(pg.pkey))
+		if ad || (kind == AccessWrite && wd) {
+			c.fault(addr, kind, CodePkuErr, int(pg.pkey))
+		}
+	}
+	return pg
+}
+
+// Probe performs the access check for [addr, addr+n) without moving data,
+// returning the fault as an error instead of trapping. Intended for tests
+// and assertions.
+func (c *CPU) Probe(addr Addr, n int, kind AccessKind) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f := AsFault(r); f != nil {
+				err = f
+				return
+			}
+			panic(r)
+		}
+	}()
+	if n <= 0 {
+		return nil
+	}
+	first := addr.PageNum()
+	last := Addr(uint64(addr) + uint64(n) - 1).PageNum()
+	for pn := first; pn <= last; pn++ {
+		c.translate(Addr(pn<<PageShift), kind)
+	}
+	return nil
+}
+
+// ReadU8 loads one byte from addr.
+func (c *CPU) ReadU8(addr Addr) byte {
+	pg := c.translate(addr, AccessRead)
+	c.as.stats.Reads.Add(1)
+	c.as.stats.BytesRead.Add(1)
+	return pg.data[addr.PageOff()]
+}
+
+// WriteU8 stores one byte at addr.
+func (c *CPU) WriteU8(addr Addr, b byte) {
+	pg := c.translate(addr, AccessWrite)
+	c.as.stats.Writes.Add(1)
+	c.as.stats.BytesWritten.Add(1)
+	pg.data[addr.PageOff()] = b
+}
+
+// Read copies len(p) bytes starting at addr into p, faulting at the first
+// inaccessible byte (partial progress is visible in p, as on hardware).
+func (c *CPU) Read(addr Addr, p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	c.as.stats.Reads.Add(1)
+	c.as.stats.BytesRead.Add(int64(len(p)))
+	for len(p) > 0 {
+		pg := c.translate(addr, AccessRead)
+		off := addr.PageOff()
+		n := copy(p, pg.data[off:])
+		p = p[n:]
+		addr += Addr(n)
+	}
+}
+
+// Write copies p into memory starting at addr, faulting at the first
+// inaccessible byte.
+func (c *CPU) Write(addr Addr, p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	c.as.stats.Writes.Add(1)
+	c.as.stats.BytesWritten.Add(int64(len(p)))
+	for len(p) > 0 {
+		pg := c.translate(addr, AccessWrite)
+		off := addr.PageOff()
+		n := copy(pg.data[off:], p)
+		p = p[n:]
+		addr += Addr(n)
+	}
+}
+
+// ReadBytes returns a fresh copy of the n bytes at addr.
+func (c *CPU) ReadBytes(addr Addr, n int) []byte {
+	p := make([]byte, n)
+	c.Read(addr, p)
+	return p
+}
+
+// Memset fills [addr, addr+n) with b.
+func (c *CPU) Memset(addr Addr, b byte, n int) {
+	if n <= 0 {
+		return
+	}
+	c.as.stats.Writes.Add(1)
+	c.as.stats.BytesWritten.Add(int64(n))
+	for n > 0 {
+		pg := c.translate(addr, AccessWrite)
+		off := int(addr.PageOff())
+		chunk := PageSize - off
+		if chunk > n {
+			chunk = n
+		}
+		d := pg.data[off : off+chunk]
+		for i := range d {
+			d[i] = b
+		}
+		n -= chunk
+		addr += Addr(chunk)
+	}
+}
+
+// Copy moves n bytes from src to dst within the address space, performing
+// both the read and the write checks (a memcpy executed by this thread).
+func (c *CPU) Copy(dst, src Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	buf := make([]byte, min(n, 64*1024))
+	for n > 0 {
+		chunk := min(n, len(buf))
+		c.Read(src, buf[:chunk])
+		c.Write(dst, buf[:chunk])
+		src += Addr(chunk)
+		dst += Addr(chunk)
+		n -= chunk
+	}
+}
+
+// ReadU16 loads a little-endian uint16 from addr.
+func (c *CPU) ReadU16(addr Addr) uint16 {
+	var b [2]byte
+	c.Read(addr, b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+// WriteU16 stores a little-endian uint16 at addr.
+func (c *CPU) WriteU16(addr Addr, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	c.Write(addr, b[:])
+}
+
+// ReadU32 loads a little-endian uint32 from addr.
+func (c *CPU) ReadU32(addr Addr) uint32 {
+	var b [4]byte
+	c.Read(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteU32 stores a little-endian uint32 at addr.
+func (c *CPU) WriteU32(addr Addr, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	c.Write(addr, b[:])
+}
+
+// ReadU64 loads a little-endian uint64 from addr.
+func (c *CPU) ReadU64(addr Addr) uint64 {
+	var b [8]byte
+	c.Read(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteU64 stores a little-endian uint64 at addr.
+func (c *CPU) WriteU64(addr Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.Write(addr, b[:])
+}
+
+// ReadAddr loads a little-endian Addr (pointer-sized) from addr.
+func (c *CPU) ReadAddr(addr Addr) Addr { return Addr(c.ReadU64(addr)) }
+
+// WriteAddr stores a little-endian Addr at addr.
+func (c *CPU) WriteAddr(addr Addr, v Addr) { c.WriteU64(addr, uint64(v)) }
+
+// String describes the CPU context for debugging.
+func (c *CPU) String() string {
+	return fmt.Sprintf("CPU{PKRU=0x%08x}", c.pkru)
+}

@@ -1,0 +1,92 @@
+package mem
+
+import "fmt"
+
+// AccessKind describes the kind of memory access that raised a fault.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	AccessRead AccessKind = iota + 1
+	AccessWrite
+	AccessExec
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultCode discriminates the cause of a memory fault. The values match the
+// si_code constants Linux delivers with SIGSEGV, which is how the SDRaD
+// signal handler tells protection-key violations apart from plain
+// segmentation faults (paper §IV-B, "Error Detection").
+type FaultCode int
+
+// Fault codes (Linux si_code values for SIGSEGV).
+const (
+	// CodeMapErr: address not mapped to an object (SEGV_MAPERR).
+	CodeMapErr FaultCode = 1
+	// CodeAccErr: invalid permissions for mapped object (SEGV_ACCERR).
+	CodeAccErr FaultCode = 2
+	// CodePkuErr: access denied by protection keys (SEGV_PKUERR).
+	CodePkuErr FaultCode = 4
+)
+
+func (c FaultCode) String() string {
+	switch c {
+	case CodeMapErr:
+		return "SEGV_MAPERR"
+	case CodeAccErr:
+		return "SEGV_ACCERR"
+	case CodePkuErr:
+		return "SEGV_PKUERR"
+	default:
+		return fmt.Sprintf("SEGV_code(%d)", int(c))
+	}
+}
+
+// Fault is a synchronous memory-access fault, the simulation's analog of a
+// hardware trap that the kernel would surface as SIGSEGV. Accessors panic
+// with a *Fault; the process layer and the SDRaD reference monitor recover
+// such panics and route them through the simulated signal machinery.
+//
+// Fault also implements error so that recovered faults compose with
+// errors.Is/errors.As once converted into ordinary return values.
+type Fault struct {
+	// Addr is the faulting virtual address (si_addr).
+	Addr Addr
+	// Kind is the access that faulted.
+	Kind AccessKind
+	// Code discriminates the cause (si_code).
+	Code FaultCode
+	// PKey is the protection key of the target page for CodePkuErr faults
+	// (si_pkey), and 0 otherwise.
+	PKey int
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	if f.Code == CodePkuErr {
+		return fmt.Sprintf("mem: %s fault at 0x%x (%s, pkey %d)", f.Kind, uint64(f.Addr), f.Code, f.PKey)
+	}
+	return fmt.Sprintf("mem: %s fault at 0x%x (%s)", f.Kind, uint64(f.Addr), f.Code)
+}
+
+// IsPKU reports whether the fault is a protection-key violation.
+func (f *Fault) IsPKU() bool { return f.Code == CodePkuErr }
+
+// AsFault extracts a *Fault from a recovered panic value, returning nil if
+// the panic was not a memory fault.
+func AsFault(recovered any) *Fault {
+	f, _ := recovered.(*Fault)
+	return f
+}

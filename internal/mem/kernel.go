@@ -1,0 +1,112 @@
+package mem
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// gen is the TLB-invalidation generation counter. Any change to the page
+// table bumps it, which invalidates every CPU's cached translations — the
+// simulation's TLB shootdown.
+type gen struct{ v atomic.Uint64 }
+
+func (as *AddressSpace) generation() uint64 { return as.genCtr.v.Load() }
+
+// bumpGeneration invalidates all TLBs. Called with as.mu held or not; the
+// counter is independent of the page-table lock.
+func (as *AddressSpace) bumpGeneration() { as.genCtr.v.Add(1) }
+
+// KernelRead copies n bytes at addr into p without protection or key
+// checks, as kernel code would. It returns ErrUnmapped if the range is not
+// fully mapped. Intended for loaders, checkpointing, and test assertions;
+// application and library code must use CPU accessors.
+func (as *AddressSpace) KernelRead(addr Addr, p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	if !as.Mapped(addr, len(p)) {
+		return ErrUnmapped
+	}
+	for len(p) > 0 {
+		pg := as.lookup(addr.PageNum())
+		off := addr.PageOff()
+		n := copy(p, pg.data[off:])
+		p = p[n:]
+		addr += Addr(n)
+	}
+	return nil
+}
+
+// KernelWrite copies p to addr without protection or key checks.
+func (as *AddressSpace) KernelWrite(addr Addr, p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	if !as.Mapped(addr, len(p)) {
+		return ErrUnmapped
+	}
+	for len(p) > 0 {
+		pg := as.lookup(addr.PageNum())
+		off := addr.PageOff()
+		n := copy(pg.data[off:], p)
+		p = p[n:]
+		addr += Addr(n)
+	}
+	return nil
+}
+
+// PageDump is one mapped page's full state, for checkpointing.
+type PageDump struct {
+	Addr Addr
+	Prot Prot
+	PKey int
+	Data []byte // PageSize bytes
+}
+
+// ExportPages dumps every mapped page (kernel view, no access checks),
+// sorted by address. This is the substrate for the CRIU-style
+// checkpoint/restore baseline the paper compares rewinding against.
+func (as *AddressSpace) ExportPages() []PageDump {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	dumps := make([]PageDump, 0, len(as.pages))
+	for pn, pg := range as.pages {
+		data := make([]byte, PageSize)
+		copy(data, pg.data)
+		dumps = append(dumps, PageDump{
+			Addr: Addr(pn << PageShift),
+			Prot: pg.prot,
+			PKey: int(pg.pkey),
+			Data: data,
+		})
+	}
+	sort.Slice(dumps, func(i, j int) bool { return dumps[i].Addr < dumps[j].Addr })
+	return dumps
+}
+
+// ImportPages recreates mappings from a dump into this (empty or
+// disjoint) address space. Keys referenced by the dump are marked
+// allocated.
+func (as *AddressSpace) ImportPages(dumps []PageDump) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for _, d := range dumps {
+		if !d.Addr.PageAligned() || len(d.Data) != PageSize {
+			return ErrAlignment
+		}
+		pn := d.Addr.PageNum()
+		if _, ok := as.pages[pn]; ok {
+			return ErrOverlap
+		}
+		if d.PKey < 0 || d.PKey >= NumKeys {
+			return ErrBadKey
+		}
+		data := make([]byte, PageSize)
+		copy(data, d.Data)
+		as.pages[pn] = &page{data: data, prot: d.Prot, pkey: uint8(d.PKey)}
+		as.pkeys[d.PKey] = true
+		as.stats.MappedBytes.Add(PageSize)
+	}
+	as.bumpGeneration()
+	return nil
+}

@@ -1,0 +1,394 @@
+// Package mem implements a simulated 64-bit virtual address space with
+// 4 KiB pages, page-granular memory protection, and Memory Protection Keys
+// (MPK/PKU) semantics equivalent to those of 64-bit x86 processors.
+//
+// The package is the hardware substrate for the SDRaD reproduction: the
+// original system relies on Intel PKU, which cannot be exercised from Go
+// (the runtime scheduler and garbage collector conflict with per-thread
+// PKRU state and foreign stacks), so every byte of "application memory" in
+// this repository lives in a simulated AddressSpace and every load/store is
+// performed through a CPU context that enforces page protections and
+// protection-key rights exactly the way the hardware would:
+//
+//   - each mapped page carries read/write/execute permissions and a 4-bit
+//     protection key stored in its (simulated) page-table entry;
+//   - each hardware thread owns a PKRU register with access-disable (AD)
+//     and write-disable (WD) bits per key, checked on every data access;
+//   - violations raise a Fault carrying the same si_code discrimination
+//     Linux delivers to user space (SEGV_MAPERR, SEGV_ACCERR, SEGV_PKUERR).
+//
+// Faults are reported by panicking with a *Fault value, playing the role of
+// a synchronous hardware trap; the process layer (internal/proc) and the
+// SDRaD reference monitor (internal/core) contain the "signal handlers"
+// that recover such panics and decide between rewinding and termination.
+package mem
+
+import (
+	"errors"
+	"sync"
+)
+
+// Page geometry of the simulated MMU. The values match x86-64 4 KiB pages.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+)
+
+// NumKeys is the number of protection keys available to a process. Intel
+// PKU provides 16 keys, of which key 0 is the implicit default for all
+// memory not explicitly tagged.
+const NumKeys = 16
+
+// Addr is a virtual address in the simulated address space.
+type Addr uint64
+
+// PageNum returns the virtual page number containing a.
+func (a Addr) PageNum() uint64 { return uint64(a) >> PageShift }
+
+// PageOff returns the offset of a within its page.
+func (a Addr) PageOff() uint64 { return uint64(a) & PageMask }
+
+// PageAligned reports whether a is aligned to a page boundary.
+func (a Addr) PageAligned() bool { return uint64(a)&PageMask == 0 }
+
+// Prot is a page-protection bit set, mirroring PROT_READ/WRITE/EXEC.
+type Prot uint8
+
+// Page protection bits.
+const (
+	ProtNone  Prot = 0
+	ProtRead  Prot = 1 << 0
+	ProtWrite Prot = 1 << 1
+	ProtExec  Prot = 1 << 2
+	ProtRW         = ProtRead | ProtWrite
+	ProtRX         = ProtRead | ProtExec
+)
+
+func (p Prot) String() string {
+	b := [3]byte{'-', '-', '-'}
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b[:])
+}
+
+// Errors returned by mapping and key-management operations.
+var (
+	ErrNoKeys       = errors.New("mem: no free protection keys")
+	ErrBadKey       = errors.New("mem: invalid or unallocated protection key")
+	ErrOverlap      = errors.New("mem: mapping overlaps an existing mapping")
+	ErrUnmapped     = errors.New("mem: address range is not fully mapped")
+	ErrAlignment    = errors.New("mem: address is not page aligned")
+	ErrBadLength    = errors.New("mem: length must be positive")
+	ErrWXViolation  = errors.New("mem: mapping would be writable and executable (W^X)")
+	ErrKeyInUse     = errors.New("mem: protection key still tags mapped pages")
+	ErrOutOfAddress = errors.New("mem: simulated address space exhausted")
+)
+
+// page is a simulated page-table entry together with its backing frame.
+type page struct {
+	data []byte // len == PageSize
+	prot Prot
+	pkey uint8
+}
+
+// AddressSpace is a simulated per-process virtual address space: a sparse
+// page table plus protection-key allocation state. All methods are safe for
+// concurrent use by multiple simulated threads; data accesses to distinct
+// bytes behave like real shared memory (no implicit synchronization).
+type AddressSpace struct {
+	mu      sync.RWMutex
+	pages   map[uint64]*page
+	pkeys   [NumKeys]bool // allocated keys; key 0 always allocated
+	nextMap Addr          // bump pointer for MapAnon placement
+
+	// guardGap is the unmapped gap (bytes) MapAnon leaves between regions
+	// so that large overflows out of a mapping hit unmapped memory, the
+	// moral equivalent of guard pages between process mappings.
+	guardGap uint64
+
+	// wrpkruSpin models the pipeline-serialization cost of WRPKRU as busy
+	// iterations; see WithWRPKRUCost.
+	wrpkruSpin int
+
+	// genCtr is the TLB-invalidation generation; see kernel.go.
+	genCtr gen
+
+	stats Stats
+}
+
+// mapAnonBase is where MapAnon starts placing regions. Placed high so that
+// small integers used as lengths or indices never alias valid addresses.
+const mapAnonBase Addr = 0x1_0000_0000
+
+// defaultGuardGap separates MapAnon regions by 16 unmapped pages.
+const defaultGuardGap = 16 * PageSize
+
+// Option configures an AddressSpace.
+type Option func(*AddressSpace)
+
+// WithGuardGap sets the unmapped gap MapAnon leaves between regions.
+func WithGuardGap(bytes uint64) Option {
+	return func(as *AddressSpace) { as.guardGap = bytes }
+}
+
+// WithWRPKRUCost sets the modeled cost of a PKRU write, expressed as busy
+// iterations executed inside WRPKRU. The real instruction costs ~20-30 ns
+// because it serializes the pipeline; benchmarks use this knob to study how
+// sensitive SDRaD overhead is to the hardware cost (paper §V-B observes
+// 30-50% of domain-switch cost is the PKRU write).
+func WithWRPKRUCost(iterations int) Option {
+	return func(as *AddressSpace) { as.wrpkruSpin = iterations }
+}
+
+// NewAddressSpace returns an empty address space with protection key 0
+// allocated (the architectural default key).
+func NewAddressSpace(opts ...Option) *AddressSpace {
+	as := &AddressSpace{
+		pages:    make(map[uint64]*page),
+		nextMap:  mapAnonBase,
+		guardGap: defaultGuardGap,
+	}
+	as.pkeys[0] = true
+	for _, o := range opts {
+		o(as)
+	}
+	return as
+}
+
+// PkeyAlloc allocates a fresh protection key (1..15), mirroring the
+// pkey_alloc(2) system call. It fails with ErrNoKeys when all 15
+// allocatable keys are in use — the same resource limit the paper notes
+// caps the number of simultaneously isolated domains.
+func (as *AddressSpace) PkeyAlloc() (int, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for k := 1; k < NumKeys; k++ {
+		if !as.pkeys[k] {
+			as.pkeys[k] = true
+			return k, nil
+		}
+	}
+	return 0, ErrNoKeys
+}
+
+// PkeyFree releases a protection key, mirroring pkey_free(2). Freeing a key
+// that still tags mapped pages is refused (the real syscall permits it but
+// the result is a well-known foot-gun; SDRaD never needs it).
+func (as *AddressSpace) PkeyFree(key int) error {
+	if key <= 0 || key >= NumKeys {
+		return ErrBadKey
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if !as.pkeys[key] {
+		return ErrBadKey
+	}
+	for _, pg := range as.pages {
+		if int(pg.pkey) == key {
+			return ErrKeyInUse
+		}
+	}
+	as.pkeys[key] = false
+	return nil
+}
+
+// KeyAllocated reports whether key is currently allocated.
+func (as *AddressSpace) KeyAllocated(key int) bool {
+	if key < 0 || key >= NumKeys {
+		return false
+	}
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	return as.pkeys[key]
+}
+
+// roundUp rounds n up to a multiple of PageSize.
+func roundUp(n int) uint64 {
+	return (uint64(n) + PageMask) &^ uint64(PageMask)
+}
+
+// Map establishes a mapping of length bytes at addr with the given
+// protection and key, mirroring mmap(MAP_FIXED)+pkey_mprotect. addr must be
+// page aligned and the range must not overlap an existing mapping. W^X is
+// enforced at mapping time (threat-model assumption A1 of the paper).
+func (as *AddressSpace) Map(addr Addr, length int, prot Prot, pkey int) error {
+	if !addr.PageAligned() {
+		return ErrAlignment
+	}
+	if length <= 0 {
+		return ErrBadLength
+	}
+	if prot&ProtWrite != 0 && prot&ProtExec != 0 {
+		return ErrWXViolation
+	}
+	if pkey < 0 || pkey >= NumKeys {
+		return ErrBadKey
+	}
+	npages := roundUp(length) >> PageShift
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if !as.pkeys[pkey] {
+		return ErrBadKey
+	}
+	base := addr.PageNum()
+	for i := uint64(0); i < npages; i++ {
+		if _, ok := as.pages[base+i]; ok {
+			return ErrOverlap
+		}
+	}
+	for i := uint64(0); i < npages; i++ {
+		as.pages[base+i] = &page{
+			data: make([]byte, PageSize),
+			prot: prot,
+			pkey: uint8(pkey),
+		}
+	}
+	as.stats.MappedBytes.Add(int64(npages) * PageSize)
+	as.bumpGeneration()
+	return nil
+}
+
+// MapAnon establishes a mapping of length bytes at an address chosen by the
+// address space (mmap with addr=NULL). Consecutive MapAnon regions are
+// separated by an unmapped guard gap.
+func (as *AddressSpace) MapAnon(length int, prot Prot, pkey int) (Addr, error) {
+	if length <= 0 {
+		return 0, ErrBadLength
+	}
+	as.mu.Lock()
+	addr := as.nextMap
+	span := roundUp(length)
+	if uint64(addr)+span < uint64(addr) {
+		as.mu.Unlock()
+		return 0, ErrOutOfAddress
+	}
+	as.nextMap = addr + Addr(span+as.guardGap)
+	as.mu.Unlock()
+	if err := as.Map(addr, length, prot, pkey); err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// Unmap removes the mapping covering [addr, addr+length), mirroring
+// munmap(2). The full range must be mapped.
+func (as *AddressSpace) Unmap(addr Addr, length int) error {
+	if !addr.PageAligned() {
+		return ErrAlignment
+	}
+	if length <= 0 {
+		return ErrBadLength
+	}
+	npages := roundUp(length) >> PageShift
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	base := addr.PageNum()
+	for i := uint64(0); i < npages; i++ {
+		if _, ok := as.pages[base+i]; !ok {
+			return ErrUnmapped
+		}
+	}
+	for i := uint64(0); i < npages; i++ {
+		delete(as.pages, base+i)
+	}
+	as.stats.MappedBytes.Add(-int64(npages) * PageSize)
+	as.bumpGeneration()
+	return nil
+}
+
+// Protect changes the page protection of [addr, addr+length), mirroring
+// mprotect(2). The key is left untouched.
+func (as *AddressSpace) Protect(addr Addr, length int, prot Prot) error {
+	return as.protect(addr, length, prot, -1)
+}
+
+// PkeyMprotect changes protection and key of [addr, addr+length),
+// mirroring pkey_mprotect(2).
+func (as *AddressSpace) PkeyMprotect(addr Addr, length int, prot Prot, pkey int) error {
+	if pkey < 0 || pkey >= NumKeys {
+		return ErrBadKey
+	}
+	return as.protect(addr, length, prot, pkey)
+}
+
+func (as *AddressSpace) protect(addr Addr, length int, prot Prot, pkey int) error {
+	if !addr.PageAligned() {
+		return ErrAlignment
+	}
+	if length <= 0 {
+		return ErrBadLength
+	}
+	if prot&ProtWrite != 0 && prot&ProtExec != 0 {
+		return ErrWXViolation
+	}
+	npages := roundUp(length) >> PageShift
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if pkey >= 0 && !as.pkeys[pkey] {
+		return ErrBadKey
+	}
+	base := addr.PageNum()
+	for i := uint64(0); i < npages; i++ {
+		if _, ok := as.pages[base+i]; !ok {
+			return ErrUnmapped
+		}
+	}
+	for i := uint64(0); i < npages; i++ {
+		pg := as.pages[base+i]
+		pg.prot = prot
+		if pkey >= 0 {
+			pg.pkey = uint8(pkey)
+		}
+	}
+	as.bumpGeneration()
+	return nil
+}
+
+// PageInfo returns the protection and key of the page containing addr.
+// ok is false when the page is unmapped.
+func (as *AddressSpace) PageInfo(addr Addr) (prot Prot, pkey int, ok bool) {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	pg, found := as.pages[addr.PageNum()]
+	if !found {
+		return 0, 0, false
+	}
+	return pg.prot, int(pg.pkey), true
+}
+
+// Mapped reports whether the whole range [addr, addr+length) is mapped.
+func (as *AddressSpace) Mapped(addr Addr, length int) bool {
+	if length <= 0 {
+		return false
+	}
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	first := addr.PageNum()
+	last := (Addr(uint64(addr) + uint64(length) - 1)).PageNum()
+	for pn := first; pn <= last; pn++ {
+		if _, ok := as.pages[pn]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the page containing pn or nil.
+func (as *AddressSpace) lookup(pn uint64) *page {
+	as.mu.RLock()
+	pg := as.pages[pn]
+	as.mu.RUnlock()
+	return pg
+}
+
+// Stats returns the address-space counters. The returned pointer is live;
+// callers read the atomic fields directly.
+func (as *AddressSpace) Stats() *Stats { return &as.stats }

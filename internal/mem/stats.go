@@ -1,0 +1,63 @@
+package mem
+
+import "sync/atomic"
+
+// Stats aggregates counters across an address space and all CPU contexts
+// attached to it. All fields are updated atomically and may be read at any
+// time; they power the memory-overhead ("RSS") and domain-switch-profiling
+// experiments.
+type Stats struct {
+	// Reads and Writes count access operations (not bytes).
+	Reads  atomic.Int64
+	Writes atomic.Int64
+	// BytesRead and BytesWritten count payload bytes moved.
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
+	// PKRUWrites counts WRPKRU executions across all threads; the paper
+	// attributes 30-50% of domain-switch cost to this instruction.
+	PKRUWrites atomic.Int64
+	// Faults counts raised memory faults.
+	Faults atomic.Int64
+	// MappedBytes is the current total of mapped page bytes — the
+	// simulation's resident-set-size analog used for the memory-overhead
+	// experiments (paper §V-A, §V-B).
+	MappedBytes atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of Stats, safe to compare and print.
+type Snapshot struct {
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+	PKRUWrites   int64
+	Faults       int64
+	MappedBytes  int64
+}
+
+// Snapshot captures the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Reads:        s.Reads.Load(),
+		Writes:       s.Writes.Load(),
+		BytesRead:    s.BytesRead.Load(),
+		BytesWritten: s.BytesWritten.Load(),
+		PKRUWrites:   s.PKRUWrites.Load(),
+		Faults:       s.Faults.Load(),
+		MappedBytes:  s.MappedBytes.Load(),
+	}
+}
+
+// Sub returns the delta s minus o, field by field. MappedBytes is copied
+// from s (it is a gauge, not a counter).
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		Reads:        s.Reads - o.Reads,
+		Writes:       s.Writes - o.Writes,
+		BytesRead:    s.BytesRead - o.BytesRead,
+		BytesWritten: s.BytesWritten - o.BytesWritten,
+		PKRUWrites:   s.PKRUWrites - o.PKRUWrites,
+		Faults:       s.Faults - o.Faults,
+		MappedBytes:  s.MappedBytes,
+	}
+}

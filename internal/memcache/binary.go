@@ -1,0 +1,202 @@
+package memcache
+
+import (
+	"encoding/binary"
+
+	"sdrad/internal/mem"
+)
+
+// Binary protocol support (the memcached "binprot"). CVE-2011-4971 lives
+// here in the real server: process_bin_append_prepend /
+// process_bin_update trust the header's total-body length, so a crafted
+// value (interpreted through signed arithmetic) drives a huge memmove
+// that tramples the heap and crashes the daemon. The analog below keeps
+// the same structure: the value length is derived from the
+// attacker-controlled total-body-length field and used unchecked to copy
+// into an item staging buffer.
+//
+// Request header layout (24 bytes, big endian where multi-byte):
+//
+//	+0  magic (0x80 request, 0x81 response)
+//	+1  opcode
+//	+2  key length (u16)
+//	+4  extras length (u8)
+//	+5  data type
+//	+6  vbucket (request) / status (response)
+//	+8  total body length (u32)  <-- the CVE field
+//	+12 opaque (u32)
+//	+16 cas (u64)
+const (
+	binHeaderSize = 24
+
+	// BinMagicRequest and BinMagicResponse are the frame magics.
+	BinMagicRequest  = 0x80
+	BinMagicResponse = 0x81
+)
+
+// Binary opcodes (subset).
+const (
+	BinOpGet  = 0x00
+	BinOpSet  = 0x01
+	BinOpQuit = 0x07
+	BinOpNoop = 0x0a
+)
+
+// Binary response status codes.
+const (
+	BinStatusOK          = 0x0000
+	BinStatusKeyNotFound = 0x0001
+	BinStatusTooLarge    = 0x0003
+	BinStatusInvalidArgs = 0x0004
+	BinStatusNotStored   = 0x0005
+	BinStatusUnknownCmd  = 0x0081
+	BinStatusOOM         = 0x0082
+)
+
+// binSetExtras is the size of the set request's extras (flags + expiry).
+const binSetExtras = 8
+
+// driveBinary processes one binary-protocol request already present in
+// the connection buffer. Mirrors memcached's dispatch_bin_command.
+func driveBinary(env *dmEnv) (wlen int, closeConn bool, err error) {
+	if env.rlen < binHeaderSize {
+		return binError(env, BinOpNoop, BinStatusInvalidArgs), false, nil
+	}
+	hdr := env.c.ReadBytes(env.rbuf, binHeaderSize)
+	opcode := hdr[1]
+	keyLen := int(binary.BigEndian.Uint16(hdr[2:4]))
+	extrasLen := int(hdr[4])
+	totalBody := int(int32(binary.BigEndian.Uint32(hdr[8:12])))
+
+	switch opcode {
+	case BinOpQuit:
+		return 0, true, nil
+	case BinOpNoop:
+		return binResponse(env, opcode, BinStatusOK, nil, nil), false, nil
+	case BinOpGet:
+		if keyLen == 0 || binHeaderSize+keyLen > env.rlen {
+			return binError(env, opcode, BinStatusInvalidArgs), false, nil
+		}
+		key := env.c.ReadBytes(env.rbuf+binHeaderSize, keyLen)
+		value, flags, ok := env.ops.Get(env.c, key)
+		if !ok {
+			return binError(env, opcode, BinStatusKeyNotFound), false, nil
+		}
+		var extras [4]byte
+		binary.BigEndian.PutUint32(extras[:], flags)
+		return binResponse(env, opcode, BinStatusOK, extras[:], value), false, nil
+	case BinOpSet:
+		if keyLen == 0 || extrasLen != binSetExtras {
+			return binError(env, opcode, BinStatusInvalidArgs), false, nil
+		}
+		extras := env.c.ReadBytes(env.rbuf+binHeaderSize, extrasLen)
+		flags := binary.BigEndian.Uint32(extras[0:4])
+		key := env.c.ReadBytes(env.rbuf+binHeaderSize+mem.Addr(extrasLen), keyLen)
+
+		// BUG (intentional — CVE-2011-4971): the value length is derived
+		// from the header's total-body-length field with no validation
+		// against the bytes actually received or the staging capacity.
+		// A huge (or negative-wrapping) totalBody drives an unchecked
+		// copy out of the staging buffer.
+		vlen := totalBody - keyLen - extrasLen
+		staging, aerr := env.allocScratch(stagingSize)
+		if aerr != nil {
+			return binError(env, opcode, BinStatusOOM), false, nil
+		}
+		valueOff := binHeaderSize + extrasLen + keyLen
+		env.c.Copy(staging, env.rbuf+mem.Addr(valueOff), vlen)
+		n := vlen
+		if n > stagingSize {
+			n = stagingSize
+		}
+		if n < 0 {
+			return binError(env, opcode, BinStatusInvalidArgs), false, nil
+		}
+		value := env.c.ReadBytes(staging, n)
+		if serr := env.ops.Set(env.c, key, value, flags); serr != nil {
+			return binError(env, opcode, BinStatusTooLarge), false, nil
+		}
+		return binResponse(env, opcode, BinStatusOK, nil, nil), false, nil
+	default:
+		return binError(env, opcode, BinStatusUnknownCmd), false, nil
+	}
+}
+
+// binResponse writes a binary response frame into the write buffer.
+func binResponse(env *dmEnv, opcode byte, status uint16, extras, value []byte) int {
+	if env.noreply {
+		return 0
+	}
+	total := len(extras) + len(value)
+	frame := make([]byte, binHeaderSize+total)
+	frame[0] = BinMagicResponse
+	frame[1] = opcode
+	frame[4] = byte(len(extras))
+	binary.BigEndian.PutUint16(frame[6:8], status)
+	binary.BigEndian.PutUint32(frame[8:12], uint32(total))
+	copy(frame[binHeaderSize:], extras)
+	copy(frame[binHeaderSize+len(extras):], value)
+	if len(frame) > env.wcap {
+		frame = frame[:env.wcap]
+	}
+	env.c.Write(env.wbuf, frame)
+	return len(frame)
+}
+
+func binError(env *dmEnv, opcode byte, status uint16) int {
+	return binResponse(env, opcode, status, nil, nil)
+}
+
+// FormatBinarySet builds a binary set request whose header claims
+// claimedBodyLen total body bytes. An honest request passes
+// len(key)+8+len(value); the CVE trigger passes a huge value.
+func FormatBinarySet(key string, value []byte, flags uint32, claimedBodyLen int) []byte {
+	frame := make([]byte, binHeaderSize+binSetExtras+len(key)+len(value))
+	frame[0] = BinMagicRequest
+	frame[1] = BinOpSet
+	binary.BigEndian.PutUint16(frame[2:4], uint16(len(key)))
+	frame[4] = binSetExtras
+	binary.BigEndian.PutUint32(frame[8:12], uint32(claimedBodyLen))
+	binary.BigEndian.PutUint32(frame[binHeaderSize:], flags)
+	copy(frame[binHeaderSize+binSetExtras:], key)
+	copy(frame[binHeaderSize+binSetExtras+len(key):], value)
+	return frame
+}
+
+// HonestBinaryBodyLen returns the correct total-body length for a set.
+func HonestBinaryBodyLen(key string, value []byte) int {
+	return binSetExtras + len(key) + len(value)
+}
+
+// FormatBinaryGet builds a binary get request.
+func FormatBinaryGet(key string) []byte {
+	frame := make([]byte, binHeaderSize+len(key))
+	frame[0] = BinMagicRequest
+	frame[1] = BinOpGet
+	binary.BigEndian.PutUint16(frame[2:4], uint16(len(key)))
+	binary.BigEndian.PutUint32(frame[8:12], uint32(len(key)))
+	copy(frame[binHeaderSize:], key)
+	return frame
+}
+
+// FormatBinaryQuit builds a binary quit request.
+func FormatBinaryQuit() []byte {
+	frame := make([]byte, binHeaderSize)
+	frame[0] = BinMagicRequest
+	frame[1] = BinOpQuit
+	return frame
+}
+
+// ParseBinaryResponse decodes a binary response frame.
+func ParseBinaryResponse(frame []byte) (opcode byte, status uint16, extras, value []byte, ok bool) {
+	if len(frame) < binHeaderSize || frame[0] != BinMagicResponse {
+		return 0, 0, nil, nil, false
+	}
+	extrasLen := int(frame[4])
+	total := int(binary.BigEndian.Uint32(frame[8:12]))
+	if binHeaderSize+total > len(frame) || extrasLen > total {
+		return 0, 0, nil, nil, false
+	}
+	body := frame[binHeaderSize : binHeaderSize+total]
+	return frame[1], binary.BigEndian.Uint16(frame[6:8]), body[:extrasLen], body[extrasLen:], true
+}

@@ -1,0 +1,192 @@
+package memcache
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestBinarySetGetRoundTrip(t *testing.T) {
+	allVariants(t, func(t *testing.T, v Variant) {
+		s := startServer(t, v, 1)
+		c := s.NewConn()
+		key, val := "bin-key", []byte("bin-value")
+		req := FormatBinarySet(key, val, 9, HonestBinaryBodyLen(key, val))
+		resp := mustDo(t, c, req)
+		op, status, _, _, ok := ParseBinaryResponse(resp)
+		if !ok || op != BinOpSet || status != BinStatusOK {
+			t.Fatalf("set resp: op=%#x status=%#x ok=%v", op, status, ok)
+		}
+
+		resp = mustDo(t, c, FormatBinaryGet(key))
+		op, status, extras, value, ok := ParseBinaryResponse(resp)
+		if !ok || op != BinOpGet || status != BinStatusOK {
+			t.Fatalf("get resp: op=%#x status=%#x", op, status)
+		}
+		if !bytes.Equal(value, val) {
+			t.Fatalf("value = %q", value)
+		}
+		if len(extras) != 4 || extras[3] != 9 {
+			t.Fatalf("flags extras = %v", extras)
+		}
+		// Binary and text protocols see the same database.
+		tv, flags, ok := ParseGetValue(mustDo(t, c, FormatGet(key)))
+		if !ok || !bytes.Equal(tv, val) || flags != 9 {
+			t.Fatalf("text view = %q %d %v", tv, flags, ok)
+		}
+	})
+}
+
+func TestBinaryGetMissAndErrors(t *testing.T) {
+	s := startServer(t, VariantSDRaD, 1)
+	c := s.NewConn()
+	_, status, _, _, ok := ParseBinaryResponse(mustDo(t, c, FormatBinaryGet("ghost")))
+	if !ok || status != BinStatusKeyNotFound {
+		t.Fatalf("miss status = %#x", status)
+	}
+	// Unknown opcode.
+	bad := FormatBinaryGet("x")
+	bad[1] = 0x55
+	_, status, _, _, ok = ParseBinaryResponse(mustDo(t, c, bad))
+	if !ok || status != BinStatusUnknownCmd {
+		t.Fatalf("unknown opcode status = %#x", status)
+	}
+	// Truncated header.
+	resp := mustDo(t, c, []byte{BinMagicRequest, BinOpGet})
+	if _, status, _, _, ok := ParseBinaryResponse(resp); !ok || status != BinStatusInvalidArgs {
+		t.Fatalf("short frame status = %#x ok=%v", status, ok)
+	}
+	// Zero-length key.
+	zk := FormatBinaryGet("")
+	if _, status, _, _, _ := ParseBinaryResponse(mustDo(t, c, zk)); status != BinStatusInvalidArgs {
+		t.Fatalf("empty key status = %#x", status)
+	}
+}
+
+func TestBinaryQuit(t *testing.T) {
+	s := startServer(t, VariantVanilla, 1)
+	c := s.NewConn()
+	_, closed, err := c.Do(FormatBinaryQuit())
+	if err != nil || !closed {
+		t.Fatalf("quit: closed=%v err=%v", closed, err)
+	}
+}
+
+func TestCVE2011_4971_BinaryBaselineCrashes(t *testing.T) {
+	// The faithful CVE: a binary set whose header claims a huge total
+	// body length. The baseline trusts it and dies.
+	s := startServer(t, VariantVanilla, 2)
+	evil := s.NewConn()
+	_, _, err := evil.Do(FormatBinarySet("k", []byte("tiny"), 0, 64<<20))
+	if err == nil {
+		t.Fatal("malicious binary set succeeded")
+	}
+	if crashed, cause := s.Crashed(); !crashed {
+		t.Fatal("baseline survived")
+	} else {
+		t.Logf("crash: %v", cause)
+	}
+}
+
+func TestCVE2011_4971_BinarySDRaDRewinds(t *testing.T) {
+	s := startServer(t, VariantSDRaD, 2)
+	good := s.NewConn()
+	mustDo(t, good, FormatSet("persist", []byte("alive"), 0))
+
+	evil := s.NewConn()
+	_, closed, err := evil.Do(FormatBinarySet("k", []byte("tiny"), 0, 64<<20))
+	if err != nil {
+		t.Fatalf("transport err: %v", err)
+	}
+	if !closed {
+		t.Fatal("attacker connection not closed")
+	}
+	if s.Rewinds() != 1 {
+		t.Errorf("rewinds = %d", s.Rewinds())
+	}
+	val, _, ok := ParseGetValue(mustDo(t, good, FormatGet("persist")))
+	if !ok || string(val) != "alive" {
+		t.Errorf("data after binary attack = %q", val)
+	}
+}
+
+func TestBinaryNegativeBodyLenRejected(t *testing.T) {
+	// A total-body length smaller than key+extras makes vlen negative —
+	// the signed-arithmetic half of the CVE. Our copy path reads zero
+	// bytes for negative lengths, so this must surface as a protocol
+	// error, not a crash.
+	allVariants(t, func(t *testing.T, v Variant) {
+		s := startServer(t, v, 1)
+		c := s.NewConn()
+		req := FormatBinarySet("longerkey", []byte("v"), 0, 3) // < key+extras
+		resp, closed, err := c.Do(req)
+		if err != nil || closed {
+			t.Fatalf("negative-vlen request killed the connection: %v", err)
+		}
+		if _, status, _, _, ok := ParseBinaryResponse(resp); !ok || status != BinStatusInvalidArgs {
+			t.Fatalf("status = %#x", status)
+		}
+		if crashed, _ := s.Crashed(); crashed {
+			t.Fatal("server crashed")
+		}
+	})
+}
+
+func TestBinaryOverTCP(t *testing.T) {
+	s := startServer(t, VariantSDRaD, 1)
+	ln := newLocalListener(t)
+	go func() { _ = s.ServeListener(ln) }()
+	nc := dialRetry(t, ln.Addr().String())
+	defer func() { _ = nc.Close() }()
+
+	key, val := "tcp-bin", []byte("v")
+	if _, err := nc.Write(FormatBinarySet(key, val, 0, HonestBinaryBodyLen(key, val))); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	n, err := nc.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, status, _, _, ok := ParseBinaryResponse(buf[:n]); !ok || status != BinStatusOK {
+		t.Fatalf("tcp binary set: %x", buf[:n])
+	}
+}
+
+func TestParseBinaryResponseRejectsGarbage(t *testing.T) {
+	for _, frame := range [][]byte{
+		nil,
+		{0x81},
+		bytes.Repeat([]byte{0}, binHeaderSize), // wrong magic
+		append([]byte{0x81, 0, 0, 0, 9}, make([]byte, 19)...), // extras > total
+	} {
+		if _, _, _, _, ok := ParseBinaryResponse(frame); ok {
+			t.Errorf("garbage accepted: %v", frame)
+		}
+	}
+}
+
+func newLocalListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+func dialRetry(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	var nc net.Conn
+	var err error
+	for i := 0; i < 20; i++ {
+		nc, err = net.Dial("tcp", addr)
+		if err == nil {
+			return nc
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal(err)
+	return nil
+}

@@ -1,0 +1,537 @@
+package memcache
+
+import (
+	"fmt"
+	"strconv"
+
+	"sdrad/internal/mem"
+)
+
+// storeOps abstracts the storage operations drive_machine performs, so
+// the SDRaD build can defer mutations to normal domain exit (paper §V-A:
+// wrapped slabs_alloc/store_item perform each operation on a copy and the
+// database is updated only after the event handler leaves the domain).
+type storeOps interface {
+	Get(c *mem.CPU, key []byte) (value []byte, flags uint32, ok bool)
+	GetWithCAS(c *mem.CPU, key []byte) (value []byte, flags uint32, casid uint64, ok bool)
+	Set(c *mem.CPU, key, value []byte, flags uint32) error
+	Add(c *mem.CPU, key, value []byte, flags uint32) (StoreOutcome, error)
+	Replace(c *mem.CPU, key, value []byte, flags uint32) (StoreOutcome, error)
+	Concat(c *mem.CPU, key, data []byte, prepend bool) (StoreOutcome, error)
+	CAS(c *mem.CPU, key, value []byte, flags uint32, casid uint64) (StoreOutcome, error)
+	Delete(c *mem.CPU, key []byte) bool
+	Touch(c *mem.CPU, key []byte) bool
+	FlushAll(c *mem.CPU)
+	Stats() StorageStats
+}
+
+// directOps applies operations immediately (baseline builds, and the
+// post-exit application step of the hardened build).
+type directOps struct{ st *Storage }
+
+func (d directOps) Get(c *mem.CPU, key []byte) ([]byte, uint32, bool) { return d.st.Get(c, key) }
+func (d directOps) GetWithCAS(c *mem.CPU, key []byte) ([]byte, uint32, uint64, bool) {
+	return d.st.GetWithCAS(c, key)
+}
+func (d directOps) Set(c *mem.CPU, key, value []byte, flags uint32) error {
+	return d.st.Set(c, key, value, flags)
+}
+func (d directOps) Add(c *mem.CPU, key, value []byte, flags uint32) (StoreOutcome, error) {
+	return d.st.Add(c, key, value, flags)
+}
+func (d directOps) Replace(c *mem.CPU, key, value []byte, flags uint32) (StoreOutcome, error) {
+	return d.st.Replace(c, key, value, flags)
+}
+func (d directOps) Concat(c *mem.CPU, key, data []byte, prepend bool) (StoreOutcome, error) {
+	return d.st.Concat(c, key, data, prepend)
+}
+func (d directOps) CAS(c *mem.CPU, key, value []byte, flags uint32, casid uint64) (StoreOutcome, error) {
+	return d.st.CAS(c, key, value, flags, casid)
+}
+func (d directOps) Delete(c *mem.CPU, key []byte) bool { return d.st.Delete(c, key) }
+func (d directOps) Touch(c *mem.CPU, key []byte) bool  { return d.st.Touch(c, key) }
+func (d directOps) FlushAll(c *mem.CPU)                { d.st.FlushAll(c) }
+func (d directOps) Stats() StorageStats                { return d.st.Stats() }
+
+// pendingKind tags a deferred mutation.
+type pendingKind int
+
+const (
+	pendingSet pendingKind = iota + 1
+	pendingDelete
+	pendingFlush
+)
+
+// pendingOp is one deferred mutation. Key and value reference copies made
+// while executing inside the nested domain; the op list itself is part of
+// the event handler's state and is dropped wholesale when the domain is
+// discarded, which is exactly the paper's atomic deferred-update
+// behaviour ("on abnormal domain exit the corrupt key-value pair is
+// discarded along with all other domain memory").
+type pendingOp struct {
+	kind  pendingKind
+	key   []byte
+	value []byte
+	flags uint32
+}
+
+// deferredOps reads the shared database directly (the nested domain holds
+// an RW grant on the storage data domain, as in the paper) but queues all
+// mutations for application after a normal domain exit.
+type deferredOps struct {
+	st      *Storage
+	pending []pendingOp
+}
+
+func (d *deferredOps) Get(c *mem.CPU, key []byte) ([]byte, uint32, bool) {
+	// Read-your-writes within one event, for the atomic-request property.
+	for i := len(d.pending) - 1; i >= 0; i-- {
+		op := d.pending[i]
+		if op.kind == pendingFlush {
+			return nil, 0, false
+		}
+		if string(op.key) == string(key) {
+			if op.kind == pendingDelete {
+				return nil, 0, false
+			}
+			return op.value, op.flags, true
+		}
+	}
+	return d.st.Get(c, key)
+}
+
+func (d *deferredOps) GetWithCAS(c *mem.CPU, key []byte) ([]byte, uint32, uint64, bool) {
+	// Pending writes have no CAS id yet; fall back to the shared DB view
+	// for the id and overlay value reads.
+	if v, f, ok := d.Get(c, key); ok {
+		_, _, casid, inDB := d.st.GetWithCAS(c, key)
+		if !inDB {
+			casid = 0
+		}
+		return v, f, casid, true
+	}
+	return nil, 0, 0, false
+}
+
+func (d *deferredOps) Add(c *mem.CPU, key, value []byte, flags uint32) (StoreOutcome, error) {
+	if _, _, exists := d.Get(c, key); exists {
+		return NotStored, nil
+	}
+	if err := d.Set(c, key, value, flags); err != nil {
+		return NotStored, err
+	}
+	return Stored, nil
+}
+
+func (d *deferredOps) Replace(c *mem.CPU, key, value []byte, flags uint32) (StoreOutcome, error) {
+	if _, _, exists := d.Get(c, key); !exists {
+		return NotStored, nil
+	}
+	if err := d.Set(c, key, value, flags); err != nil {
+		return NotStored, err
+	}
+	return Stored, nil
+}
+
+func (d *deferredOps) Concat(c *mem.CPU, key, data []byte, prepend bool) (StoreOutcome, error) {
+	old, flags, exists := d.Get(c, key)
+	if !exists {
+		return NotStored, nil
+	}
+	var merged []byte
+	if prepend {
+		merged = append(append([]byte{}, data...), old...)
+	} else {
+		merged = append(append([]byte{}, old...), data...)
+	}
+	if err := d.Set(c, key, merged, flags); err != nil {
+		return NotStored, err
+	}
+	return Stored, nil
+}
+
+func (d *deferredOps) CAS(c *mem.CPU, key, value []byte, flags uint32, casid uint64) (StoreOutcome, error) {
+	// The compare happens against the shared DB now, the swap at normal
+	// domain exit — the same at-most-once atomic-update discipline the
+	// paper's deferred stores follow.
+	_, _, cur, ok := d.st.GetWithCAS(c, key)
+	if !ok {
+		return NotFoundOutcome, nil
+	}
+	if cur != casid {
+		return CASMismatch, nil
+	}
+	if err := d.Set(c, key, value, flags); err != nil {
+		return NotStored, err
+	}
+	return Stored, nil
+}
+
+func (d *deferredOps) Touch(c *mem.CPU, key []byte) bool {
+	// LRU metadata only: safe to apply immediately (the nested domain
+	// holds an RW grant on the storage domain).
+	return d.st.Touch(c, key)
+}
+
+func (d *deferredOps) FlushAll(c *mem.CPU) {
+	d.pending = append(d.pending, pendingOp{kind: pendingFlush})
+}
+
+func (d *deferredOps) Set(c *mem.CPU, key, value []byte, flags uint32) error {
+	if len(key) > MaxKeyLen {
+		return ErrKeyTooLong
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	v := make([]byte, len(value))
+	copy(v, value)
+	d.pending = append(d.pending, pendingOp{kind: pendingSet, key: k, value: v, flags: flags})
+	return nil
+}
+
+func (d *deferredOps) Delete(c *mem.CPU, key []byte) bool {
+	_, _, existed := d.Get(c, key)
+	k := make([]byte, len(key))
+	copy(k, key)
+	d.pending = append(d.pending, pendingOp{kind: pendingDelete, key: k})
+	return existed
+}
+
+func (d *deferredOps) Stats() StorageStats { return d.st.Stats() }
+
+// apply flushes the deferred mutations to the shared database. Called
+// after a normal domain exit, with root-domain rights.
+func (d *deferredOps) apply(c *mem.CPU) error {
+	for _, op := range d.pending {
+		switch op.kind {
+		case pendingSet:
+			if err := d.st.Set(c, op.key, op.value, op.flags); err != nil {
+				return err
+			}
+		case pendingDelete:
+			d.st.Delete(c, op.key)
+		case pendingFlush:
+			d.st.FlushAll(c)
+		}
+	}
+	d.pending = d.pending[:0]
+	return nil
+}
+
+// dmEnv is the environment drive_machine runs in: the request/response
+// buffers (which live in the nested domain in the hardened build), an
+// allocator for scratch memory in the current domain, and the storage
+// operations view.
+type dmEnv struct {
+	c    *mem.CPU
+	rbuf mem.Addr
+	rlen int
+	wbuf mem.Addr
+	wcap int
+	// allocScratch obtains request-scoped scratch memory in the current
+	// domain (Memcached's item staging buffers).
+	allocScratch func(size uint64) (mem.Addr, error)
+	ops          storeOps
+	// noreply suppresses the response (set by the "noreply" suffix).
+	noreply bool
+}
+
+// stagingSize is the fixed staging buffer the vulnerable binary-set path
+// uses — the overflow target of the CVE-2011-4971 analog.
+const stagingSize = 1024
+
+// driveMachine processes one client event: it parses the request in the
+// connection buffer and executes it, writing the response to the write
+// buffer. It mirrors Memcached's drive_machine state machine collapsed to
+// one readable function (our transport delivers complete requests).
+//
+// Returns the response length, whether the connection should close, and a
+// protocol-level error (protocol errors produce ERROR responses, not Go
+// errors).
+func driveMachine(env *dmEnv) (wlen int, closeConn bool, err error) {
+	// Binary-protocol frames are identified by their magic byte, exactly
+	// as in memcached's try_read_command.
+	if env.rlen > 0 && env.c.ReadU8(env.rbuf) == BinMagicRequest {
+		return driveBinary(env)
+	}
+	line, bodyOff := readLine(env.c, env.rbuf, env.rlen)
+	if line == nil {
+		return writeString(env, "ERROR\r\n"), false, nil
+	}
+	tokens := tokenize(line)
+	if len(tokens) == 0 {
+		return writeString(env, "ERROR\r\n"), false, nil
+	}
+	// The "noreply" suffix suppresses the response (memcached protocol);
+	// storage commands still execute.
+	if n := len(tokens); n > 1 && string(tokens[n-1]) == "noreply" {
+		env.noreply = true
+		tokens = tokens[:n-1]
+	}
+	switch string(tokens[0]) {
+	case "get":
+		return cmdGet(env, tokens, false)
+	case "gets":
+		return cmdGet(env, tokens, true)
+	case "set", "add", "replace", "append", "prepend", "cas":
+		return cmdStore(env, tokens, bodyOff)
+	case "bset":
+		return cmdBinarySet(env, tokens, bodyOff)
+	case "delete":
+		return cmdDelete(env, tokens)
+	case "incr", "decr":
+		return cmdIncrDecr(env, tokens)
+	case "touch":
+		return cmdTouch(env, tokens)
+	case "flush_all":
+		env.ops.FlushAll(env.c)
+		return writeString(env, "OK\r\n"), false, nil
+	case "stats":
+		return cmdStats(env)
+	case "version":
+		return writeString(env, "VERSION 1.6.13-sdrad\r\n"), false, nil
+	case "quit":
+		return 0, true, nil
+	default:
+		return writeString(env, "ERROR\r\n"), false, nil
+	}
+}
+
+// readLine extracts the command line (up to \r\n) from the request
+// buffer, returning the line bytes and the offset of the body that
+// follows. The read is performed through the CPU so it is subject to the
+// current domain's rights.
+func readLine(c *mem.CPU, rbuf mem.Addr, rlen int) (line []byte, bodyOff int) {
+	max := rlen
+	if max > 512 {
+		max = 512 // command lines are short; bodies follow separately
+	}
+	head := c.ReadBytes(rbuf, max)
+	for i := 0; i+1 < len(head); i++ {
+		if head[i] == '\r' && head[i+1] == '\n' {
+			return head[:i], i + 2
+		}
+	}
+	return nil, 0
+}
+
+// tokenize splits a command line on single spaces.
+func tokenize(line []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || line[i] == ' ' {
+			if i > start {
+				out = append(out, line[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// writeString writes a response string to the write buffer; suppressed
+// entirely for noreply requests.
+func writeString(env *dmEnv, s string) int {
+	if env.noreply {
+		return 0
+	}
+	b := []byte(s)
+	if len(b) > env.wcap {
+		b = b[:env.wcap]
+	}
+	env.c.Write(env.wbuf, b)
+	return len(b)
+}
+
+// writeResponse writes a composed response, truncating at capacity.
+func writeResponse(env *dmEnv, b []byte) int {
+	if env.noreply {
+		return 0
+	}
+	if len(b) > env.wcap {
+		b = b[:env.wcap]
+	}
+	env.c.Write(env.wbuf, b)
+	return len(b)
+}
+
+func cmdGet(env *dmEnv, tokens [][]byte, withCAS bool) (int, bool, error) {
+	if len(tokens) < 2 {
+		return writeString(env, "ERROR\r\n"), false, nil
+	}
+	var resp []byte
+	for _, key := range tokens[1:] {
+		if withCAS {
+			value, flags, casid, ok := env.ops.GetWithCAS(env.c, key)
+			if !ok {
+				continue
+			}
+			resp = append(resp, fmt.Sprintf("VALUE %s %d %d %d\r\n", key, flags, len(value), casid)...)
+			resp = append(resp, value...)
+			resp = append(resp, '\r', '\n')
+			continue
+		}
+		value, flags, ok := env.ops.Get(env.c, key)
+		if !ok {
+			continue
+		}
+		resp = append(resp, fmt.Sprintf("VALUE %s %d %d\r\n", key, flags, len(value))...)
+		resp = append(resp, value...)
+		resp = append(resp, '\r', '\n')
+	}
+	resp = append(resp, "END\r\n"...)
+	return writeResponse(env, resp), false, nil
+}
+
+// cmdStore handles all storage commands sharing the
+// "<cmd> <key> <flags> <exptime> <bytes> [casid]\r\n<data>\r\n" shape.
+func cmdStore(env *dmEnv, tokens [][]byte, bodyOff int) (int, bool, error) {
+	cmd := string(tokens[0])
+	if len(tokens) < 5 || (cmd == "cas" && len(tokens) < 6) {
+		return writeString(env, "ERROR\r\n"), false, nil
+	}
+	key := tokens[1]
+	flags64, err1 := strconv.ParseUint(string(tokens[2]), 10, 32)
+	nbytes, err2 := strconv.Atoi(string(tokens[4]))
+	if err1 != nil || err2 != nil || nbytes < 0 {
+		return writeString(env, "CLIENT_ERROR bad command line format\r\n"), false, nil
+	}
+	if bodyOff+nbytes > env.rlen {
+		return writeString(env, "CLIENT_ERROR bad data chunk\r\n"), false, nil
+	}
+	value := env.c.ReadBytes(env.rbuf+mem.Addr(bodyOff), nbytes)
+	flags := uint32(flags64)
+
+	var outcome StoreOutcome
+	var err error
+	switch cmd {
+	case "set":
+		err = env.ops.Set(env.c, key, value, flags)
+		outcome = Stored
+	case "add":
+		outcome, err = env.ops.Add(env.c, key, value, flags)
+	case "replace":
+		outcome, err = env.ops.Replace(env.c, key, value, flags)
+	case "append":
+		outcome, err = env.ops.Concat(env.c, key, value, false)
+	case "prepend":
+		outcome, err = env.ops.Concat(env.c, key, value, true)
+	case "cas":
+		casid, cerr := strconv.ParseUint(string(tokens[5]), 10, 64)
+		if cerr != nil {
+			return writeString(env, "CLIENT_ERROR bad command line format\r\n"), false, nil
+		}
+		outcome, err = env.ops.CAS(env.c, key, value, flags, casid)
+	}
+	if err != nil {
+		return writeString(env, "SERVER_ERROR "+err.Error()+"\r\n"), false, nil
+	}
+	switch outcome {
+	case Stored:
+		return writeString(env, "STORED\r\n"), false, nil
+	case NotStored:
+		return writeString(env, "NOT_STORED\r\n"), false, nil
+	case CASMismatch:
+		return writeString(env, "EXISTS\r\n"), false, nil
+	default:
+		return writeString(env, "NOT_FOUND\r\n"), false, nil
+	}
+}
+
+func cmdTouch(env *dmEnv, tokens [][]byte) (int, bool, error) {
+	if len(tokens) < 2 {
+		return writeString(env, "ERROR\r\n"), false, nil
+	}
+	if env.ops.Touch(env.c, tokens[1]) {
+		return writeString(env, "TOUCHED\r\n"), false, nil
+	}
+	return writeString(env, "NOT_FOUND\r\n"), false, nil
+}
+
+// cmdBinarySet is the CVE-2011-4971 analog. The real vulnerability: a
+// crafted binary-protocol packet carries a huge body length which
+// Memcached trusts, so a fixed-size buffer is overflowed by a memcpy of
+// attacker-controlled length, corrupting the heap and crashing the
+// process. Here, the "binary" set command carries the body length in its
+// header and the handler copies that many bytes into a fixed staging
+// buffer without validating it against the buffer size or against the
+// bytes actually received.
+func cmdBinarySet(env *dmEnv, tokens [][]byte, bodyOff int) (int, bool, error) {
+	if len(tokens) < 3 {
+		return writeString(env, "ERROR\r\n"), false, nil
+	}
+	key := tokens[1]
+	bodyLen, err := strconv.Atoi(string(tokens[2]))
+	if err != nil || bodyLen < 0 {
+		return writeString(env, "CLIENT_ERROR bad command line format\r\n"), false, nil
+	}
+	staging, err := env.allocScratch(stagingSize)
+	if err != nil {
+		return writeString(env, "SERVER_ERROR out of memory\r\n"), false, nil
+	}
+	// BUG (intentional, the planted CVE): bodyLen comes straight from the
+	// packet header. A value larger than stagingSize overflows the
+	// staging buffer; larger than the connection buffer, it also overruns
+	// the source. With SDRaD both are confined to the nested domain and
+	// detected by the MMU.
+	env.c.Copy(staging, env.rbuf+mem.Addr(bodyOff), bodyLen)
+	n := bodyLen
+	if n > stagingSize {
+		n = stagingSize
+	}
+	value := env.c.ReadBytes(staging, n)
+	if err := env.ops.Set(env.c, key, value, 0); err != nil {
+		return writeString(env, "SERVER_ERROR "+err.Error()+"\r\n"), false, nil
+	}
+	return writeString(env, "STORED\r\n"), false, nil
+}
+
+func cmdDelete(env *dmEnv, tokens [][]byte) (int, bool, error) {
+	if len(tokens) < 2 {
+		return writeString(env, "ERROR\r\n"), false, nil
+	}
+	if env.ops.Delete(env.c, tokens[1]) {
+		return writeString(env, "DELETED\r\n"), false, nil
+	}
+	return writeString(env, "NOT_FOUND\r\n"), false, nil
+}
+
+func cmdIncrDecr(env *dmEnv, tokens [][]byte) (int, bool, error) {
+	if len(tokens) < 3 {
+		return writeString(env, "ERROR\r\n"), false, nil
+	}
+	key := tokens[1]
+	delta, err := strconv.ParseUint(string(tokens[2]), 10, 64)
+	if err != nil {
+		return writeString(env, "CLIENT_ERROR invalid numeric delta argument\r\n"), false, nil
+	}
+	value, flags, ok := env.ops.Get(env.c, key)
+	if !ok {
+		return writeString(env, "NOT_FOUND\r\n"), false, nil
+	}
+	cur, err := strconv.ParseUint(string(value), 10, 64)
+	if err != nil {
+		return writeString(env, "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"), false, nil
+	}
+	if string(tokens[0]) == "incr" {
+		cur += delta
+	} else if cur < delta {
+		cur = 0
+	} else {
+		cur -= delta
+	}
+	newVal := []byte(strconv.FormatUint(cur, 10))
+	if err := env.ops.Set(env.c, key, newVal, flags); err != nil {
+		return writeString(env, "SERVER_ERROR "+err.Error()+"\r\n"), false, nil
+	}
+	return writeResponse(env, append(newVal, '\r', '\n')), false, nil
+}
+
+func cmdStats(env *dmEnv) (int, bool, error) {
+	s := env.ops.Stats()
+	resp := fmt.Sprintf(
+		"STAT curr_items %d\r\nSTAT bytes %d\r\nSTAT evictions %d\r\nSTAT cmd_get %d\r\nSTAT cmd_set %d\r\nSTAT get_hits %d\r\nEND\r\n",
+		s.Items, s.Bytes, s.Evictions, s.Gets, s.Sets, s.Hits)
+	return writeString(env, resp), false, nil
+}

@@ -1,0 +1,577 @@
+package memcache
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"sdrad/internal/core"
+	"sdrad/internal/galloc"
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+	"sdrad/internal/tlsf"
+)
+
+// Variant selects the build under test (Figure 4 of the paper).
+type Variant int
+
+// Build variants.
+const (
+	// VariantVanilla is the unmodified baseline (glibc-like allocator).
+	VariantVanilla Variant = iota + 1
+	// VariantTLSF swaps the allocator for TLSF but adds no isolation.
+	VariantTLSF
+	// VariantSDRaD is the hardened build: per-event isolated domains,
+	// deep-copied connection buffers, deferred store updates.
+	VariantSDRaD
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantVanilla:
+		return "vanilla"
+	case VariantTLSF:
+		return "tlsf"
+	case VariantSDRaD:
+		return "sdrad"
+	default:
+		return "unknown"
+	}
+}
+
+// Domain indices used by the hardened build.
+const (
+	// storageUDI is the shared data domain holding the hash table and
+	// slab memory, accessible by every worker's event domain.
+	storageUDI = core.UDI(9)
+	// eventUDI is each worker's nested event-handling domain (execution
+	// domains are per thread, so every worker uses the same index).
+	eventUDI = core.UDI(1)
+)
+
+// Config sizes the server.
+type Config struct {
+	// Variant selects the build (default VariantVanilla).
+	Variant Variant
+	// Workers is the number of worker threads (default 1).
+	Workers int
+	// HashPower sets the bucket count to 1<<HashPower (default 14).
+	HashPower int
+	// CacheBytes is the cache memory limit (default 32 MiB).
+	CacheBytes uint64
+	// ConnBufSize is the per-connection read/write buffer size
+	// (default 16 KiB).
+	ConnBufSize int
+	// DomainHeapSize is the hardened build's per-event-domain heap
+	// (default 192 KiB: two connection-buffer copies plus scratch).
+	DomainHeapSize uint64
+	// Seed fixes process randomness.
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Variant == 0 {
+		c.Variant = VariantVanilla
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.HashPower == 0 {
+		c.HashPower = 14
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 32 << 20
+	}
+	if c.ConnBufSize == 0 {
+		c.ConnBufSize = 16 * 1024
+	}
+	if c.DomainHeapSize == 0 {
+		c.DomainHeapSize = 192 * 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Server errors.
+var (
+	ErrServerDown      = errors.New("memcache: server terminated")
+	ErrConnClosed      = errors.New("memcache: connection closed")
+	ErrRequestTooLarge = errors.New("memcache: request exceeds connection buffer")
+)
+
+// Server is one simulated Memcached process.
+type Server struct {
+	cfg Config
+	p   *proc.Process
+	lib *core.Library // nil for baseline variants
+	st  *Storage
+
+	connAllocator connAlloc // baseline variants' malloc for conn buffers
+	workers       []*worker
+	rr            atomic.Int64
+	connIDs       atomic.Int64
+	rewinds       atomic.Int64
+	closedByAtk   atomic.Int64
+}
+
+type worker struct {
+	idx    int
+	s      *Server
+	ch     chan *event
+	handle *proc.Handle
+
+	// Hardened-build per-worker domain state (owned by the worker
+	// goroutine).
+	domainReady bool
+	rbufCopy    mem.Addr
+	wbufCopy    mem.Addr
+}
+
+type event struct {
+	conn *Conn
+	req  []byte
+	resp chan result
+}
+
+type result struct {
+	data   []byte
+	closed bool
+	err    error
+}
+
+// Conn is a client connection. All its simulated-memory state is owned by
+// the worker it is pinned to.
+type Conn struct {
+	id     int
+	w      *worker
+	rbuf   mem.Addr
+	wbuf   mem.Addr
+	ready  bool
+	closed bool
+}
+
+// ID returns the connection id.
+func (c *Conn) ID() int { return c.id }
+
+// NewServer builds and starts a server: storage is provisioned, workers
+// are spawned, and the server is ready for NewConn/Do.
+func NewServer(cfg Config) (*Server, error) {
+	cfg.setDefaults()
+	s := &Server{
+		cfg: cfg,
+		p:   proc.NewProcess("memcached-"+cfg.Variant.String(), proc.WithSeed(cfg.Seed)),
+	}
+	if cfg.Variant == VariantSDRaD {
+		rootHeap := uint64(cfg.ConnBufSize)*2*256 + 2<<20 // 256 live conns + slack
+		lib, err := core.Setup(s.p,
+			core.WithRootHeapSize(rootHeap),
+			core.WithDefaultHeapSize(cfg.DomainHeapSize),
+		)
+		if err != nil {
+			return nil, err
+		}
+		s.lib = lib
+	}
+	if err := s.p.Attach("init", s.provision); err != nil {
+		return nil, fmt.Errorf("memcache: provisioning: %w", err)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{idx: i, s: s, ch: make(chan *event)}
+		w.handle = s.p.Spawn(fmt.Sprintf("worker-%d", i), w.run)
+		s.workers = append(s.workers, w)
+	}
+	return s, nil
+}
+
+// provision sets up storage (and, for the hardened build, the shared
+// storage data domain) on the init thread.
+func (s *Server) provision(t *proc.Thread) error {
+	as := s.p.AddressSpace()
+	c := t.CPU()
+	switch s.cfg.Variant {
+	case VariantSDRaD:
+		// The hash table and database live in a dedicated data domain,
+		// accessible by the nested event domain of each thread (§V-A).
+		heapSz := s.cfg.CacheBytes + 1<<20 // TLSF control + slack
+		if err := s.lib.InitDomain(t, storageUDI, core.AsData(), core.Accessible(), core.HeapSize(heapSz)); err != nil {
+			return err
+		}
+		block, err := s.lib.Malloc(t, storageUDI, s.cfg.CacheBytes)
+		if err != nil {
+			return err
+		}
+		arena := newBumpArena(block, s.cfg.CacheBytes)
+		st, err := NewStorage(c, s.cfg.HashPower, arena.alloc)
+		if err != nil {
+			return err
+		}
+		s.st = st
+	case VariantTLSF:
+		base, err := as.MapAnon(int(s.cfg.CacheBytes+baselineSlack(s.cfg)), mem.ProtRW, 0)
+		if err != nil {
+			return err
+		}
+		h, err := tlsf.Init(c, base, s.cfg.CacheBytes+baselineSlack(s.cfg))
+		if err != nil {
+			return err
+		}
+		s.connAllocator = &tlsfAlloc{h: h}
+		return s.provisionBaselineStorage(c)
+	case VariantVanilla:
+		base, err := as.MapAnon(int(s.cfg.CacheBytes+baselineSlack(s.cfg)), mem.ProtRW, 0)
+		if err != nil {
+			return err
+		}
+		h, err := galloc.Init(c, base, s.cfg.CacheBytes+baselineSlack(s.cfg))
+		if err != nil {
+			return err
+		}
+		s.connAllocator = &gallocAlloc{h: h}
+		return s.provisionBaselineStorage(c)
+	default:
+		return fmt.Errorf("memcache: unknown variant %d", s.cfg.Variant)
+	}
+	return nil
+}
+
+// baselineSlack is the baseline heap headroom beyond the cache limit:
+// connection buffers plus allocator slack.
+func baselineSlack(cfg Config) uint64 {
+	return uint64(cfg.ConnBufSize)*2*256 + 2<<20
+}
+
+// provisionBaselineStorage carves the storage arena out of the variant's
+// allocator (Memcached's slab pages come from malloc).
+func (s *Server) provisionBaselineStorage(c *mem.CPU) error {
+	block, err := s.connAllocator.Alloc(c, s.cfg.CacheBytes)
+	if err != nil {
+		return err
+	}
+	arena := newBumpArena(block, s.cfg.CacheBytes)
+	st, err := NewStorage(c, s.cfg.HashPower, arena.alloc)
+	if err != nil {
+		return err
+	}
+	s.st = st
+	return nil
+}
+
+// run is a worker thread's body: the event loop.
+func (w *worker) run(t *proc.Thread) error {
+	s := w.s
+	if s.cfg.Variant == VariantSDRaD {
+		// Create the per-thread event domain and grant it access to the
+		// shared database (deep copies of the connection buffer are made
+		// per event; the database itself is shared, as in the paper).
+		if err := s.lib.InitDomain(t, eventUDI, core.Accessible(), core.HeapSize(s.cfg.DomainHeapSize)); err != nil {
+			return err
+		}
+		if err := s.lib.DProtect(t, eventUDI, storageUDI, mem.ProtRW); err != nil {
+			return err
+		}
+	}
+	for {
+		select {
+		case <-s.p.Done():
+			return nil
+		case ev := <-w.ch:
+			ev.resp <- s.handleEvent(t, w, ev)
+		}
+	}
+}
+
+// handleEvent processes one client event on the worker thread.
+func (s *Server) handleEvent(t *proc.Thread, w *worker, ev *event) result {
+	conn := ev.conn
+	if conn.closed {
+		return result{closed: true, err: ErrConnClosed}
+	}
+	if len(ev.req) > s.cfg.ConnBufSize {
+		return result{err: ErrRequestTooLarge}
+	}
+	c := t.CPU()
+	if !conn.ready {
+		if err := s.allocConnBuffers(t, conn); err != nil {
+			return result{err: err}
+		}
+	}
+	// Network bytes land in the connection's read buffer (root memory).
+	c.Write(conn.rbuf, ev.req)
+
+	if s.cfg.Variant != VariantSDRaD {
+		return s.handleBaseline(t, conn, len(ev.req))
+	}
+	return s.handleHardened(t, w, conn, len(ev.req))
+}
+
+// handleBaseline runs drive_machine directly on the connection buffer. A
+// memory-safety violation faults with no recovery point: the process
+// supervisor terminates the whole server, which is exactly the behaviour
+// the paper's baseline exhibits under CVE-2011-4971.
+func (s *Server) handleBaseline(t *proc.Thread, conn *Conn, rlen int) result {
+	c := t.CPU()
+	var scratch []mem.Addr
+	env := &dmEnv{
+		c:    c,
+		rbuf: conn.rbuf,
+		rlen: rlen,
+		wbuf: conn.wbuf,
+		wcap: s.cfg.ConnBufSize,
+		allocScratch: func(size uint64) (mem.Addr, error) {
+			p, err := s.connAllocator.Alloc(c, size)
+			if err == nil {
+				scratch = append(scratch, p)
+			}
+			return p, err
+		},
+		ops: directOps{st: s.st},
+	}
+	wlen, closeit, err := driveMachine(env)
+	for _, p := range scratch {
+		_ = s.connAllocator.Free(c, p)
+	}
+	if err != nil {
+		return result{err: err}
+	}
+	resp := c.ReadBytes(conn.wbuf, wlen)
+	conn.closed = closeit
+	if closeit {
+		s.freeConnBuffers(t, conn)
+	}
+	return result{data: resp, closed: closeit}
+}
+
+// freeConnBuffers releases a closed connection's buffers.
+func (s *Server) freeConnBuffers(t *proc.Thread, conn *Conn) {
+	if !conn.ready {
+		return
+	}
+	if s.cfg.Variant == VariantSDRaD {
+		_ = s.lib.Free(t, core.RootUDI, conn.rbuf)
+		_ = s.lib.Free(t, core.RootUDI, conn.wbuf)
+	} else {
+		c := t.CPU()
+		_ = s.connAllocator.Free(c, conn.rbuf)
+		_ = s.connAllocator.Free(c, conn.wbuf)
+	}
+	conn.ready = false
+}
+
+// handleHardened is the paper's Figure 3 flow: the event is handled in
+// the worker's nested domain on a deep copy of the connection buffer;
+// database mutations are deferred to normal domain exit; an abnormal exit
+// discards the domain and closes only this connection.
+func (s *Server) handleHardened(t *proc.Thread, w *worker, conn *Conn, rlen int) result {
+	c := t.CPU()
+	bufSize := uint64(s.cfg.ConnBufSize)
+	dops := &deferredOps{st: s.st}
+	var wlen int
+	var closeit bool
+
+	gerr := s.lib.Guard(t, eventUDI, func() error {
+		if !w.domainReady {
+			// The domain may have just been re-created (a rewind discards
+			// it); re-establish its grant on the shared database and its
+			// buffer copies.
+			if err := s.lib.DProtect(t, eventUDI, storageUDI, mem.ProtRW); err != nil {
+				return err
+			}
+			rb, err := s.lib.Malloc(t, eventUDI, bufSize)
+			if err != nil {
+				return err
+			}
+			wb, err := s.lib.Malloc(t, eventUDI, bufSize)
+			if err != nil {
+				return err
+			}
+			w.rbufCopy, w.wbufCopy = rb, wb
+			w.domainReady = true
+		}
+		// ④ deep copy of the connection buffer into the domain.
+		s.lib.Copy(t, w.rbufCopy, conn.rbuf, rlen)
+		// ⑤ enter the domain, ⑥ drive_machine on the copy.
+		if err := s.lib.Enter(t, eventUDI); err != nil {
+			return err
+		}
+		var scratch []mem.Addr
+		env := &dmEnv{
+			c:    c,
+			rbuf: w.rbufCopy,
+			rlen: rlen,
+			wbuf: w.wbufCopy,
+			wcap: s.cfg.ConnBufSize,
+			allocScratch: func(size uint64) (mem.Addr, error) {
+				p, err := s.lib.Malloc(t, eventUDI, size)
+				if err == nil {
+					scratch = append(scratch, p)
+				}
+				return p, err
+			},
+			ops: dops,
+		}
+		var derr error
+		wlen, closeit, derr = driveMachine(env)
+		for _, p := range scratch {
+			_ = s.lib.Free(t, eventUDI, p)
+		}
+		// ⑦ exit back to the root domain.
+		if err := s.lib.Exit(t); err != nil {
+			return err
+		}
+		if derr != nil {
+			return derr
+		}
+		// ⑧ copy response back to the real connection buffer and
+		// ⑨ apply the deferred database updates.
+		s.lib.Copy(t, conn.wbuf, w.wbufCopy, wlen)
+		return dops.apply(c)
+	}, core.Accessible(), core.HeapSize(s.cfg.DomainHeapSize))
+	if gerr != nil {
+		var abn *core.AbnormalExit
+		if errors.As(gerr, &abn) {
+			// ⑫-⑭ rewind happened: the domain and the copied buffers are
+			// gone; close the offending connection and keep serving.
+			w.domainReady = false
+			conn.closed = true
+			s.freeConnBuffers(t, conn)
+			s.rewinds.Add(1)
+			s.closedByAtk.Add(1)
+			return result{closed: true}
+		}
+		return result{err: gerr}
+	}
+	resp := c.ReadBytes(conn.wbuf, wlen)
+	conn.closed = closeit
+	if closeit {
+		s.freeConnBuffers(t, conn)
+	}
+	return result{data: resp, closed: closeit}
+}
+
+// allocConnBuffers provisions a connection's buffers in root memory.
+func (s *Server) allocConnBuffers(t *proc.Thread, conn *Conn) error {
+	sz := uint64(s.cfg.ConnBufSize)
+	if s.cfg.Variant == VariantSDRaD {
+		rb, err := s.lib.Malloc(t, core.RootUDI, sz)
+		if err != nil {
+			return err
+		}
+		wb, err := s.lib.Malloc(t, core.RootUDI, sz)
+		if err != nil {
+			return err
+		}
+		conn.rbuf, conn.wbuf = rb, wb
+	} else {
+		c := t.CPU()
+		rb, err := s.connAllocator.Alloc(c, sz)
+		if err != nil {
+			return err
+		}
+		wb, err := s.connAllocator.Alloc(c, sz)
+		if err != nil {
+			return err
+		}
+		conn.rbuf, conn.wbuf = rb, wb
+	}
+	conn.ready = true
+	return nil
+}
+
+// InlineDo serves one request synchronously on an inline worker thread
+// created by RunInline.
+type InlineDo func(conn *Conn, req []byte) (resp []byte, closed bool, err error)
+
+// RunInline runs body on a dedicated worker thread that both issues and
+// serves requests, with no event-channel hop in between. It exists for
+// low-noise benchmarking (single-core CI machines drown the variant
+// differences in scheduler noise otherwise); the serving path is exactly
+// the one the event loop uses. Connections passed to the returned InlineDo
+// must have been created by the NewConn method of this call's handle.
+func (s *Server) RunInline(name string, body func(newConn func() *Conn, do InlineDo) error) error {
+	w := &worker{idx: -1, s: s, ch: nil}
+	h := s.p.Spawn(name, func(t *proc.Thread) error {
+		if s.cfg.Variant == VariantSDRaD {
+			if err := s.lib.InitDomain(t, eventUDI, core.Accessible(), core.HeapSize(s.cfg.DomainHeapSize)); err != nil {
+				return err
+			}
+			if err := s.lib.DProtect(t, eventUDI, storageUDI, mem.ProtRW); err != nil {
+				return err
+			}
+		}
+		newConn := func() *Conn {
+			return &Conn{id: int(s.connIDs.Add(1)), w: w}
+		}
+		do := func(conn *Conn, req []byte) ([]byte, bool, error) {
+			res := s.handleEvent(t, w, &event{conn: conn, req: req})
+			return res.data, res.closed, res.err
+		}
+		return body(newConn, do)
+	})
+	return h.Join()
+}
+
+// NewConn opens a client connection pinned round-robin to a worker.
+func (s *Server) NewConn() *Conn {
+	idx := int(s.rr.Add(1)-1) % len(s.workers)
+	return &Conn{
+		id: int(s.connIDs.Add(1)),
+		w:  s.workers[idx],
+	}
+}
+
+// Do sends one request on the connection and waits for the response.
+// closed reports that the server closed the connection (quit command or
+// attack recovery).
+func (c *Conn) Do(req []byte) (resp []byte, closed bool, err error) {
+	s := c.w.s
+	ev := &event{conn: c, req: req, resp: make(chan result, 1)}
+	select {
+	case c.w.ch <- ev:
+	case <-s.p.Done():
+		return nil, true, ErrServerDown
+	}
+	select {
+	case r := <-ev.resp:
+		return r.data, r.closed, r.err
+	case <-s.p.Done():
+		return nil, true, ErrServerDown
+	}
+}
+
+// Stop shuts the server down and waits for the workers.
+func (s *Server) Stop() {
+	s.p.Shutdown()
+	s.p.Wait()
+}
+
+// Crashed reports whether the server process died (baseline under
+// attack) and the recorded cause.
+func (s *Server) Crashed() (bool, error) {
+	if !s.p.Killed() {
+		return false, nil
+	}
+	return s.p.ExitError() != nil, s.p.ExitError()
+}
+
+// Rewinds reports how many abnormal domain exits the server recovered.
+func (s *Server) Rewinds() int64 { return s.rewinds.Load() }
+
+// MappedBytes is the resident-set-size analog: bytes of simulated memory
+// currently mapped by the server process.
+func (s *Server) MappedBytes() int64 {
+	return s.p.AddressSpace().Stats().MappedBytes.Load()
+}
+
+// StorageStats returns cache statistics.
+func (s *Server) StorageStats() StorageStats { return s.st.Stats() }
+
+// Process exposes the simulated process (tests, benchmarks).
+func (s *Server) Process() *proc.Process { return s.p }
+
+// Library exposes the SDRaD library of the hardened build (nil
+// otherwise).
+func (s *Server) Library() *core.Library { return s.lib }
+
+// Variant returns the build variant.
+func (s *Server) Variant() Variant { return s.cfg.Variant }

@@ -1,0 +1,530 @@
+// Package memcache is a faithful architectural port of Memcached used as
+// the paper's first case study (§V-A): an in-memory key-value cache with
+// a hash table, slab allocation, per-class LRU eviction, an event-driven
+// request state machine (drive_machine), and worker threads.
+//
+// All cache state — buckets, slab pages, items, connection buffers —
+// lives in the simulated address space, so a memory-safety bug in request
+// handling corrupts (and faults in) simulated memory exactly as the real
+// CVE-2011-4971 does in process memory.
+//
+// Three build variants reproduce the paper's comparison (Figure 4):
+//
+//   - VariantVanilla: the baseline, backed by a glibc-like first-fit
+//     allocator (internal/galloc);
+//   - VariantTLSF: identical but allocating from a TLSF heap, isolating
+//     the cost of the allocator swap;
+//   - VariantSDRaD: the hardened build, where every client event is
+//     handled in a nested isolated domain on a deep copy of the
+//     connection buffer, store operations are deferred to normal domain
+//     exit, and a detected attack discards the domain and closes only
+//     the offending connection.
+package memcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sdrad/internal/mem"
+)
+
+// Item header layout (all fields little-endian), followed by key bytes
+// then value bytes:
+//
+//	+0:  next item in hash chain (Addr)
+//	+8:  LRU next (Addr)
+//	+16: LRU prev (Addr)
+//	+24: key length
+//	+32: value length
+//	+40: user flags
+//	+48: slab class index
+//	+56: CAS unique id
+//	+64: key bytes ... value bytes
+const (
+	itemOffNext   = 0
+	itemOffLRUN   = 8
+	itemOffLRUP   = 16
+	itemOffKeyLen = 24
+	itemOffValLen = 32
+	itemOffFlags  = 40
+	itemOffClass  = 48
+	itemOffCAS    = 56
+	itemHeader    = 64
+)
+
+// Slab geometry: chunk classes grow by factor 1.25 from 96 bytes, pages
+// are 64 KiB, mirroring Memcached's defaults.
+const (
+	slabPageSize   = 64 * 1024
+	smallestChunk  = 96
+	growthFactorPc = 125 // percent
+)
+
+// Storage errors.
+var (
+	ErrValueTooLarge = errors.New("memcache: object too large for any slab class")
+	ErrStoreFull     = errors.New("memcache: out of memory storing item")
+	ErrKeyTooLong    = errors.New("memcache: key too long")
+)
+
+// MaxKeyLen matches Memcached's 250-byte key limit.
+const MaxKeyLen = 250
+
+// slabClass is one chunk-size class with its free list and LRU.
+type slabClass struct {
+	chunkSize uint64
+	freeHead  mem.Addr // chain through first word of free chunks
+	lruHead   mem.Addr // most recently used
+	lruTail   mem.Addr // least recently used
+	chunks    int
+	used      int
+}
+
+// pageAlloc obtains backing pages for slabs and the bucket array, from
+// the cache's pre-sized memory arena (Memcached's -m limit). The variant
+// wiring decides where that arena lives: a plain mapping for the
+// baselines, an SDRaD data domain for the hardened build.
+type pageAlloc func(size uint64) (mem.Addr, error)
+
+// Storage is the shared cache state: hash table + slabs + LRU. It is
+// shared by all workers and guarded by a single mutex, like Memcached's
+// cache_lock. In the SDRaD variant the mutex conceptually lives in its
+// own shared data domain (paper §V-A); the Go mutex here is that domain's
+// lock word.
+type Storage struct {
+	mu sync.Mutex
+
+	buckets  mem.Addr
+	nbuckets uint64
+	classes  []slabClass
+	alloc    pageAlloc
+
+	// casCounter issues CAS unique ids (guarded by mu).
+	casCounter uint64
+
+	// Live statistics (guarded by mu).
+	items     int
+	bytes     uint64
+	evictions int
+	sets      int
+	gets      int
+	hits      int
+}
+
+// NewStorage builds the cache state: the bucket array is allocated
+// immediately; slab pages are claimed on demand.
+func NewStorage(c *mem.CPU, hashPower int, alloc pageAlloc) (*Storage, error) {
+	if hashPower < 4 || hashPower > 26 {
+		return nil, fmt.Errorf("memcache: hash power %d out of range", hashPower)
+	}
+	st := &Storage{
+		nbuckets: 1 << uint(hashPower),
+		alloc:    alloc,
+	}
+	b, err := alloc(st.nbuckets * 8)
+	if err != nil {
+		return nil, fmt.Errorf("memcache: allocating hash table: %w", err)
+	}
+	st.buckets = b
+	c.Memset(b, 0, int(st.nbuckets*8))
+	for sz := uint64(smallestChunk); sz <= slabPageSize; sz = sz * growthFactorPc / 100 {
+		sz = (sz + 7) &^ 7
+		st.classes = append(st.classes, slabClass{chunkSize: sz})
+	}
+	return st, nil
+}
+
+// classFor returns the index of the smallest class fitting need bytes.
+func (st *Storage) classFor(need uint64) (int, error) {
+	for i := range st.classes {
+		if st.classes[i].chunkSize >= need {
+			return i, nil
+		}
+	}
+	return 0, ErrValueTooLarge
+}
+
+// hashKey is FNV-1a, as good as Memcached's default for this purpose.
+func hashKey(key []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (st *Storage) bucketAddr(h uint64) mem.Addr {
+	return st.buckets + mem.Addr((h%st.nbuckets)*8)
+}
+
+// grabChunk returns a free chunk of class ci, claiming a new slab page or
+// evicting the class LRU tail when necessary.
+func (st *Storage) grabChunk(c *mem.CPU, ci int) (mem.Addr, error) {
+	cl := &st.classes[ci]
+	if cl.freeHead == 0 {
+		if page, err := st.alloc(slabPageSize); err == nil {
+			// Carve the page into chunks, threading the free list.
+			n := slabPageSize / cl.chunkSize
+			for i := uint64(0); i < n; i++ {
+				chunk := page + mem.Addr(i*cl.chunkSize)
+				c.WriteAddr(chunk, cl.freeHead)
+				cl.freeHead = chunk
+			}
+			cl.chunks += int(n)
+		} else {
+			// No memory: evict the least recently used item of this
+			// class (Memcached's eviction policy).
+			if cl.lruTail == 0 {
+				return 0, ErrStoreFull
+			}
+			victim := cl.lruTail
+			st.unlinkItem(c, victim)
+			st.evictions++
+		}
+	}
+	chunk := cl.freeHead
+	cl.freeHead = c.ReadAddr(chunk)
+	cl.used++
+	return chunk, nil
+}
+
+// releaseChunk returns a chunk to its class free list.
+func (st *Storage) releaseChunk(c *mem.CPU, ci int, chunk mem.Addr) {
+	cl := &st.classes[ci]
+	c.WriteAddr(chunk, cl.freeHead)
+	cl.freeHead = chunk
+	cl.used--
+}
+
+// itemKey reads an item's key.
+func itemKey(c *mem.CPU, it mem.Addr) []byte {
+	klen := c.ReadU64(it + itemOffKeyLen)
+	return c.ReadBytes(it+itemHeader, int(klen))
+}
+
+// itemValueAddr returns the address and length of an item's value.
+func itemValueAddr(c *mem.CPU, it mem.Addr) (mem.Addr, int) {
+	klen := c.ReadU64(it + itemOffKeyLen)
+	vlen := c.ReadU64(it + itemOffValLen)
+	return it + itemHeader + mem.Addr(klen), int(vlen)
+}
+
+// lruBump moves an item to the head of its class LRU.
+func (st *Storage) lruBump(c *mem.CPU, it mem.Addr) {
+	ci := int(c.ReadU64(it + itemOffClass))
+	cl := &st.classes[ci]
+	if cl.lruHead == it {
+		return
+	}
+	st.lruUnlink(c, it)
+	st.lruPush(c, it)
+}
+
+func (st *Storage) lruPush(c *mem.CPU, it mem.Addr) {
+	ci := int(c.ReadU64(it + itemOffClass))
+	cl := &st.classes[ci]
+	c.WriteAddr(it+itemOffLRUN, cl.lruHead)
+	c.WriteAddr(it+itemOffLRUP, 0)
+	if cl.lruHead != 0 {
+		c.WriteAddr(cl.lruHead+itemOffLRUP, it)
+	}
+	cl.lruHead = it
+	if cl.lruTail == 0 {
+		cl.lruTail = it
+	}
+}
+
+func (st *Storage) lruUnlink(c *mem.CPU, it mem.Addr) {
+	ci := int(c.ReadU64(it + itemOffClass))
+	cl := &st.classes[ci]
+	next := c.ReadAddr(it + itemOffLRUN)
+	prev := c.ReadAddr(it + itemOffLRUP)
+	if prev != 0 {
+		c.WriteAddr(prev+itemOffLRUN, next)
+	} else {
+		cl.lruHead = next
+	}
+	if next != 0 {
+		c.WriteAddr(next+itemOffLRUP, prev)
+	} else {
+		cl.lruTail = prev
+	}
+}
+
+// hashUnlink removes an item from its hash chain.
+func (st *Storage) hashUnlink(c *mem.CPU, it mem.Addr) {
+	key := itemKey(c, it)
+	ba := st.bucketAddr(hashKey(key))
+	cur := c.ReadAddr(ba)
+	if cur == it {
+		c.WriteAddr(ba, c.ReadAddr(it+itemOffNext))
+		return
+	}
+	for cur != 0 {
+		next := c.ReadAddr(cur + itemOffNext)
+		if next == it {
+			c.WriteAddr(cur+itemOffNext, c.ReadAddr(it+itemOffNext))
+			return
+		}
+		cur = next
+	}
+}
+
+// unlinkItem fully removes an item (hash chain + LRU) and frees its chunk.
+func (st *Storage) unlinkItem(c *mem.CPU, it mem.Addr) {
+	st.hashUnlink(c, it)
+	st.lruUnlink(c, it)
+	vlen := c.ReadU64(it + itemOffValLen)
+	klen := c.ReadU64(it + itemOffKeyLen)
+	ci := int(c.ReadU64(it + itemOffClass))
+	st.releaseChunk(c, ci, it)
+	st.items--
+	st.bytes -= itemHeader + klen + vlen
+}
+
+// Lookup finds an item by key, bumping its LRU position. The caller must
+// hold the storage lock.
+func (st *Storage) lookupLocked(c *mem.CPU, key []byte) mem.Addr {
+	ba := st.bucketAddr(hashKey(key))
+	it := c.ReadAddr(ba)
+	for it != 0 {
+		k := itemKey(c, it)
+		if string(k) == string(key) {
+			return it
+		}
+		it = c.ReadAddr(it + itemOffNext)
+	}
+	return 0
+}
+
+// Get copies out the value and flags for key, or ok=false.
+func (st *Storage) Get(c *mem.CPU, key []byte) (value []byte, flags uint32, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.gets++
+	it := st.lookupLocked(c, key)
+	if it == 0 {
+		return nil, 0, false
+	}
+	st.hits++
+	st.lruBump(c, it)
+	va, vlen := itemValueAddr(c, it)
+	return c.ReadBytes(va, vlen), uint32(c.ReadU64(it + itemOffFlags)), true
+}
+
+// storeLocked writes a fresh item for key=value, unlinking any existing
+// item first. Caller holds the lock. Returns the new CAS id.
+func (st *Storage) storeLocked(c *mem.CPU, key, value []byte, flags uint32) (uint64, error) {
+	need := uint64(itemHeader + len(key) + len(value))
+	ci, err := st.classFor(need)
+	if err != nil {
+		return 0, err
+	}
+	if old := st.lookupLocked(c, key); old != 0 {
+		st.unlinkItem(c, old)
+	}
+	it, err := st.grabChunk(c, ci)
+	if err != nil {
+		return 0, err
+	}
+	st.casCounter++
+	c.WriteAddr(it+itemOffNext, 0)
+	c.WriteAddr(it+itemOffLRUN, 0)
+	c.WriteAddr(it+itemOffLRUP, 0)
+	c.WriteU64(it+itemOffKeyLen, uint64(len(key)))
+	c.WriteU64(it+itemOffValLen, uint64(len(value)))
+	c.WriteU64(it+itemOffFlags, uint64(flags))
+	c.WriteU64(it+itemOffClass, uint64(ci))
+	c.WriteU64(it+itemOffCAS, st.casCounter)
+	c.Write(it+itemHeader, key)
+	c.Write(it+itemHeader+mem.Addr(len(key)), value)
+	// Link: hash chain head + LRU head.
+	ba := st.bucketAddr(hashKey(key))
+	c.WriteAddr(it+itemOffNext, c.ReadAddr(ba))
+	c.WriteAddr(ba, it)
+	st.lruPush(c, it)
+	st.items++
+	st.bytes += need
+	return st.casCounter, nil
+}
+
+// Set stores key=value, replacing any existing item.
+func (st *Storage) Set(c *mem.CPU, key, value []byte, flags uint32) error {
+	if len(key) > MaxKeyLen {
+		return ErrKeyTooLong
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sets++
+	_, err := st.storeLocked(c, key, value, flags)
+	return err
+}
+
+// StoreOutcome reports conditional-store results.
+type StoreOutcome int
+
+// Conditional-store outcomes.
+const (
+	// Stored: the mutation was applied.
+	Stored StoreOutcome = iota + 1
+	// NotStored: the existence precondition failed (add on present key,
+	// replace/append/prepend on missing key).
+	NotStored
+	// CASMismatch: the item changed since the witnessed CAS id.
+	CASMismatch
+	// NotFoundOutcome: cas on a missing key.
+	NotFoundOutcome
+)
+
+// Add stores only if the key does not exist (memcached add).
+func (st *Storage) Add(c *mem.CPU, key, value []byte, flags uint32) (StoreOutcome, error) {
+	if len(key) > MaxKeyLen {
+		return NotStored, ErrKeyTooLong
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sets++
+	if st.lookupLocked(c, key) != 0 {
+		return NotStored, nil
+	}
+	if _, err := st.storeLocked(c, key, value, flags); err != nil {
+		return NotStored, err
+	}
+	return Stored, nil
+}
+
+// Replace stores only if the key exists (memcached replace).
+func (st *Storage) Replace(c *mem.CPU, key, value []byte, flags uint32) (StoreOutcome, error) {
+	if len(key) > MaxKeyLen {
+		return NotStored, ErrKeyTooLong
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sets++
+	if st.lookupLocked(c, key) == 0 {
+		return NotStored, nil
+	}
+	if _, err := st.storeLocked(c, key, value, flags); err != nil {
+		return NotStored, err
+	}
+	return Stored, nil
+}
+
+// Concat appends (or prepends) data to an existing value.
+func (st *Storage) Concat(c *mem.CPU, key, data []byte, prepend bool) (StoreOutcome, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sets++
+	it := st.lookupLocked(c, key)
+	if it == 0 {
+		return NotStored, nil
+	}
+	va, vlen := itemValueAddr(c, it)
+	old := c.ReadBytes(va, vlen)
+	flags := uint32(c.ReadU64(it + itemOffFlags))
+	var merged []byte
+	if prepend {
+		merged = append(append([]byte{}, data...), old...)
+	} else {
+		merged = append(append([]byte{}, old...), data...)
+	}
+	if _, err := st.storeLocked(c, key, merged, flags); err != nil {
+		return NotStored, err
+	}
+	return Stored, nil
+}
+
+// CAS stores only if the item's CAS id still matches casid.
+func (st *Storage) CAS(c *mem.CPU, key, value []byte, flags uint32, casid uint64) (StoreOutcome, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sets++
+	it := st.lookupLocked(c, key)
+	if it == 0 {
+		return NotFoundOutcome, nil
+	}
+	if c.ReadU64(it+itemOffCAS) != casid {
+		return CASMismatch, nil
+	}
+	if _, err := st.storeLocked(c, key, value, flags); err != nil {
+		return NotStored, err
+	}
+	return Stored, nil
+}
+
+// GetWithCAS is Get plus the item's CAS id (memcached gets).
+func (st *Storage) GetWithCAS(c *mem.CPU, key []byte) (value []byte, flags uint32, casid uint64, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.gets++
+	it := st.lookupLocked(c, key)
+	if it == 0 {
+		return nil, 0, 0, false
+	}
+	st.hits++
+	st.lruBump(c, it)
+	va, vlen := itemValueAddr(c, it)
+	return c.ReadBytes(va, vlen), uint32(c.ReadU64(it + itemOffFlags)), c.ReadU64(it + itemOffCAS), true
+}
+
+// Touch bumps an item's LRU position (expiry is not simulated).
+func (st *Storage) Touch(c *mem.CPU, key []byte) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it := st.lookupLocked(c, key)
+	if it == 0 {
+		return false
+	}
+	st.lruBump(c, it)
+	return true
+}
+
+// FlushAll discards every item.
+func (st *Storage) FlushAll(c *mem.CPU) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for ci := range st.classes {
+		cl := &st.classes[ci]
+		for cl.lruTail != 0 {
+			st.unlinkItem(c, cl.lruTail)
+		}
+	}
+}
+
+// Delete removes key, reporting whether it existed.
+func (st *Storage) Delete(c *mem.CPU, key []byte) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it := st.lookupLocked(c, key)
+	if it == 0 {
+		return false
+	}
+	st.unlinkItem(c, it)
+	return true
+}
+
+// StorageStats is a snapshot of cache statistics.
+type StorageStats struct {
+	Items     int
+	Bytes     uint64
+	Evictions int
+	Sets      int
+	Gets      int
+	Hits      int
+}
+
+// Stats returns a snapshot of the cache statistics.
+func (st *Storage) Stats() StorageStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return StorageStats{
+		Items:     st.items,
+		Bytes:     st.bytes,
+		Evictions: st.evictions,
+		Sets:      st.sets,
+		Gets:      st.gets,
+		Hits:      st.hits,
+	}
+}

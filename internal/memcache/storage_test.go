@@ -1,0 +1,244 @@
+package memcache
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sdrad/internal/mem"
+)
+
+// newStorage builds a Storage over a fixed arena.
+func newStorage(t testing.TB, hashPower int, arenaBytes uint64) (*Storage, *mem.CPU) {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	cpu := as.NewCPU()
+	base, err := as.MapAnon(int(arenaBytes), mem.ProtRW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := newBumpArena(base, arenaBytes)
+	st, err := NewStorage(cpu, hashPower, arena.alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, cpu
+}
+
+func TestStorageBasicOps(t *testing.T) {
+	st, cpu := newStorage(t, 8, 1<<20)
+	if err := st.Set(cpu, []byte("k"), []byte("v"), 3); err != nil {
+		t.Fatal(err)
+	}
+	v, flags, ok := st.Get(cpu, []byte("k"))
+	if !ok || string(v) != "v" || flags != 3 {
+		t.Fatalf("get = %q %d %v", v, flags, ok)
+	}
+	if _, _, ok := st.Get(cpu, []byte("miss")); ok {
+		t.Fatal("phantom hit")
+	}
+	if !st.Delete(cpu, []byte("k")) {
+		t.Fatal("delete failed")
+	}
+	if st.Delete(cpu, []byte("k")) {
+		t.Fatal("double delete succeeded")
+	}
+	stats := st.Stats()
+	if stats.Items != 0 || stats.Sets != 1 || stats.Gets != 2 || stats.Hits != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestStorageHashCollisions(t *testing.T) {
+	// Tiny table: every bucket collides heavily; chains must stay intact
+	// through interleaved inserts and deletes.
+	st, cpu := newStorage(t, 4, 4<<20)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := st.Set(cpu, []byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("val-%03d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete every third key.
+	for i := 0; i < n; i += 3 {
+		if !st.Delete(cpu, []byte(fmt.Sprintf("key-%03d", i))) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, _, ok := st.Get(cpu, []byte(fmt.Sprintf("key-%03d", i)))
+		if i%3 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d still present", i)
+			}
+			continue
+		}
+		if !ok || string(v) != fmt.Sprintf("val-%03d", i) {
+			t.Fatalf("key %d = %q %v", i, v, ok)
+		}
+	}
+}
+
+func TestStorageLRUEvictionOrder(t *testing.T) {
+	// One slab class, tight memory: eviction must pick the least
+	// recently used item of the class.
+	st, cpu := newStorage(t, 8, 300*1024)
+	val := make([]byte, 900) // all items land in one class
+	var stored []string
+	for i := 0; ; i++ {
+		key := fmt.Sprintf("k-%04d", i)
+		err := st.Set(cpu, []byte(key), val, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stored = append(stored, key)
+		if st.Stats().Evictions > 0 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("no eviction under memory pressure")
+		}
+	}
+	// The first-stored (least recently used) key is the evicted one.
+	if _, _, ok := st.Get(cpu, []byte(stored[0])); ok {
+		t.Error("LRU victim survived")
+	}
+	if _, _, ok := st.Get(cpu, []byte(stored[len(stored)-1])); !ok {
+		t.Error("most recent item evicted")
+	}
+}
+
+func TestStorageLRUBumpOnGet(t *testing.T) {
+	st, cpu := newStorage(t, 8, 300*1024)
+	val := make([]byte, 900)
+	// Fill to just below eviction.
+	var keys []string
+	for i := 0; ; i++ {
+		key := fmt.Sprintf("k-%04d", i)
+		if err := st.Set(cpu, []byte(key), val, 0); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+		if st.Stats().Evictions > 0 {
+			t.Fatal("evicted during fill phase")
+		}
+		st2 := st.Stats()
+		if st2.Bytes > 180*1024 {
+			break
+		}
+	}
+	// Touch the oldest key, then insert until eviction: the bumped key
+	// must survive, the second-oldest goes.
+	if _, _, ok := st.Get(cpu, []byte(keys[0])); !ok {
+		t.Fatal("oldest key missing before bump test")
+	}
+	for i := 0; st.Stats().Evictions == 0; i++ {
+		if err := st.Set(cpu, []byte(fmt.Sprintf("new-%04d", i)), val, 0); err != nil {
+			t.Fatal(err)
+		}
+		if i > 1000 {
+			t.Fatal("no eviction")
+		}
+	}
+	if _, _, ok := st.Get(cpu, []byte(keys[0])); !ok {
+		t.Error("LRU-bumped key was evicted")
+	}
+	if _, _, ok := st.Get(cpu, []byte(keys[1])); ok {
+		t.Error("true LRU victim survived")
+	}
+}
+
+func TestStorageKeyLimits(t *testing.T) {
+	st, cpu := newStorage(t, 8, 1<<20)
+	long := make([]byte, MaxKeyLen+1)
+	for i := range long {
+		long[i] = 'k'
+	}
+	if err := st.Set(cpu, long, []byte("v"), 0); !errors.Is(err, ErrKeyTooLong) {
+		t.Errorf("long key err = %v", err)
+	}
+	if err := st.Set(cpu, long[:MaxKeyLen], []byte("v"), 0); err != nil {
+		t.Errorf("max key err = %v", err)
+	}
+	// Value too large for any class.
+	huge := make([]byte, slabPageSize+1)
+	if err := st.Set(cpu, []byte("h"), huge, 0); !errors.Is(err, ErrValueTooLarge) {
+		t.Errorf("huge value err = %v", err)
+	}
+}
+
+func TestStorageOverwriteReleasesOldChunk(t *testing.T) {
+	st, cpu := newStorage(t, 8, 1<<20)
+	// Overwrite the same key many times with same-class values: chunk
+	// count must not grow (old chunks recycled via the free list).
+	for i := 0; i < 500; i++ {
+		if err := st.Set(cpu, []byte("k"), []byte(fmt.Sprintf("value-%d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if stats.Items != 1 {
+		t.Errorf("items = %d", stats.Items)
+	}
+	if stats.Evictions != 0 {
+		t.Errorf("evictions = %d during overwrite churn", stats.Evictions)
+	}
+}
+
+func TestStorageConditionalOps(t *testing.T) {
+	st, cpu := newStorage(t, 8, 1<<20)
+	if out, err := st.Add(cpu, []byte("a"), []byte("1"), 0); err != nil || out != Stored {
+		t.Fatalf("add = %v %v", out, err)
+	}
+	if out, _ := st.Add(cpu, []byte("a"), []byte("2"), 0); out != NotStored {
+		t.Fatalf("re-add = %v", out)
+	}
+	if out, _ := st.Replace(cpu, []byte("b"), []byte("x"), 0); out != NotStored {
+		t.Fatalf("replace missing = %v", out)
+	}
+	if out, _ := st.Concat(cpu, []byte("a"), []byte("+"), false); out != Stored {
+		t.Fatalf("append = %v", out)
+	}
+	v, _, _ := st.Get(cpu, []byte("a"))
+	if string(v) != "1+" {
+		t.Fatalf("after append = %q", v)
+	}
+	_, _, casid, ok := st.GetWithCAS(cpu, []byte("a"))
+	if !ok {
+		t.Fatal("gets miss")
+	}
+	if out, _ := st.CAS(cpu, []byte("a"), []byte("new"), 0, casid); out != Stored {
+		t.Fatalf("cas = %v", out)
+	}
+	if out, _ := st.CAS(cpu, []byte("a"), []byte("newer"), 0, casid); out != CASMismatch {
+		t.Fatalf("stale cas = %v", out)
+	}
+	if out, _ := st.CAS(cpu, []byte("zz"), []byte("x"), 0, 1); out != NotFoundOutcome {
+		t.Fatalf("cas missing = %v", out)
+	}
+	if !st.Touch(cpu, []byte("a")) || st.Touch(cpu, []byte("zz")) {
+		t.Error("touch semantics broken")
+	}
+	st.FlushAll(cpu)
+	if st.Stats().Items != 0 {
+		t.Error("flush left items")
+	}
+}
+
+func TestNewStorageValidation(t *testing.T) {
+	as := mem.NewAddressSpace()
+	cpu := as.NewCPU()
+	base, _ := as.MapAnon(1<<20, mem.ProtRW, 0)
+	arena := newBumpArena(base, 1<<20)
+	if _, err := NewStorage(cpu, 2, arena.alloc); err == nil {
+		t.Error("tiny hash power accepted")
+	}
+	if _, err := NewStorage(cpu, 30, arena.alloc); err == nil {
+		t.Error("huge hash power accepted")
+	}
+	// Arena too small for the bucket array.
+	tiny := newBumpArena(base, 8)
+	if _, err := NewStorage(cpu, 10, tiny.alloc); err == nil {
+		t.Error("arena exhaustion not reported")
+	}
+}

@@ -1,0 +1,160 @@
+package sig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultDispositions(t *testing.T) {
+	tbl := NewTable()
+	cases := []struct {
+		sig  Signal
+		want Action
+	}{
+		{SIGSEGV, ActionTerminate},
+		{SIGABRT, ActionTerminate},
+		{SIGKILL, ActionTerminate},
+		{SIGTERM, ActionTerminate},
+		{Signal(40), ActionIgnored},
+	}
+	for _, c := range cases {
+		got := tbl.Deliver(&Info{Signal: c.sig}, 0, nil)
+		if got != c.want {
+			t.Errorf("default action for %v = %v, want %v", c.sig, got, c.want)
+		}
+	}
+}
+
+func TestHandlerInvocation(t *testing.T) {
+	tbl := NewTable()
+	var seen *Info
+	var seenTLS any
+	tbl.Register(SIGSEGV, func(info *Info, tls any) Action {
+		seen = info
+		seenTLS = tls
+		return ActionHandled
+	})
+	info := &Info{Signal: SIGSEGV, Code: 4, Addr: 0x1234, PKey: 7}
+	got := tbl.Deliver(info, 0, "thread-9")
+	if got != ActionHandled {
+		t.Fatalf("action = %v", got)
+	}
+	if seen != info || seenTLS != "thread-9" {
+		t.Error("handler did not receive info/tls")
+	}
+	if tbl.Delivered(SIGSEGV) != 1 {
+		t.Errorf("delivered count = %d", tbl.Delivered(SIGSEGV))
+	}
+}
+
+func TestUnregisterRestoresDefault(t *testing.T) {
+	tbl := NewTable()
+	tbl.Register(SIGSEGV, func(*Info, any) Action { return ActionHandled })
+	tbl.Register(SIGSEGV, nil)
+	if got := tbl.Deliver(&Info{Signal: SIGSEGV}, 0, nil); got != ActionTerminate {
+		t.Errorf("after unregister = %v, want terminate", got)
+	}
+}
+
+func TestIgnoreSemantics(t *testing.T) {
+	tbl := NewTable()
+	tbl.Ignore(SIGTERM)
+	if got := tbl.Deliver(&Info{Signal: SIGTERM}, 0, nil); got != ActionIgnored {
+		t.Errorf("ignored SIGTERM = %v", got)
+	}
+	// Ignoring SIGSEGV still terminates (kernel semantics for synchronous
+	// faults).
+	tbl.Ignore(SIGSEGV)
+	if got := tbl.Deliver(&Info{Signal: SIGSEGV}, 0, nil); got != ActionTerminate {
+		t.Errorf("ignored SIGSEGV = %v, want terminate", got)
+	}
+	// SIGKILL cannot be ignored.
+	tbl.Ignore(SIGKILL)
+	if got := tbl.Deliver(&Info{Signal: SIGKILL}, 0, nil); got != ActionTerminate {
+		t.Errorf("SIGKILL after Ignore = %v, want terminate", got)
+	}
+}
+
+func TestBlockedSynchronousSignalIsFatal(t *testing.T) {
+	tbl := NewTable()
+	called := false
+	tbl.Register(SIGSEGV, func(*Info, any) Action {
+		called = true
+		return ActionHandled
+	})
+	mask := Mask(0).Block(SIGSEGV)
+	got := tbl.Deliver(&Info{Signal: SIGSEGV}, mask, nil)
+	if got != ActionTerminate {
+		t.Errorf("blocked SIGSEGV = %v, want terminate", got)
+	}
+	if called {
+		t.Error("handler ran for blocked synchronous signal")
+	}
+}
+
+func TestMaskOps(t *testing.T) {
+	var m Mask
+	if m.Has(SIGSEGV) {
+		t.Error("zero mask blocks SIGSEGV")
+	}
+	m = m.Block(SIGSEGV).Block(SIGTERM)
+	if !m.Has(SIGSEGV) || !m.Has(SIGTERM) || m.Has(SIGABRT) {
+		t.Error("block set wrong bits")
+	}
+	m = m.Unblock(SIGSEGV)
+	if m.Has(SIGSEGV) || !m.Has(SIGTERM) {
+		t.Error("unblock cleared wrong bits")
+	}
+	// Out-of-range signals are no-ops.
+	if m.Block(0) != m || m.Block(65) != m || m.Unblock(-1) != m {
+		t.Error("out-of-range signal changed mask")
+	}
+	if m.Has(0) || m.Has(99) {
+		t.Error("out-of-range Has returned true")
+	}
+}
+
+// Property: Block sets exactly the requested bit and Unblock reverses it.
+func TestQuickMaskRoundTrip(t *testing.T) {
+	prop := func(base uint64, raw uint8) bool {
+		s := Signal(int(raw%maxSignal) + 1)
+		m := Mask(base)
+		if !m.Block(s).Has(s) {
+			return false
+		}
+		if m.Block(s).Unblock(s).Has(s) {
+			return false
+		}
+		// Other bits untouched.
+		other := Signal((int(s) % maxSignal) + 1)
+		if other != s {
+			before := m.Has(other)
+			if m.Block(s).Has(other) != before {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if SIGSEGV.String() != "SIGSEGV" || SIGABRT.String() != "SIGABRT" ||
+		SIGKILL.String() != "SIGKILL" || SIGTERM.String() != "SIGTERM" {
+		t.Error("Signal.String broken")
+	}
+	if Signal(33).String() == "" {
+		t.Error("unknown signal should format")
+	}
+	info := &Info{Signal: SIGSEGV, Code: 4, Addr: 0x10, PKey: 2}
+	if info.String() == "" {
+		t.Error("Info.String empty")
+	}
+	for _, a := range []Action{ActionTerminate, ActionHandled, ActionIgnored, Action(99)} {
+		if a.String() == "" {
+			t.Error("Action.String empty")
+		}
+	}
+}

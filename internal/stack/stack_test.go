@@ -1,0 +1,167 @@
+package stack
+
+import (
+	"errors"
+	"testing"
+
+	"sdrad/internal/mem"
+)
+
+const testCanary = 0xDEAD10CCFEEDFACE
+
+func newStack(t testing.TB, size uint64) (*Stack, *mem.CPU) {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	cpu := as.NewCPU()
+	base, err := as.MapAnon(int(size), mem.ProtRW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(base, size, testCanary), cpu
+}
+
+func TestPushPop(t *testing.T) {
+	s, cpu := newStack(t, 4096)
+	top := s.SP()
+	f, err := s.PushFrame(cpu, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth() != 1 {
+		t.Errorf("depth = %d", s.Depth())
+	}
+	if f.LocalsSize() != 104 { // rounded to 8
+		t.Errorf("locals size = %d", f.LocalsSize())
+	}
+	// Locals are zeroed and writable.
+	if cpu.ReadU8(f.Locals()) != 0 {
+		t.Error("locals not zeroed")
+	}
+	cpu.Memset(f.Locals(), 0x42, f.LocalsSize())
+	if !f.CanaryIntact(cpu) {
+		t.Error("canary clobbered by in-bounds write")
+	}
+	if err := f.Pop(cpu); err != nil {
+		t.Fatal(err)
+	}
+	if s.SP() != top || s.Depth() != 0 {
+		t.Error("pop did not restore SP/depth")
+	}
+}
+
+func TestCanarySmashDetected(t *testing.T) {
+	s, cpu := newStack(t, 4096)
+	f, err := s.PushFrame(cpu, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the locals by one word: clobbers the canary above them.
+	cpu.Memset(f.Locals(), 0x41, f.LocalsSize()+8)
+	if f.CanaryIntact(cpu) {
+		t.Fatal("canary should be clobbered")
+	}
+	var smash *SmashError
+	func() {
+		defer func() {
+			smash = AsSmash(recover())
+		}()
+		_ = f.Pop(cpu)
+	}()
+	if smash == nil {
+		t.Fatal("Pop did not raise SmashError")
+	}
+	if smash.Got != 0x4141414141414141 {
+		t.Errorf("got = %#x", smash.Got)
+	}
+	if smash.Error() == "" {
+		t.Error("empty error text")
+	}
+	// SP restored even on smash (the handler rewinds anyway).
+	if s.Depth() != 0 {
+		t.Error("depth not restored")
+	}
+}
+
+func TestNestedFramesLIFO(t *testing.T) {
+	s, cpu := newStack(t, 4096)
+	f1, _ := s.PushFrame(cpu, 32)
+	f2, _ := s.PushFrame(cpu, 32)
+	if err := f1.Pop(cpu); !errors.Is(err, ErrFrameOrder) {
+		t.Errorf("out-of-order pop err = %v", err)
+	}
+	if err := f2.Pop(cpu); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Pop(cpu); !errors.Is(err, ErrFrameOrder) {
+		t.Errorf("double pop err = %v", err)
+	}
+	if err := f1.Pop(cpu); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverflowRefused(t *testing.T) {
+	s, cpu := newStack(t, 4096)
+	if _, err := s.PushFrame(cpu, 8192); !errors.Is(err, ErrStackOverflow) {
+		t.Errorf("oversized push err = %v", err)
+	}
+	// Fill the stack with frames until it refuses.
+	n := 0
+	for {
+		_, err := s.PushFrame(cpu, 256)
+		if err != nil {
+			if !errors.Is(err, ErrStackOverflow) {
+				t.Fatalf("unexpected err %v", err)
+			}
+			break
+		}
+		n++
+	}
+	if n == 0 || n > 16 {
+		t.Errorf("pushed %d frames into 4 KiB", n)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, cpu := newStack(t, 4096)
+	top := s.SP()
+	for i := 0; i < 3; i++ {
+		if _, err := s.PushFrame(cpu, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Reset()
+	if s.SP() != top || s.Depth() != 0 {
+		t.Error("reset did not restore state")
+	}
+	if s.Remaining() != s.Size() {
+		t.Error("remaining != size after reset")
+	}
+}
+
+func TestZeroAndNegativeLocals(t *testing.T) {
+	s, cpu := newStack(t, 4096)
+	f, err := s.PushFrame(cpu, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.LocalsSize() != 0 {
+		t.Errorf("size = %d", f.LocalsSize())
+	}
+	if err := f.Pop(cpu); err != nil {
+		t.Fatal(err)
+	}
+	f, err = s.PushFrame(cpu, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Pop(cpu); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsSmashForeign(t *testing.T) {
+	if AsSmash("boom") != nil {
+		t.Error("AsSmash should ignore foreign panics")
+	}
+}

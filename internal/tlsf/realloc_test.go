@@ -1,0 +1,186 @@
+package tlsf
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sdrad/internal/mem"
+)
+
+func TestReallocNilAndZero(t *testing.T) {
+	h, cpu := newHeap(t, 64*1024)
+	p, err := h.Realloc(cpu, 0, 100) // == Alloc
+	if err != nil || p == 0 {
+		t.Fatalf("realloc(0, 100) = %v, %v", p, err)
+	}
+	q, err := h.Realloc(cpu, p, 0) // == Free
+	if err != nil || q != 0 {
+		t.Fatalf("realloc(p, 0) = %v, %v", q, err)
+	}
+	if err := h.Check(cpu); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReallocGrowInPlace(t *testing.T) {
+	h, cpu := newHeap(t, 64*1024)
+	p, _ := h.Alloc(cpu, 64)
+	cpu.Memset(p, 0xAA, 64)
+	// The neighbour is the big free tail: growth happens in place.
+	q, err := h.Realloc(cpu, p, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Errorf("grow did not reuse block: %#x -> %#x", uint64(p), uint64(q))
+	}
+	if h.UsableSize(cpu, q) < 4096 {
+		t.Errorf("usable = %d", h.UsableSize(cpu, q))
+	}
+	for i := 0; i < 64; i++ {
+		if cpu.ReadU8(q+mem.Addr(i)) != 0xAA {
+			t.Fatal("payload lost on in-place grow")
+		}
+	}
+	if err := h.Check(cpu); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReallocGrowByMove(t *testing.T) {
+	h, cpu := newHeap(t, 64*1024)
+	p, _ := h.Alloc(cpu, 64)
+	barrier, _ := h.Alloc(cpu, 64) // blocks in-place growth
+	cpu.Memset(p, 0xBB, 64)
+	q, err := h.Realloc(cpu, p, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q == p {
+		t.Error("expected a move past the barrier")
+	}
+	for i := 0; i < 64; i++ {
+		if cpu.ReadU8(q+mem.Addr(i)) != 0xBB {
+			t.Fatal("payload lost on move")
+		}
+	}
+	_ = barrier
+	if err := h.Check(cpu); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReallocShrinkReleasesSpace(t *testing.T) {
+	h, cpu := newHeap(t, 64*1024)
+	_, free0, _, _ := h.Usage(cpu)
+	p, _ := h.Alloc(cpu, 8192)
+	q, err := h.Realloc(cpu, p, 64)
+	if err != nil || q != p {
+		t.Fatalf("shrink = %v, %v", q, err)
+	}
+	_, free1, _, _ := h.Usage(cpu)
+	if free1 <= free0-8192 {
+		t.Errorf("shrink released nothing: free %d -> %d", free0, free1)
+	}
+	if err := h.Check(cpu); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(cpu, q); err != nil {
+		t.Fatal(err)
+	}
+	_, free2, _, freeBlocks := h.Usage(cpu)
+	if free2 != free0 || freeBlocks != 1 {
+		t.Errorf("after free: %d bytes in %d blocks, want %d in 1", free2, freeBlocks, free0)
+	}
+}
+
+func TestReallocErrors(t *testing.T) {
+	h, cpu := newHeap(t, 64*1024)
+	p, _ := h.Alloc(cpu, 64)
+	if _, err := h.Realloc(cpu, p+1, 128); !errors.Is(err, ErrBadFree) {
+		t.Errorf("unaligned err = %v", err)
+	}
+	if _, err := h.Realloc(cpu, 0x10, 128); !errors.Is(err, ErrBadFree) {
+		t.Errorf("foreign err = %v", err)
+	}
+	if _, err := h.Realloc(cpu, p, maxAlloc+1); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("huge err = %v", err)
+	}
+	if err := h.Free(cpu, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Realloc(cpu, p, 128); !errors.Is(err, ErrBadFree) {
+		t.Errorf("freed err = %v", err)
+	}
+}
+
+func TestReallocRandomized(t *testing.T) {
+	h, cpu := newHeap(t, 512*1024)
+	rng := rand.New(rand.NewSource(11))
+	type alloc struct {
+		p   mem.Addr
+		n   int
+		tag byte
+	}
+	var live []alloc
+	for i := 0; i < 2500; i++ {
+		switch {
+		case len(live) == 0 || rng.Intn(3) == 0:
+			n := 1 + rng.Intn(1200)
+			p, err := h.Alloc(cpu, uint64(n))
+			if errors.Is(err, ErrOOM) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tag := byte(i | 1)
+			cpu.Memset(p, tag, n)
+			live = append(live, alloc{p, n, tag})
+		case rng.Intn(2) == 0:
+			k := rng.Intn(len(live))
+			a := live[k]
+			n := 1 + rng.Intn(2400)
+			p, err := h.Realloc(cpu, a.p, uint64(n))
+			if errors.Is(err, ErrOOM) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("iter %d: realloc: %v", i, err)
+			}
+			keep := min(a.n, n)
+			for j := 0; j < keep; j += max(1, keep/8) {
+				if cpu.ReadU8(p+mem.Addr(j)) != a.tag {
+					t.Fatalf("iter %d: payload byte %d lost across realloc", i, j)
+				}
+			}
+			cpu.Memset(p, a.tag, n) // retag full extent
+			live[k] = alloc{p, n, a.tag}
+		default:
+			k := rng.Intn(len(live))
+			if err := h.Free(cpu, live[k].p); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if i%300 == 0 {
+			if err := h.Check(cpu); err != nil {
+				t.Fatalf("iter %d: %v", i, err)
+			}
+		}
+	}
+	for _, a := range live {
+		if err := h.Free(cpu, a.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Check(cpu); err != nil {
+		t.Fatal(err)
+	}
+	_, _, usedBlocks, freeBlocks := h.Usage(cpu)
+	if usedBlocks != 0 || freeBlocks != 1 {
+		t.Errorf("end state: %d used / %d free blocks", usedBlocks, freeBlocks)
+	}
+}

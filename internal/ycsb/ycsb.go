@@ -1,0 +1,299 @@
+// Package ycsb reimplements the Yahoo! Cloud Serving Benchmark core
+// workload machinery the paper uses to evaluate Memcached (§V-A): a load
+// phase that inserts a keyspace of fixed-size values and a run phase that
+// issues a read/update mix with Zipfian-distributed keys, reporting
+// throughput and latency percentiles.
+//
+// The paper's configuration — 1 KiB values, 95/5 read/update, Zipfian
+// request distribution — is the default.
+package ycsb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// DB is the key-value interface the workload drives; adapters bridge it
+// to the system under test.
+type DB interface {
+	Insert(key string, value []byte) error
+	Read(key string) error
+	Update(key string, value []byte) error
+}
+
+// Config is a YCSB core workload description.
+type Config struct {
+	// Records is the number of keys loaded (paper: 1e7, scaled down for
+	// the simulated substrate).
+	Records int
+	// Operations is the number of run-phase operations.
+	Operations int
+	// ReadProportion is the fraction of reads (paper: 0.95).
+	ReadProportion float64
+	// ValueSize is the value payload size (paper: 1 KiB).
+	ValueSize int
+	// Distribution selects the request distribution: "zipfian" (default)
+	// or "uniform".
+	Distribution string
+	// Seed fixes the generator.
+	Seed int64
+	// Threads is the number of client threads (each gets its own DB via
+	// the factory passed to Run).
+	Threads int
+}
+
+func (c *Config) setDefaults() {
+	if c.Records == 0 {
+		c.Records = 10000
+	}
+	if c.Operations == 0 {
+		c.Operations = 100000
+	}
+	if c.ReadProportion == 0 {
+		c.ReadProportion = 0.95
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 1024
+	}
+	if c.Distribution == "" {
+		c.Distribution = "zipfian"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+}
+
+// Key formats record i as a YCSB-style key.
+func Key(i int) string { return fmt.Sprintf("user%010d", i) }
+
+// Value builds the deterministic payload for a record.
+func Value(i, size int) []byte {
+	v := make([]byte, size)
+	pat := []byte(fmt.Sprintf("v%08d-", i))
+	for j := range v {
+		v[j] = pat[j%len(pat)]
+	}
+	return v
+}
+
+// Stats reports one phase's outcome.
+type Stats struct {
+	Phase      string
+	Operations int
+	Errors     int
+	Elapsed    time.Duration
+	// Throughput is operations per second.
+	Throughput float64
+	// P50, P95, P99 are latency percentiles.
+	P50, P95, P99 time.Duration
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("[%s] %d ops in %v: %.0f ops/s (p50=%v p95=%v p99=%v, %d errors)",
+		s.Phase, s.Operations, s.Elapsed.Round(time.Millisecond), s.Throughput,
+		s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond),
+		s.P99.Round(time.Microsecond), s.Errors)
+}
+
+// maxLatencySamples bounds the latency reservoir per thread.
+const maxLatencySamples = 4096
+
+// Runner executes the workload phases against DB instances produced by a
+// factory (one DB per client thread, like YCSB client threads owning a
+// connection each).
+type Runner struct {
+	cfg Config
+}
+
+// NewRunner validates the config and builds a runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	cfg.setDefaults()
+	if cfg.ReadProportion < 0 || cfg.ReadProportion > 1 {
+		return nil, errors.New("ycsb: read proportion out of range")
+	}
+	if cfg.Distribution != "zipfian" && cfg.Distribution != "uniform" {
+		return nil, fmt.Errorf("ycsb: unknown distribution %q", cfg.Distribution)
+	}
+	return &Runner{cfg: cfg}, nil
+}
+
+// Load runs the load phase: Records inserts partitioned across Threads.
+func (r *Runner) Load(factory func(thread int) DB) Stats {
+	return r.runPhase("load", r.cfg.Records, factory, func(db DB, rng *rand.Rand, i int) error {
+		return db.Insert(Key(i), Value(i, r.cfg.ValueSize))
+	}, true)
+}
+
+// Run runs the transaction phase: Operations reads/updates with the
+// configured key distribution.
+func (r *Runner) Run(factory func(thread int) DB) Stats {
+	gen := r.newGenerator()
+	return r.runPhase("run", r.cfg.Operations, factory, func(db DB, rng *rand.Rand, _ int) error {
+		idx := int(gen.next(rng))
+		if rng.Float64() < r.cfg.ReadProportion {
+			return db.Read(Key(idx))
+		}
+		return db.Update(Key(idx), Value(idx, r.cfg.ValueSize))
+	}, false)
+}
+
+// runPhase fans ops out over client threads and aggregates stats.
+func (r *Runner) runPhase(name string, total int, factory func(int) DB,
+	op func(db DB, rng *rand.Rand, i int) error, partition bool) Stats {
+
+	threads := r.cfg.Threads
+	type threadResult struct {
+		errs    int
+		samples []time.Duration
+	}
+	results := make(chan threadResult, threads)
+	start := time.Now()
+	for th := 0; th < threads; th++ {
+		go func(th int) {
+			db := factory(th)
+			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(th)*7919))
+			var tr threadResult
+			lo := th * total / threads
+			hi := (th + 1) * total / threads
+			for i := lo; i < hi; i++ {
+				t0 := time.Now()
+				err := op(db, rng, i)
+				lat := time.Since(t0)
+				if err != nil {
+					tr.errs++
+					continue
+				}
+				if len(tr.samples) < maxLatencySamples {
+					tr.samples = append(tr.samples, lat)
+				} else {
+					// Reservoir sampling keeps the percentile estimate
+					// unbiased without unbounded memory.
+					j := rng.Intn(i - lo + 1)
+					if j < maxLatencySamples {
+						tr.samples[j] = lat
+					}
+				}
+			}
+			results <- tr
+		}(th)
+	}
+	var all []time.Duration
+	errs := 0
+	for th := 0; th < threads; th++ {
+		tr := <-results
+		errs += tr.errs
+		all = append(all, tr.samples...)
+	}
+	elapsed := time.Since(start)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return all[idx]
+	}
+	done := total - errs
+	return Stats{
+		Phase:      name,
+		Operations: done,
+		Errors:     errs,
+		Elapsed:    elapsed,
+		Throughput: float64(done) / elapsed.Seconds(),
+		P50:        pct(0.50),
+		P95:        pct(0.95),
+		P99:        pct(0.99),
+	}
+}
+
+// KeyChooser returns an independent record-index chooser following the
+// configured distribution, for external executors that drive the
+// workload on their own threads (the benchmark harness's inline mode).
+func (r *Runner) KeyChooser() func(rng *rand.Rand) int {
+	g := r.newGenerator()
+	return func(rng *rand.Rand) int { return int(g.next(rng)) }
+}
+
+// Config returns the runner's effective configuration (with defaults
+// applied).
+func (r *Runner) Config() Config { return r.cfg }
+
+// generator produces record indices in [0, Records).
+type generator struct {
+	uniform bool
+	n       uint64
+	z       *zipfian
+}
+
+func (r *Runner) newGenerator() *generator {
+	if r.cfg.Distribution == "uniform" {
+		return &generator{uniform: true, n: uint64(r.cfg.Records)}
+	}
+	return &generator{n: uint64(r.cfg.Records), z: newZipfian(uint64(r.cfg.Records), zipfianConstant)}
+}
+
+func (g *generator) next(rng *rand.Rand) uint64 {
+	if g.uniform {
+		return uint64(rng.Int63n(int64(g.n)))
+	}
+	// Scrambled Zipfian, as in YCSB: hash the rank so hot keys spread
+	// over the keyspace.
+	return fnv64(g.z.next(rng)) % g.n
+}
+
+// zipfianConstant is YCSB's default theta.
+const zipfianConstant = 0.99
+
+// zipfian is the Gray et al. bounded Zipfian generator used by YCSB.
+type zipfian struct {
+	items                            uint64
+	theta, alpha, zetan, eta, zeta2t float64
+}
+
+func newZipfian(items uint64, theta float64) *zipfian {
+	z := &zipfian{items: items, theta: theta}
+	z.zeta2t = zetaStatic(2, theta)
+	z.zetan = zetaStatic(items, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(items), 1-theta)) / (1 - z.zeta2t/z.zetan)
+	return z
+}
+
+// zetaStatic computes the generalized harmonic number sum_{i=1..n} 1/i^t.
+func zetaStatic(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfian) next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// fnv64 is FNV-1a over the 8 little-endian bytes of v.
+func fnv64(v uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}

@@ -1,0 +1,179 @@
+package ycsb
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mapDB is an in-memory reference DB.
+type mapDB struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMapDB() *mapDB { return &mapDB{m: make(map[string][]byte)} }
+
+func (d *mapDB) Insert(key string, value []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m[key] = value
+	return nil
+}
+
+func (d *mapDB) Read(key string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.m[key]
+	if !ok {
+		return errMiss
+	}
+	return nil
+}
+
+func (d *mapDB) Update(key string, value []byte) error { return d.Insert(key, value) }
+
+var errMiss = &missError{}
+
+type missError struct{}
+
+func (*missError) Error() string { return "miss" }
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewRunner(Config{ReadProportion: 1.5}); err == nil {
+		t.Error("bad proportion accepted")
+	}
+	if _, err := NewRunner(Config{Distribution: "pareto"}); err == nil {
+		t.Error("bad distribution accepted")
+	}
+	if _, err := NewRunner(Config{}); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestLoadThenRunNoMisses(t *testing.T) {
+	r, err := NewRunner(Config{Records: 500, Operations: 2000, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := newMapDB()
+	factory := func(int) DB { return db }
+	load := r.Load(factory)
+	if load.Errors != 0 || load.Operations != 500 {
+		t.Fatalf("load = %+v", load)
+	}
+	if len(db.m) != 500 {
+		t.Fatalf("records = %d", len(db.m))
+	}
+	run := r.Run(factory)
+	if run.Errors != 0 {
+		t.Fatalf("run errors = %d (reads of unloaded keys?)", run.Errors)
+	}
+	if run.Operations != 2000 {
+		t.Errorf("ops = %d", run.Operations)
+	}
+	if run.Throughput <= 0 || run.Elapsed <= 0 {
+		t.Error("throughput/elapsed not computed")
+	}
+}
+
+func TestKeyAndValueDeterministic(t *testing.T) {
+	if Key(42) != "user0000000042" {
+		t.Errorf("key = %q", Key(42))
+	}
+	v1, v2 := Value(7, 100), Value(7, 100)
+	if string(v1) != string(v2) || len(v1) != 100 {
+		t.Error("value not deterministic")
+	}
+}
+
+func TestZipfianBounds(t *testing.T) {
+	z := newZipfian(1000, zipfianConstant)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := z.next(rng)
+		if v >= 1000 {
+			t.Fatalf("zipfian out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfianIsSkewed(t *testing.T) {
+	// The hottest item should receive far more than its uniform share.
+	const n = 1000
+	z := newZipfian(n, zipfianConstant)
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.next(rng)]++
+	}
+	if counts[0] < draws/n*20 {
+		t.Errorf("rank-0 count %d not skewed (uniform share %d)", counts[0], draws/n)
+	}
+	// And ranks should be roughly monotone: rank 0 >> rank 500.
+	if counts[0] < counts[500]*10 {
+		t.Errorf("head %d vs middle %d insufficiently skewed", counts[0], counts[500])
+	}
+}
+
+func TestScrambledZipfianSpreads(t *testing.T) {
+	// After scrambling, the hottest key should NOT be key 0 specifically;
+	// hotness spreads over the keyspace but remains concentrated.
+	r, _ := NewRunner(Config{Records: 1000})
+	g := r.newGenerator()
+	rng := rand.New(rand.NewSource(3))
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		counts[g.next(rng)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 1000 { // the hottest key gets ~10% with theta .99 at n=1000
+		t.Errorf("max count %d: distribution not concentrated", max)
+	}
+	if len(counts) < 400 {
+		t.Errorf("only %d distinct keys drawn", len(counts))
+	}
+}
+
+func TestUniformGenerator(t *testing.T) {
+	r, _ := NewRunner(Config{Records: 100, Distribution: "uniform"})
+	g := r.newGenerator()
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		v := g.next(rng)
+		if v >= 100 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("uniform count[%d] = %d", i, c)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Phase: "run", Operations: 10, Elapsed: time.Second, Throughput: 10}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	r, _ := NewRunner(Config{Records: 100, Operations: 100})
+	// Empty DB: every read misses.
+	db := newMapDB()
+	run := r.Run(func(int) DB { return db })
+	if run.Errors == 0 {
+		t.Error("misses not counted as errors")
+	}
+}

@@ -1,0 +1,130 @@
+package sdrad_test
+
+import (
+	"errors"
+	"testing"
+
+	"sdrad"
+)
+
+// TestTableI_APISurface exercises every Table-I operation through the
+// public package, pinning the API surface the paper documents:
+// ① sdrad_init ② sdrad_malloc ③ sdrad_free ④ sdrad_dprotect
+// ⑤ sdrad_enter ⑥ sdrad_exit ⑦ sdrad_destroy ⑧ sdrad_deinit.
+func TestTableI_APISurface(t *testing.T) {
+	p := sdrad.NewProcess("api-surface", sdrad.WithSeed(1))
+	lib, err := sdrad.Setup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Attach("main", func(th *sdrad.Thread) error {
+		const (
+			udiF   = sdrad.UDI(1)
+			udiDat = sdrad.UDI(2)
+		)
+		// ① init (data domain variant) + ② malloc + ④ dprotect
+		if err := lib.InitDomain(th, udiDat, sdrad.AsData(), sdrad.Accessible()); err != nil {
+			return err
+		}
+		shared, err := lib.Malloc(th, udiDat, 128)
+		if err != nil {
+			return err
+		}
+		th.CPU().WriteU64(shared, 1234)
+
+		// ① init (execution domain, via Guard) ⑤ enter ⑥ exit ⑧ deinit
+		err = lib.Guard(th, udiF, func() error {
+			if err := lib.DProtect(th, udiF, udiDat, sdrad.ProtRead); err != nil {
+				return err
+			}
+			if err := lib.Enter(th, udiF); err != nil {
+				return err
+			}
+			if got := th.CPU().ReadU64(shared); got != 1234 {
+				t.Errorf("shared read = %d", got)
+			}
+			if err := lib.Exit(th); err != nil {
+				return err
+			}
+			return lib.Deinit(th, udiF)
+		}, sdrad.Accessible())
+		if err != nil {
+			return err
+		}
+		// ③ free ⑦ destroy
+		if err := lib.Free(th, udiDat, shared); err != nil {
+			return err
+		}
+		if err := lib.Destroy(th, udiF, sdrad.NoHeapMerge); err != nil {
+			return err
+		}
+		return lib.Destroy(th, udiDat, sdrad.NoHeapMerge)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicRewindFlow runs the quick-start scenario end to end: a guarded
+// domain is attacked, the application observes an AbnormalExit through
+// errors.As, and the process keeps running.
+func TestPublicRewindFlow(t *testing.T) {
+	p := sdrad.NewProcess("quickstart", sdrad.WithSeed(1))
+	lib, err := sdrad.Setup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Attach("main", func(th *sdrad.Thread) error {
+		const udi = sdrad.UDI(7)
+		gerr := lib.Guard(th, udi, func() error {
+			if err := lib.Enter(th, udi); err != nil {
+				return err
+			}
+			th.CPU().WriteU8(0xBAD00000, 1)
+			return nil
+		})
+		var abn *sdrad.AbnormalExit
+		if !errors.As(gerr, &abn) {
+			t.Fatalf("guard err = %v", gerr)
+		}
+		if abn.FailedUDI != udi {
+			t.Errorf("failed = %d", abn.FailedUDI)
+		}
+		// Application continues.
+		ptr, err := lib.Malloc(th, sdrad.RootUDI, 32)
+		if err != nil {
+			return err
+		}
+		return lib.Free(th, sdrad.RootUDI, ptr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed() {
+		t.Error("process terminated despite rewind")
+	}
+	if lib.Stats().Rewinds.Load() != 1 {
+		t.Error("rewind not counted")
+	}
+}
+
+// TestErrorAliasesMatch verifies errors.Is works across the façade.
+func TestErrorAliasesMatch(t *testing.T) {
+	p := sdrad.NewProcess("alias", sdrad.WithSeed(1))
+	lib, err := sdrad.Setup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Attach("main", func(th *sdrad.Thread) error {
+		if err := lib.InitDomain(th, sdrad.RootUDI); !errors.Is(err, sdrad.ErrRootOperation) {
+			t.Errorf("err = %v", err)
+		}
+		if err := lib.Enter(th, 99); !errors.Is(err, sdrad.ErrUnknownDomain) {
+			t.Errorf("err = %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
