@@ -1,0 +1,33 @@
+# Targets mirror the CI pipeline (.github/workflows/ci.yml): a green
+# `make ci` locally means the required jobs pass.
+
+GO ?= go
+
+.PHONY: build test race vet fmt-check chaos-smoke bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# A single fixed-seed round of every chaos campaign, as the smoke test runs.
+chaos-smoke:
+	$(GO) test -run TestChaosSmoke -v ./internal/chaos
+	$(GO) run ./cmd/sdrad-chaos -seed 12648430 -ops 16
+
+# The evaluation at reduced scale.
+bench-smoke:
+	$(GO) run ./cmd/sdrad-bench -quick
+
+ci: build vet fmt-check test race chaos-smoke

@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"sdrad/internal/core"
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+)
+
+// auditor runs the post-rewind invariant audit: the monitor's own
+// bookkeeping checks (core.Library.Audit) plus the engine-side checks
+// that need before/after context — residual mappings of discarded
+// domains, mapped-bytes stability across rewind cycles, and fault-log
+// correlation. One auditor serves one campaign.
+type auditor struct {
+	r   *Report
+	lib *core.Library
+
+	// baselineMapped holds, per steady-state class, the address-space
+	// mapped-bytes gauge captured the first time that class was reached;
+	// later visits must match it, or discarded domains are leaking
+	// mappings. Classes separate states that legitimately differ — e.g.
+	// a parser-domain rewind and a verifier-domain rewind leave different
+	// domains unmapped at audit time.
+	baselineMapped map[string]int64
+}
+
+// audit runs the library audit on the calling thread and records every
+// finding as a campaign failure. It must run on the audited thread, with
+// the process quiescent (between requests).
+func (a *auditor) audit(t *proc.Thread, label string) *core.AuditReport {
+	rep := a.lib.Audit(t)
+	a.r.Audits++
+	for _, f := range rep.Findings {
+		a.r.failf("%s: audit: %s", label, f)
+	}
+	return rep
+}
+
+// checkMappedStable compares the mapped-bytes gauge against the baseline
+// captured the first time the given steady-state class was visited.
+// Campaigns call it at equivalent steady states (right after an absorbed
+// rewind, before the workload rebuilds its domain), where any drift means
+// a rewind cycle leaked or lost a mapping.
+func (a *auditor) checkMappedStable(class, label string, mapped int64) {
+	if a.baselineMapped == nil {
+		a.baselineMapped = map[string]int64{}
+	}
+	base, ok := a.baselineMapped[class]
+	if !ok {
+		a.baselineMapped[class] = mapped
+		return
+	}
+	if mapped != base {
+		a.r.failf("%s: mapped bytes drifted across %s rewind cycles: %d, baseline %d",
+			label, class, mapped, base)
+	}
+}
+
+// checkDiscarded verifies that a discarded domain's heap pages really
+// left the address space: a rewind must unmap the corrupted heap, and any
+// page still resident is a residual mapping an attacker could revisit.
+func (a *auditor) checkDiscarded(as *mem.AddressSpace, label string, base mem.Addr, size uint64) {
+	if base == 0 || size == 0 {
+		return
+	}
+	for off := uint64(0); off < size; off += mem.PageSize {
+		if _, _, ok := as.PageInfo(base + mem.Addr(off)); ok {
+			a.r.failf("%s: residual mapping: discarded heap page 0x%x still mapped",
+				label, uint64(base)+off)
+			return
+		}
+	}
+}
+
+// checkFaultLogged verifies the fault log recorded exactly the injected
+// fault since the preSeq snapshot: one new entry, with the expected cause
+// and provenance. SIGABRT rewinds (canary smashes) raise no memory fault
+// and are checked with wantFaults=0.
+func (a *auditor) checkFaultLogged(as *mem.AddressSpace, label string, preSeq int64, wantCode mem.FaultCode, wantInjected bool) {
+	seq := as.FaultSeq()
+	if seq != preSeq+1 {
+		a.r.failf("%s: fault log advanced by %d entries, want 1", label, seq-preSeq)
+		return
+	}
+	recs := as.RecentFaults()
+	if len(recs) == 0 {
+		a.r.failf("%s: fault log empty after fault", label)
+		return
+	}
+	last := recs[len(recs)-1]
+	if last.Seq != seq {
+		a.r.failf("%s: fault log tail seq %d, want %d", label, last.Seq, seq)
+	}
+	if last.Code != wantCode {
+		a.r.failf("%s: logged fault code %v, want %v", label, last.Code, wantCode)
+	}
+	if last.Injected != wantInjected {
+		a.r.failf("%s: logged fault injected=%v, want %v", label, last.Injected, wantInjected)
+	}
+}
+
+// checkRewindDelta verifies the monitor's rewind counter moved by exactly
+// want since the before snapshot, and accounts the delta in the report.
+func (a *auditor) checkRewindDelta(label string, before int64, want int) int64 {
+	now := a.lib.Stats().Rewinds.Load()
+	delta := int(now - before)
+	a.r.Absorbed += delta
+	if delta != want {
+		a.r.failf("%s: %d rewinds absorbed, want %d", label, delta, want)
+	}
+	return now
+}

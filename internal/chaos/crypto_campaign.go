@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"sdrad/internal/core"
+	"sdrad/internal/cryptolib"
+	"sdrad/internal/mem"
+	"sdrad/internal/sig"
+)
+
+// runCrypto attacks the isolated OpenSSL-style wrappers: one-shot faults
+// injected inside EncryptUpdate's crypto domain (absorbed, then the
+// wrapper is re-initialized, as the paper's §V-B recovery), and malicious
+// certificates absorbed by the X.509 verifier domain. Benign operations
+// between attacks prove the wrappers stay functional.
+func runCrypto(cfg Config, r *Report) error {
+	return runCoreCampaign(cfg, r, func(env *coreEnv) error {
+		t, lib, c := env.t, env.lib, env.t.CPU()
+
+		key := make([]byte, 32)
+		for i := range key {
+			key[i] = byte(0xA0 + i)
+		}
+		cr, err := cryptolib.NewCrypto(t, lib, cryptolib.NewEngine(), cryptolib.ModeCopyBoth, key, 1024)
+		if err != nil {
+			return err
+		}
+		v := cryptolib.NewVerifier(lib, 4096)
+
+		in, err := lib.Malloc(t, core.RootUDI, 1024)
+		if err != nil {
+			return err
+		}
+		out, err := lib.Malloc(t, core.RootUDI, 1024+cryptolib.GCMTagSize)
+		if err != nil {
+			return err
+		}
+
+		encrypt := func(label string, n int, wantOK bool) {
+			payload := make([]byte, n)
+			for j := range payload {
+				payload[j] = byte(env.rng.Intn(256))
+			}
+			c.Write(in, payload)
+			outl, err := cr.EncryptUpdate(t, out, in, n)
+			if wantOK {
+				if err != nil {
+					r.failf("%s: encrypt failed: %v", label, err)
+				} else if outl != n+cryptolib.GCMTagSize {
+					r.failf("%s: ciphertext length %d, want %d", label, outl, n+cryptolib.GCMTagSize)
+				}
+			}
+		}
+
+		vectors := []string{"encrypt", "inject-crypto", "bad-cert", "good-cert"}
+		for i := 0; i < cfg.Ops; i++ {
+			vector := vectors[env.rng.Intn(len(vectors))]
+			label := fmt.Sprintf("op=%02d %s", i, vector)
+			n := 16 + env.rng.Intn(240)
+			preRewinds := lib.Stats().Rewinds.Load()
+			preSeq := env.as.FaultSeq()
+
+			switch vector {
+			case "encrypt":
+				encrypt(label, n, true)
+				env.a.checkRewindDelta(label, preRewinds, 0)
+				r.event("%s len=%d ok", label, n)
+			case "inject-crypto":
+				// The injector fires inside the crypto domain mid-update;
+				// the wrapper's guard absorbs it and the context domain is
+				// discarded, so the wrapper must be re-initialized.
+				// EncryptUpdate makes seven gated in-domain accesses; the
+				// countdown must stay within that budget to guarantee firing.
+				r.Injected++
+				countdown := 1 + env.rng.Intn(4)
+				armGated(lib, t, countdown, mem.CodePkuErr)
+				payload := make([]byte, n)
+				c.Write(in, payload)
+				_, err := cr.EncryptUpdate(t, out, in, n)
+				if c.FaultInjectorArmed() {
+					c.SetFaultInjector(nil)
+					r.failf("%s: injector did not fire within EncryptUpdate", label)
+				}
+				var abn *core.AbnormalExit
+				if !errors.As(err, &abn) {
+					r.failf("%s: EncryptUpdate returned %v, want abnormal exit", label, err)
+				} else if abn.Signal != sig.SIGSEGV || abn.Code != int(mem.CodePkuErr) {
+					r.failf("%s: oracle %v code=%d, want SIGSEGV/SEGV_PKUERR", label, abn.Signal, abn.Code)
+				}
+				env.a.checkFaultLogged(env.as, label, preSeq, mem.CodePkuErr, true)
+				env.a.checkRewindDelta(label, preRewinds, 1)
+				env.a.audit(t, label)
+				if err := cr.Reinit(t, key); err != nil {
+					r.failf("%s: reinit failed: %v", label, err)
+				}
+				encrypt(label+" post-reinit", 64, true)
+				env.a.audit(t, label+" post-reinit")
+				r.event("%s countdown=%d rewind reinit", label, countdown)
+			case "bad-cert":
+				// CVE-2022-3786 analog absorbed by the verifier domain.
+				r.Injected++
+				_, err := v.Verify(t, cryptolib.MaliciousCertificate())
+				var abn *core.AbnormalExit
+				if !errors.As(err, &abn) {
+					r.failf("%s: verify returned %v, want abnormal exit", label, err)
+				} else if abn.Signal != sig.SIGABRT {
+					r.failf("%s: oracle %v, want SIGABRT", label, abn.Signal)
+				}
+				env.a.checkRewindDelta(label, preRewinds, 1)
+				env.a.audit(t, label)
+				r.event("%s SIGABRT rewind", label)
+			case "good-cert":
+				res, err := v.Verify(t, cryptolib.FormatCertificate("alice", "alice@example.com"))
+				if err != nil {
+					r.failf("%s: verify failed: %v", label, err)
+				} else if !res.Valid {
+					r.failf("%s: valid certificate rejected", label)
+				}
+				env.a.checkRewindDelta(label, preRewinds, 0)
+				r.event("%s valid", label)
+			}
+		}
+		r.event("final rewinds=%d verifier-rewinds=%d", lib.Stats().Rewinds.Load(), v.Rewinds())
+		return nil
+	})
+}

@@ -1,0 +1,275 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sdrad/internal/core"
+	"sdrad/internal/mem"
+	"sdrad/internal/memcache"
+	"sdrad/internal/proc"
+)
+
+// respClass compresses a workload response into a deterministic schedule
+// token: the first protocol token for open connections, "closed" for
+// dropped ones.
+func respClass(resp []byte, closed bool) string {
+	if closed {
+		return "closed"
+	}
+	if i := bytes.IndexAny(resp, " \r\n"); i > 0 {
+		return string(resp[:i])
+	}
+	if len(resp) == 0 {
+		return "empty"
+	}
+	return string(resp)
+}
+
+// runMemcache drives the hardened memcached build with a seeded mix of
+// valid traffic, the CVE-2011-4971 binary-set overflow, fuzz-mutated
+// protocol bytes, injector-raised PKU faults mid-request, and injected
+// allocation failures. After every absorbed rewind it audits the monitor
+// on the serving thread and proves the cache survived.
+func runMemcache(cfg Config, r *Report) error {
+	s, err := memcache.NewServer(memcache.Config{
+		Variant:   memcache.VariantSDRaD,
+		Workers:   1,
+		HashPower: 10,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Stop()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lib := s.Library()
+	as := s.Process().AddressSpace()
+	a := &auditor{r: r, lib: lib}
+	conn := s.NewConn()
+
+	do := func(req []byte) ([]byte, bool) {
+		resp, closed, err := conn.Do(req)
+		if err != nil {
+			r.failf("request failed: %v", err)
+			return nil, true
+		}
+		if closed {
+			conn = s.NewConn()
+		}
+		return resp, closed
+	}
+
+	// A key stored before the chaos starts; it must survive every rewind.
+	persistVal := []byte("survives-every-rewind")
+	if resp, _ := do(memcache.FormatSet("persist", persistVal, 7)); !bytes.HasPrefix(resp, []byte("STORED")) {
+		return fmt.Errorf("chaos: persist set failed: %q", resp)
+	}
+
+	// onWorker runs fn on the serving thread, between requests.
+	onWorker := func(fn func(t *proc.Thread) error) {
+		if err := conn.Inspect(fn); err != nil {
+			r.failf("inspect failed: %v", err)
+		}
+	}
+	postRewind := func(label string) {
+		onWorker(func(t *proc.Thread) error {
+			a.audit(t, label)
+			return nil
+		})
+		// Every memcache rewind discards the same event domain, so all
+		// post-rewind steady states share one mapped-bytes class.
+		a.checkMappedStable("event-rewind", label, s.MappedBytes())
+		resp, closed := do(memcache.FormatGet("persist"))
+		val, _, ok := memcache.ParseGetValue(resp)
+		if closed || !ok || !bytes.Equal(val, persistVal) {
+			r.failf("%s: persisted key damaged after rewind: closed=%v resp=%q", label, closed, resp)
+		}
+	}
+
+	vectors := []string{"set", "get", "delete", "mutate", "bset", "inject-pku", "inject-oom"}
+	// shadow mirrors what the cache must hold; tainted marks keys whose
+	// server state is unknowable (a mutated or faulted request may or may
+	// not have reached the store). A taint clears on the next definite
+	// observation of the key.
+	shadow := map[string][]byte{}
+	tainted := map[string]bool{}
+	for i := 0; i < cfg.Ops; i++ {
+		vector := vectors[rng.Intn(len(vectors))]
+		key := fmt.Sprintf("k%d", rng.Intn(8))
+		label := fmt.Sprintf("op=%02d %s", i, vector)
+		preRewinds := lib.Stats().Rewinds.Load()
+
+		switch vector {
+		case "set":
+			val := make([]byte, 8+rng.Intn(56))
+			for j := range val {
+				val[j] = byte('a' + rng.Intn(26))
+			}
+			resp, closed := do(memcache.FormatSet(key, val, uint32(i)))
+			if !closed && bytes.HasPrefix(resp, []byte("STORED")) {
+				shadow[key] = val
+				delete(tainted, key)
+			}
+			a.checkRewindDelta(label, preRewinds, 0)
+			r.event("%s %s len=%d %s", label, key, len(val), respClass(resp, closed))
+		case "get":
+			resp, closed := do(memcache.FormatGet(key))
+			val, _, ok := memcache.ParseGetValue(resp)
+			if tainted[key] {
+				// Unknown state: resynchronize the shadow from what the
+				// server actually holds and restore the oracle.
+				if !closed {
+					if ok {
+						shadow[key] = append([]byte(nil), val...)
+					} else {
+						delete(shadow, key)
+					}
+					delete(tainted, key)
+				}
+			} else {
+				want, have := shadow[key]
+				if !closed && ok != have {
+					r.failf("%s: %s present=%v, shadow says %v", label, key, ok, have)
+				}
+				if !closed && ok && !bytes.Equal(val, want) {
+					r.failf("%s: %s value %q, shadow %q", label, key, val, want)
+				}
+			}
+			a.checkRewindDelta(label, preRewinds, 0)
+			r.event("%s %s hit=%v", label, key, ok)
+		case "delete":
+			resp, closed := do(memcache.FormatDelete(key))
+			if !closed {
+				// DELETED and NOT_FOUND both leave the key absent.
+				delete(shadow, key)
+				delete(tainted, key)
+			}
+			a.checkRewindDelta(label, preRewinds, 0)
+			r.event("%s %s %s", label, key, respClass(resp, closed))
+		case "mutate":
+			base := memcache.FormatSet(key, []byte("mutation-fodder"), 1)
+			if rng.Intn(2) == 0 {
+				base = memcache.FormatGet(key)
+			}
+			// A mutated request may or may not reach the store (it can
+			// fail outright, store garbage, or morph into another
+			// command); taint the key rather than guess.
+			tainted[key] = true
+			req := mutate(rng, base)
+			resp, closed := do(req)
+			delta := int(lib.Stats().Rewinds.Load() - preRewinds)
+			r.Absorbed += delta
+			r.Injected += delta // mutation-induced faults count as injected
+			if delta > 0 {
+				postRewind(label)
+			}
+			r.event("%s len=%d %s rewinds=%d", label, len(req), respClass(resp, closed), delta)
+		case "bset":
+			// CVE-2011-4971 analog: a binary set whose claimed body length
+			// overflows the staging buffer. Must always rewind.
+			r.Injected++
+			resp, closed := do(memcache.FormatBSet("atk", 1<<20, nil))
+			if !closed {
+				r.failf("%s: overflow attack left connection open: %q", label, resp)
+			}
+			a.checkRewindDelta(label, preRewinds, 1)
+			postRewind(label)
+			r.event("%s rewind", label)
+		case "inject-pku":
+			// Arm a gated one-shot injector on the serving thread; the next
+			// request trips it inside the event domain.
+			// A hardened set makes five gated in-domain accesses, so the
+			// countdown must stay within that budget to guarantee firing.
+			r.Injected++
+			countdown := 1 + rng.Intn(4)
+			onWorker(func(t *proc.Thread) error {
+				armGated(lib, t, countdown, mem.CodePkuErr)
+				return nil
+			})
+			preSeq := as.FaultSeq()
+			resp, closed := do(memcache.FormatSet(key, []byte("doomed-request"), 2))
+			tainted[key] = true // outcome of the faulted set is undefined
+			onWorker(func(t *proc.Thread) error {
+				if t.CPU().FaultInjectorArmed() {
+					t.CPU().SetFaultInjector(nil)
+					r.failf("%s: injector did not fire within the request", label)
+				}
+				return nil
+			})
+			if !closed {
+				r.failf("%s: injected fault left connection open: %q", label, resp)
+			}
+			a.checkFaultLogged(as, label, preSeq, mem.CodePkuErr, true)
+			a.checkRewindDelta(label, preRewinds, 1)
+			postRewind(label)
+			r.event("%s countdown=%d rewind", label, countdown)
+		case "inject-oom":
+			// Allocation failure under live load. A forced rewind first
+			// guarantees the next request rebuilds the event domain, so the
+			// hook deterministically fails that Malloc: the server must
+			// degrade to a clean error — no rewind, no crash — and recover
+			// once the hook is gone.
+			r.Injected++
+			if _, closed := do(memcache.FormatBSet("atk", 1<<20, nil)); !closed {
+				r.failf("%s: overflow attack left connection open", label)
+			}
+			a.checkRewindDelta(label, preRewinds, 1)
+			// Audit the rewind without issuing a request: a health probe
+			// here would rebuild the event domain and defuse the hook
+			// before the starved request arrives.
+			onWorker(func(t *proc.Thread) error {
+				a.audit(t, label)
+				return nil
+			})
+			a.checkMappedStable("event-rewind", label, s.MappedBytes())
+			fired := false
+			lib.SetAllocFault(func(udi core.UDI, size uint64) error {
+				if udi == core.RootUDI {
+					return nil // root allocs (conn buffers) are not the target
+				}
+				fired = true
+				return errInjectedOOM
+			})
+			oomRewinds := lib.Stats().Rewinds.Load()
+			_, _, oomErr := conn.Do(memcache.FormatSet(key, []byte("starved-request"), 3))
+			tainted[key] = true
+			lib.SetAllocFault(nil)
+			if !fired {
+				r.failf("%s: allocation-fault hook never fired", label)
+			}
+			if !errors.Is(oomErr, core.ErrHeapExhausted) {
+				r.failf("%s: starved request returned %v, want heap exhaustion", label, oomErr)
+			}
+			a.checkRewindDelta(label, oomRewinds, 0)
+			r.event("%s fired=%v heap-exhausted=%v", label, fired, oomErr != nil)
+			resp, closed := do(memcache.FormatSet(key, []byte("recovered"), 4))
+			if closed || !bytes.HasPrefix(resp, []byte("STORED")) {
+				r.failf("%s: server did not recover from OOM: closed=%v resp=%q", label, closed, resp)
+			} else {
+				shadow[key] = []byte("recovered")
+				delete(tainted, key)
+			}
+		}
+
+		if crashed, cause := s.Crashed(); crashed {
+			return fmt.Errorf("chaos: server process died at op %d: %v", i, cause)
+		}
+	}
+
+	// Final steady-state audit and cache-survival proof.
+	onWorker(func(t *proc.Thread) error {
+		a.audit(t, "final")
+		return nil
+	})
+	resp, closed := do(memcache.FormatGet("persist"))
+	val, _, ok := memcache.ParseGetValue(resp)
+	if closed || !ok || !bytes.Equal(val, persistVal) {
+		r.failf("final: persisted key damaged: closed=%v resp=%q", closed, resp)
+	}
+	r.event("final rewinds=%d", lib.Stats().Rewinds.Load())
+	return nil
+}

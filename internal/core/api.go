@@ -26,6 +26,11 @@ func (l *Library) Malloc(t *proc.Thread, udi UDI, size uint64) (mem.Addr, error)
 	if err != nil {
 		return 0, err
 	}
+	if hook := l.allocFault; hook != nil {
+		if err := hook(udi, size); err != nil {
+			return 0, fmt.Errorf("%w: domain %d: %v", ErrHeapExhausted, udi, err)
+		}
+	}
 	c := t.CPU()
 	// The monitor raises the target key for the duration of the
 	// allocator operation.
@@ -37,9 +42,11 @@ func (l *Library) Malloc(t *proc.Thread, udi UDI, size uint64) (mem.Addr, error)
 	} else if err := d.ensureHeap(c); err != nil {
 		return 0, err
 	}
+	// Unlock via defer: an allocator walking corrupted metadata can trap
+	// mid-operation, and the heap lock must not survive the panic unwind.
 	d.lockHeap()
+	defer d.unlockHeap()
 	p, err := d.heap.Alloc(c, size)
-	d.unlockHeap()
 	if err != nil {
 		if errors.Is(err, tlsf.ErrOOM) {
 			return 0, fmt.Errorf("%w: domain %d: %v", ErrHeapExhausted, udi, err)
@@ -48,6 +55,13 @@ func (l *Library) Malloc(t *proc.Thread, udi UDI, size uint64) (mem.Addr, error)
 	}
 	return p, nil
 }
+
+// SetAllocFault installs (or, with nil, removes) an allocation-fault hook
+// consulted by Malloc before the allocator runs: a non-nil error makes the
+// call fail as heap exhaustion. The chaos engine uses it to inject OOM
+// under live workload load; install and remove it from the serving thread
+// (or while no thread is calling Malloc), as the field is unsynchronized.
+func (l *Library) SetAllocFault(fn func(udi UDI, size uint64) error) { l.allocFault = fn }
 
 // Free releases memory previously allocated in domain udi (Table I ③).
 func (l *Library) Free(t *proc.Thread, udi UDI, addr mem.Addr) error {

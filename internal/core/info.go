@@ -72,9 +72,14 @@ func (l *Library) domainInfo(t *proc.Thread, d *Domain) DomainInfo {
 	if d.heap != nil {
 		c := t.CPU()
 		l.wrpkru(t, mem.PKRUAllow(c.PKRU(), d.key, true))
-		d.lockHeap()
-		used, free, _, _ := d.heap.Usage(c)
-		d.unlockHeap()
+		// Usage walks allocator metadata and can trap on a corrupted heap;
+		// unlock via defer so the lock does not survive the unwind.
+		used, free := func() (uint64, uint64) {
+			d.lockHeap()
+			defer d.unlockHeap()
+			u, f, _, _ := d.heap.Usage(c)
+			return u, f
+		}()
 		info.HeapUsed = used
 		info.HeapFree = free
 	}

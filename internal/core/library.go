@@ -50,6 +50,7 @@ type Library struct {
 	reuseStacks      bool
 	rewindLimit      int64
 	onRewind         func(RewindEvent)
+	allocFault       func(udi UDI, size uint64) error
 
 	// pkruToken authorizes the monitor's PKRU writes on locked CPUs.
 	pkruToken uint64
@@ -326,10 +327,13 @@ func (l *Library) monitorEnter(t *proc.Thread) {
 	// is shared by all threads, so its read-modify-write is serialized —
 	// the synchronization the monitor data domain needs in any
 	// multithreaded deployment.
+	// Unlock via defer: the ledger writes go through the CPU and can trap
+	// (e.g. under fault injection); the library mutex must not survive the
+	// panic unwind.
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	c.WriteU64(l.monitorBase, c.ReadU64(l.monitorBase)+1)
 	c.WriteU64(l.monitorBase+8, uint64(t.ID()))
-	l.mu.Unlock()
 }
 
 // monitorExit lowers rights back to the policy of the thread's current

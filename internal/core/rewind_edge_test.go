@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+	"sdrad/internal/sig"
+)
+
+// TestRewindDuringExit injects a fault that fires on Exit's first memory
+// access — mid domain-teardown, while the victim is still the current
+// domain. The rewind must absorb it like any in-domain fault: the Guard
+// reports an abnormal exit of the victim and the library keeps working.
+func TestRewindDuringExit(t *testing.T) {
+	p, l := newLib(t)
+	run(t, p, func(th *proc.Thread) error {
+		c := th.CPU()
+		const victim = UDI(5)
+		gerr := l.Guard(th, victim, func() error {
+			if err := l.Enter(th, victim); err != nil {
+				return err
+			}
+			c.SetFaultInjector(func(addr mem.Addr, kind mem.AccessKind) *mem.Fault {
+				return &mem.Fault{Kind: kind, Code: mem.CodePkuErr, PKey: l.RootKey()}
+			})
+			return l.Exit(th)
+		}, Accessible())
+		if c.FaultInjectorArmed() {
+			c.SetFaultInjector(nil)
+			t.Fatal("injector never fired during Exit")
+		}
+		var abn *AbnormalExit
+		if !errors.As(gerr, &abn) {
+			t.Fatalf("guard returned %v, want abnormal exit", gerr)
+		}
+		if abn.FailedUDI != victim {
+			t.Errorf("failed domain %d, want %d", abn.FailedUDI, victim)
+		}
+		if abn.Signal != sig.SIGSEGV || abn.Code != int(mem.CodePkuErr) {
+			t.Errorf("oracle %v code=%d, want SIGSEGV/SEGV_PKUERR", abn.Signal, abn.Code)
+		}
+		if got := l.Stats().Rewinds.Load(); got != 1 {
+			t.Errorf("rewinds = %d, want 1", got)
+		}
+		if got := l.Current(th); got != RootUDI {
+			t.Errorf("current = %d after rewind, want root", got)
+		}
+		// The library must still run guarded domains normally.
+		return l.Guard(th, UDI(6), func() error {
+			if err := l.Enter(th, UDI(6)); err != nil {
+				return err
+			}
+			return l.Exit(th)
+		}, Accessible())
+	})
+}
+
+// TestRewindLimitExhausted exercises the §VI rewind budget: with
+// WithRewindLimit(2), the first fault is absorbed but the second hits the
+// limit mid-campaign and the process dies instead of rewinding — the
+// restart that re-randomizes probabilistic defenses.
+func TestRewindLimitExhausted(t *testing.T) {
+	p := proc.NewProcess("test", proc.WithSeed(7))
+	l, err := Setup(p, WithRewindLimit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = UDI(5)
+	attack := func(th *proc.Thread) error {
+		return l.Guard(th, victim, func() error {
+			if err := l.Enter(th, victim); err != nil {
+				return err
+			}
+			th.CPU().WriteU64(l.MonitorBase(), 0xdead)
+			return errors.New("unreachable")
+		}, Accessible())
+	}
+	err = p.Attach("main", func(th *proc.Thread) error {
+		gerr := attack(th)
+		var abn *AbnormalExit
+		if !errors.As(gerr, &abn) {
+			t.Errorf("first fault: guard returned %v, want absorbed abnormal exit", gerr)
+		}
+		if got := l.Stats().Rewinds.Load(); got != 1 {
+			t.Errorf("rewinds after first fault = %d, want 1", got)
+		}
+		// Second fault exhausts the budget: the guard never returns.
+		_ = attack(th)
+		t.Error("execution continued past the rewind limit")
+		return nil
+	})
+	var crash *proc.CrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("attach returned %v, want crash", err)
+	}
+	if !p.Killed() {
+		t.Error("process survived an exhausted rewind budget")
+	}
+	if got := l.Stats().Rewinds.Load(); got != 2 {
+		t.Errorf("rewinds = %d, want 2 (limit)", got)
+	}
+}
+
+// TestDoubleFaultInRewindObserver documents the semantics of a fault
+// raised inside the rewind observer itself: the observer runs on the
+// victim thread mid-recovery, so a second fault there cannot be rewound —
+// it escapes to the supervisor and kills the process, like a SIGSEGV
+// inside a SIGSEGV handler.
+func TestDoubleFaultInRewindObserver(t *testing.T) {
+	p := proc.NewProcess("test", proc.WithSeed(7))
+	var cpu *mem.CPU
+	l, err := Setup(p, WithRewindObserver(func(RewindEvent) {
+		_ = cpu.ReadU8(mem.Addr(1) << 40) // unmapped: double fault
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = UDI(5)
+	err = p.Attach("main", func(th *proc.Thread) error {
+		cpu = th.CPU()
+		gerr := l.Guard(th, victim, func() error {
+			if err := l.Enter(th, victim); err != nil {
+				return err
+			}
+			th.CPU().WriteU64(l.MonitorBase(), 0xdead)
+			return errors.New("unreachable")
+		}, Accessible())
+		t.Errorf("guard returned %v, but the double fault should have killed the process", gerr)
+		return nil
+	})
+	var crash *proc.CrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("attach returned %v, want crash", err)
+	}
+	if crash.Info.Signal != sig.SIGSEGV {
+		t.Errorf("crash signal %v, want SIGSEGV", crash.Info.Signal)
+	}
+	if !p.Killed() {
+		t.Error("process survived a double fault")
+	}
+	// The first rewind completed its bookkeeping before the observer ran.
+	if got := l.Stats().Rewinds.Load(); got != 1 {
+		t.Errorf("rewinds = %d, want 1", got)
+	}
+}

@@ -46,7 +46,16 @@ type Heap struct {
 
 	allocs int64
 	frees  int64
+
+	// allocHook, when non-nil, may veto allocations; see SetAllocHook.
+	allocHook func(size uint64) error
 }
+
+// SetAllocHook installs (or, with nil, removes) an allocation hook
+// consulted at the top of every Alloc; a non-nil return fails the
+// allocation with that error. Used by the chaos engine to inject
+// allocation failures into baseline (non-TLSF) builds.
+func (h *Heap) SetAllocHook(fn func(size uint64) error) { h.allocHook = fn }
 
 // Init creates a heap covering [base, base+size).
 func Init(c *mem.CPU, base mem.Addr, size uint64) (*Heap, error) {
@@ -68,6 +77,11 @@ func nextFree(c *mem.CPU, b mem.Addr) mem.Addr { return c.ReadAddr(b + headerOve
 
 // Alloc returns a block of at least size bytes using first fit.
 func (h *Heap) Alloc(c *mem.CPU, size uint64) (mem.Addr, error) {
+	if h.allocHook != nil {
+		if err := h.allocHook(size); err != nil {
+			return 0, err
+		}
+	}
 	if size == 0 {
 		size = 1
 	}

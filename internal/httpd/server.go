@@ -195,6 +195,10 @@ type event struct {
 	conn *Conn
 	req  []byte
 	resp chan result
+	// inspect, when non-nil, makes the event a control event: the worker
+	// runs the closure on its own thread between requests (chaos-audit
+	// hook); conn and req are ignored.
+	inspect func(t *proc.Thread) error
 }
 
 type result struct {
@@ -409,6 +413,24 @@ func (c *Conn) Do(req []byte) (resp []byte, closed bool, err error) {
 	}
 }
 
+// Inspect runs fn on the worker's event-loop thread between requests. The
+// chaos engine uses it to run invariant audits and arm fault injectors on
+// the serving thread; fn must leave the thread in the root domain.
+func (w *Worker) Inspect(fn func(t *proc.Thread) error) error {
+	ev := &event{inspect: fn, resp: make(chan result, 1)}
+	select {
+	case w.ch <- ev:
+	case <-w.p.Done():
+		return ErrWorkerDown
+	}
+	select {
+	case r := <-ev.resp:
+		return r.err
+	case <-w.p.Done():
+		return ErrWorkerDown
+	}
+}
+
 // Stop terminates the worker process.
 func (w *Worker) Stop() {
 	w.p.Shutdown()
@@ -439,6 +461,9 @@ func (w *Worker) Library() *core.Library { return w.lib }
 
 // handleEvent serves one HTTP request.
 func (w *Worker) handleEvent(t *proc.Thread, ev *event) result {
+	if ev.inspect != nil {
+		return result{err: ev.inspect(t)}
+	}
 	conn := ev.conn
 	if conn.closed {
 		return result{closed: true, err: ErrConnClosed}

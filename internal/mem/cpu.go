@@ -70,6 +70,10 @@ type CPU struct {
 	// inspection (ERIM) or hardware call gates (Donky).
 	wrpkruLocked bool
 	wrpkruToken  uint64
+
+	// inject, when non-nil, is consulted before every translation; see
+	// SetFaultInjector.
+	inject FaultInjector
 }
 
 // NewCPU returns a CPU attached to the address space with the
@@ -147,13 +151,29 @@ func spin(n int) {
 // fault raises a memory fault: it counts the event and panics with a
 // *Fault, the simulation's synchronous hardware trap.
 func (c *CPU) fault(addr Addr, kind AccessKind, code FaultCode, pkey int) {
+	c.raise(&Fault{Addr: addr, Kind: kind, Code: code, PKey: pkey})
+}
+
+// raise counts and logs f, then panics with it.
+func (c *CPU) raise(f *Fault) {
 	c.as.stats.Faults.Add(1)
-	panic(&Fault{Addr: addr, Kind: kind, Code: code, PKey: pkey})
+	c.as.recordFault(f)
+	panic(f)
 }
 
 // translate returns the page containing addr after performing the full
 // protection check for an access of the given kind, faulting on violation.
 func (c *CPU) translate(addr Addr, kind AccessKind) *page {
+	if c.inject != nil {
+		if f := c.inject(addr, kind); f != nil {
+			c.inject = nil // one-shot: disarm before the trap handler runs
+			if f.Addr == 0 {
+				f.Addr = addr
+			}
+			f.Injected = true
+			c.raise(f)
+		}
+	}
 	pn := addr.PageNum()
 	e := &c.tlb[pn%tlbSize]
 	gen := c.as.generation()

@@ -71,6 +71,11 @@ type Fault struct {
 	// PKey is the protection key of the target page for CodePkuErr faults
 	// (si_pkey), and 0 otherwise.
 	PKey int
+	// Injected marks faults raised by a CPU fault injector (see
+	// SetFaultInjector) rather than a genuine protection violation. The
+	// trap machinery treats both identically; the flag exists so chaos
+	// campaigns can tell their own faults apart in the fault log.
+	Injected bool
 }
 
 // Error implements error.

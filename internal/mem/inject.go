@@ -1,0 +1,95 @@
+package mem
+
+import "sync"
+
+// This file is the fault-injection surface of the simulated MMU, used by
+// internal/chaos to attack the SDRaD rewind machinery deterministically:
+// a per-CPU injector that turns a chosen memory access into a trap, and a
+// per-address-space fault log recording every trap (genuine or injected)
+// so campaigns can correlate injected faults with absorbed rewinds.
+
+// FaultRecord is one entry in the address-space fault log.
+type FaultRecord struct {
+	// Seq numbers faults in the order they were raised, starting at 1.
+	Seq int64
+	// Addr, Kind, Code, PKey mirror the Fault fields.
+	Addr Addr
+	Kind AccessKind
+	Code FaultCode
+	PKey int
+	// Injected reports whether the fault came from a CPU fault injector
+	// rather than a genuine protection violation.
+	Injected bool
+}
+
+// faultLogCap bounds the fault log; older entries are dropped.
+const faultLogCap = 256
+
+// faultLog is the bounded ring of recent faults kept on an AddressSpace.
+type faultLog struct {
+	mu   sync.Mutex
+	seq  int64
+	ring [faultLogCap]FaultRecord
+	n    int // number of valid entries, <= faultLogCap
+}
+
+// recordFault stamps f with the next sequence number and logs it.
+func (as *AddressSpace) recordFault(f *Fault) {
+	l := &as.faults
+	l.mu.Lock()
+	l.seq++
+	l.ring[int((l.seq-1)%faultLogCap)] = FaultRecord{
+		Seq:      l.seq,
+		Addr:     f.Addr,
+		Kind:     f.Kind,
+		Code:     f.Code,
+		PKey:     f.PKey,
+		Injected: f.Injected,
+	}
+	if l.n < faultLogCap {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// RecentFaults returns the logged faults, oldest first. At most the last
+// faultLogCap faults are retained; Seq exposes gaps.
+func (as *AddressSpace) RecentFaults() []FaultRecord {
+	l := &as.faults
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]FaultRecord, 0, l.n)
+	start := l.seq - int64(l.n)
+	for s := start; s < l.seq; s++ {
+		out = append(out, l.ring[int(s%faultLogCap)])
+	}
+	return out
+}
+
+// FaultSeq returns the sequence number of the most recent fault (0 if none
+// has been raised). Campaigns snapshot it before an attack and slice
+// RecentFaults afterwards.
+func (as *AddressSpace) FaultSeq() int64 {
+	l := &as.faults
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// FaultInjector decides whether a given memory access should trap. It runs
+// at the top of the CPU's translation path, before any real protection
+// check, and returns nil to let the access proceed or a *Fault to raise.
+// The returned fault's Addr may be zero, in which case the faulting access
+// address is filled in.
+type FaultInjector func(addr Addr, kind AccessKind) *Fault
+
+// SetFaultInjector installs (or, with nil, removes) the fault injector of
+// this CPU. The injector is one-shot: as soon as it returns a non-nil
+// fault it is disarmed, so the trap handler and rewind path that run next
+// execute without interference. Like all CPU state it must only be touched
+// from the goroutine modeling the thread.
+func (c *CPU) SetFaultInjector(fn FaultInjector) { c.inject = fn }
+
+// FaultInjectorArmed reports whether an injector is currently installed,
+// letting campaigns detect whether a scheduled injection actually fired.
+func (c *CPU) FaultInjectorArmed() bool { return c.inject != nil }

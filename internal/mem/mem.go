@@ -118,6 +118,9 @@ type AddressSpace struct {
 	// iterations; see WithWRPKRUCost.
 	wrpkruSpin int
 
+	// faults is the bounded log of recent traps; see RecentFaults.
+	faults faultLog
+
 	// genCtr is the TLB-invalidation generation; see kernel.go.
 	genCtr gen
 

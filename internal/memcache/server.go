@@ -132,6 +132,10 @@ type event struct {
 	conn *Conn
 	req  []byte
 	resp chan result
+	// inspect, when non-nil, makes the event a control event: the worker
+	// runs the closure on its own thread between requests (chaos-audit
+	// hook); conn and req are ignored.
+	inspect func(t *proc.Thread) error
 }
 
 type result struct {
@@ -283,6 +287,9 @@ func (w *worker) run(t *proc.Thread) error {
 
 // handleEvent processes one client event on the worker thread.
 func (s *Server) handleEvent(t *proc.Thread, w *worker, ev *event) result {
+	if ev.inspect != nil {
+		return result{err: ev.inspect(t)}
+	}
 	conn := ev.conn
 	if conn.closed {
 		return result{closed: true, err: ErrConnClosed}
@@ -536,6 +543,27 @@ func (c *Conn) Do(req []byte) (resp []byte, closed bool, err error) {
 		return r.data, r.closed, r.err
 	case <-s.p.Done():
 		return nil, true, ErrServerDown
+	}
+}
+
+// Inspect runs fn on the worker thread that owns this connection, like a
+// request but with the worker's thread handed to the closure. The chaos
+// engine uses it to run invariant audits and arm fault injectors on the
+// serving thread between events; fn must leave the thread in the root
+// domain.
+func (c *Conn) Inspect(fn func(t *proc.Thread) error) error {
+	s := c.w.s
+	ev := &event{inspect: fn, resp: make(chan result, 1)}
+	select {
+	case c.w.ch <- ev:
+	case <-s.p.Done():
+		return ErrServerDown
+	}
+	select {
+	case r := <-ev.resp:
+		return r.err
+	case <-s.p.Done():
+		return ErrServerDown
 	}
 }
 

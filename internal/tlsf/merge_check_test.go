@@ -1,0 +1,108 @@
+package tlsf
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdrad/internal/mem"
+)
+
+// TestCheckAfterMergeUnderLoad merges a child subheap carrying a mix of
+// live and freed blocks into its parent, then keeps allocating and
+// freeing across the adopted regions with a full invariant Check after
+// every mutation — the post-merge consistency the chaos engine's audits
+// depend on.
+func TestCheckAfterMergeUnderLoad(t *testing.T) {
+	as := mem.NewAddressSpace()
+	cpu := as.NewCPU()
+	pb, err := as.MapAnon(64<<10, mem.ProtRW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := as.MapAnon(32<<10, mem.ProtRW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := Init(cpu, pb, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := Init(cpu, cb, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	var live []mem.Addr
+	fill := func(p mem.Addr, b byte, n int) {
+		for off := 0; off < n; off += 32 {
+			cpu.WriteU8(p+mem.Addr(off), b)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		size := 32 << rng.Intn(4)
+		h := parent
+		if i%2 == 0 {
+			h = child
+		}
+		p, err := h.Alloc(cpu, uint64(size))
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		fill(p, byte(0x40+i), size)
+		live = append(live, p)
+	}
+	// Free a few child blocks so the merge adopts free-list entries too.
+	for i := 0; i < 3; i++ {
+		if err := child.Free(cpu, live[i*2]); err != nil {
+			t.Fatalf("pre-merge free: %v", err)
+		}
+		live[i*2] = 0
+	}
+
+	if err := parent.Merge(cpu, child); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := parent.Check(cpu); err != nil {
+		t.Fatalf("check after merge: %v", err)
+	}
+
+	// Alloc/free churn over the merged heap, re-checking the heap
+	// invariants after every mutation.
+	for i := 0; i < 32; i++ {
+		if rng.Intn(2) == 0 {
+			p, err := parent.Alloc(cpu, uint64(16<<rng.Intn(5)))
+			if err != nil {
+				t.Fatalf("post-merge alloc %d: %v", i, err)
+			}
+			live = append(live, p)
+		} else {
+			for j, p := range live {
+				if p != 0 {
+					if err := parent.Free(cpu, p); err != nil {
+						t.Fatalf("post-merge free 0x%x: %v", uint64(p), err)
+					}
+					live[j] = 0
+					break
+				}
+			}
+		}
+		if err := parent.Check(cpu); err != nil {
+			t.Fatalf("check after churn step %d: %v", i, err)
+		}
+	}
+
+	for _, p := range live {
+		if p != 0 {
+			if err := parent.Free(cpu, p); err != nil {
+				t.Fatalf("drain free 0x%x: %v", uint64(p), err)
+			}
+		}
+	}
+	if err := parent.Check(cpu); err != nil {
+		t.Fatalf("final check: %v", err)
+	}
+	if got := parent.AllocCount() - parent.FreeCount(); got != 0 {
+		t.Errorf("alloc/free imbalance after drain: %d", got)
+	}
+}

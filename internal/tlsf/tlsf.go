@@ -108,7 +108,18 @@ type Heap struct {
 	// Allocation statistics (Go-side, observability only).
 	allocs int64
 	frees  int64
+
+	// allocHook, when non-nil, may veto allocations; see SetAllocHook.
+	allocHook func(size uint64) error
 }
+
+// SetAllocHook installs (or, with nil, removes) an allocation hook: it is
+// consulted at the top of every Alloc and a non-nil return fails the
+// allocation with that error, exactly as if the heap were exhausted. The
+// chaos engine uses it to inject allocation failures at chosen points and
+// verify that OOM paths leave the heap consistent. The hook runs with
+// whatever synchronization the caller's Alloc runs under.
+func (h *Heap) SetAllocHook(fn func(size uint64) error) { h.allocHook = fn }
 
 // Init creates a heap whose control block and first region are carved from
 // [base, base+size). base must be 8-byte aligned and size large enough for
@@ -316,6 +327,11 @@ func adjustSize(size uint64) uint64 {
 func (h *Heap) Alloc(c *mem.CPU, size uint64) (mem.Addr, error) {
 	if h.merged {
 		return 0, ErrMergedHeap
+	}
+	if h.allocHook != nil {
+		if err := h.allocHook(size); err != nil {
+			return 0, err
+		}
 	}
 	if size == 0 {
 		size = 1
