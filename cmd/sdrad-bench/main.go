@@ -31,6 +31,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("sdrad-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "use the reduced test scale")
 	list := fs.Bool("list", false, "list experiment names and exit")
+	subJSON := fs.String("substrate-json", "", "write the substrate report as JSON to this path")
+	subBaseline := fs.String("substrate-baseline", "", "compare the substrate report against this JSON baseline; exit non-zero on >10% micro regression")
 	selected := make(map[string]*bool, len(bench.Experiments))
 	for _, name := range bench.Experiments {
 		selected[name] = fs.Bool(name, false, "run the "+name+" experiment")
@@ -56,15 +58,52 @@ func run(args []string) error {
 			toRun = append(toRun, name)
 		}
 	}
+	if (*subJSON != "" || *subBaseline != "") && !*selected["substrate"] {
+		toRun = append(toRun, "substrate")
+	}
 	if len(toRun) == 0 {
 		toRun = bench.Experiments
 	}
 	fmt.Printf("SDRaD-Go evaluation (scale: %s)\n", scaleName)
 	fmt.Printf("Reproducing: Gülmez et al., \"Rewind & Discard\", DSN 2023\n\n")
 	for _, name := range toRun {
+		if name == "substrate" && (*subJSON != "" || *subBaseline != "") {
+			if err := runSubstrate(scale, *subJSON, *subBaseline); err != nil {
+				return fmt.Errorf("substrate: %w", err)
+			}
+			continue
+		}
 		if err := bench.Run(os.Stdout, name, scale); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+	}
+	return nil
+}
+
+// runSubstrate runs the substrate experiment with its JSON side outputs:
+// an optional report dump and an optional regression check against a
+// committed baseline.
+func runSubstrate(scale bench.Scale, jsonPath, baselinePath string) error {
+	rep, table, err := bench.RunSubstrate(scale, nil)
+	if err != nil {
+		return err
+	}
+	table.Fprint(os.Stdout)
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("substrate report written to %s\n", jsonPath)
+	}
+	if baselinePath != "" {
+		base, err := bench.LoadSubstrateBaseline(baselinePath)
+		if err != nil {
+			return err
+		}
+		if err := rep.CheckAgainst(base); err != nil {
+			return err
+		}
+		fmt.Printf("substrate micro metrics within 10%% of baseline %s\n", baselinePath)
 	}
 	return nil
 }

@@ -10,7 +10,7 @@ var Experiments = []string{
 	"fig4", "rewind-memcached", "mem-memcached",
 	"fig5", "scaling-nginx", "rewind-nginx", "mem-nginx",
 	"openssl", "rewind-openssl",
-	"switchcost", "ablations",
+	"switchcost", "ablations", "substrate",
 }
 
 // Run executes one named experiment at the given scale and prints its
@@ -67,6 +67,10 @@ func Run(w io.Writer, name string, sc Scale) error {
 			}
 			tables = append(tables, t)
 		}
+	case "substrate":
+		var t *Table
+		_, t, err = RunSubstrate(sc, nil)
+		tables = append(tables, t)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", name, Experiments)
 	}

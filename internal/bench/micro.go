@@ -32,7 +32,7 @@ func switchCost(wrpkruIters, rounds int) (perSwitch time.Duration, pkruWritesPer
 				return err
 			}
 			stats := p.AddressSpace().Stats()
-			pkru0 := stats.PKRUWrites.Load()
+			pkru0 := stats.Snapshot().PKRUWrites
 			start := time.Now()
 			for i := 0; i < rounds; i++ {
 				if err := lib.Enter(t, 1); err != nil {
@@ -44,7 +44,7 @@ func switchCost(wrpkruIters, rounds int) (perSwitch time.Duration, pkruWritesPer
 			}
 			elapsed := time.Since(start)
 			perSwitch = elapsed / time.Duration(rounds)
-			pkruWritesPerSwitch = float64(stats.PKRUWrites.Load()-pkru0) / float64(rounds)
+			pkruWritesPerSwitch = float64(stats.Snapshot().PKRUWrites-pkru0) / float64(rounds)
 			return nil
 		})
 	})

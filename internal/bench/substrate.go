@@ -1,0 +1,353 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sdrad/internal/mem"
+	"sdrad/internal/memcache"
+)
+
+// SubstrateReport captures the cost of the simulated-MMU fast paths plus
+// the end-to-end Memcached overhead they dominate. It round-trips through
+// BENCH_substrate.json so CI can fail on per-op regressions.
+type SubstrateReport struct {
+	Schema string `json:"schema"`
+	// MicroNsPerOp is the ns/op of each substrate micro-operation; these
+	// are the gated metrics (>10% regression fails the bench-regression
+	// CI job).
+	MicroNsPerOp map[string]float64 `json:"micro_ns_per_op"`
+	// CalibrationNs is the ns/op of a fixed pure-Go xorshift step on the
+	// measuring machine. Regression checks normalize by the calibration
+	// ratio, so a baseline recorded on one machine remains meaningful on
+	// a runner with a different clock.
+	CalibrationNs float64 `json:"calibration_ns"`
+	// MemcachedRunOverheadPct records the YCSB run-phase throughput
+	// overhead of the sdrad variant vs vanilla per worker count
+	// (negative = slower than vanilla). Recorded for the paper-gap
+	// tracking in EXPERIMENTS.md, not gated (too noisy on shared
+	// runners).
+	MemcachedRunOverheadPct map[string]float64 `json:"memcached_run_overhead_pct,omitempty"`
+}
+
+// substrateSchema versions the JSON layout.
+const substrateSchema = "sdrad-substrate-bench/v1"
+
+// substrateTolerancePct is the per-op regression CI gates on.
+const substrateTolerancePct = 10.0
+
+// measureNs times f(n) with calibrated n (targeting ~60ms per timed run)
+// and returns the best-of-3 ns per operation, damping scheduler noise the
+// way testing.B's own calibration does.
+func measureNs(f func(n int)) float64 {
+	f(1000) // warm up
+	n := 1000
+	for {
+		start := time.Now()
+		f(n)
+		el := time.Since(start)
+		if el >= 40*time.Millisecond {
+			break
+		}
+		scale := float64(60*time.Millisecond) / float64(el+1)
+		if scale > 100 {
+			scale = 100
+		}
+		n = int(float64(n) * scale)
+	}
+	best := 0.0
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		f(n)
+		perOp := float64(time.Since(start).Nanoseconds()) / float64(n)
+		if trial == 0 || perOp < best {
+			best = perOp
+		}
+	}
+	return best
+}
+
+// substrateSink defeats dead-code elimination in the measurement loops.
+var substrateSink uint64
+
+// calibrationNs measures a fixed pure-Go operation (one xorshift step) as
+// the machine-speed yardstick for cross-machine baseline comparison.
+func calibrationNs() float64 {
+	return measureNs(func(n int) {
+		var x uint64 = 88172645463325252
+		for i := 0; i < n; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		substrateSink = x
+	})
+}
+
+// measureMicro returns the ns/op of each substrate micro-operation as
+// the per-metric minimum over three rounds, each on a freshly built
+// address space. The pointer-chasing metrics (translate_miss above all)
+// are bimodal across layouts: when the Go allocator happens to scatter
+// the page structs, a radix walk costs 2-4× more. The minimum tracks the
+// clean-layout cost — the thing a code change regresses — instead of
+// allocator luck, which is what makes the 10% CI gate stable.
+func measureMicro() (map[string]float64, error) {
+	var out map[string]float64
+	for round := 0; round < 3; round++ {
+		m, err := measureMicroOnce()
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = m
+			continue
+		}
+		for k, v := range m {
+			if v < out[k] {
+				out[k] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// measureMicroOnce runs one round of the substrate micro-operations. The
+// operations mirror the internal/mem testing.B benchmarks so the
+// committed baseline and `go test -bench` agree on what is measured.
+func measureMicroOnce() (map[string]float64, error) {
+	as := mem.NewAddressSpace()
+	// 2× the TLB reach: a cyclic walk over twice the direct-mapped TLB's
+	// entry count misses on every access (each index alternates between
+	// two pages) while keeping the host-cache working set small enough
+	// that the measurement reads radix-walk cost, not host paging luck.
+	const missPages = 512
+	addr, err := as.MapAnon(missPages*mem.PageSize, mem.ProtRW, 0)
+	if err != nil {
+		return nil, err
+	}
+	c := as.NewCPU()
+	page := make([]byte, mem.PageSize)
+
+	micro := map[string]float64{
+		"translate_hit": measureNs(func(n int) {
+			var s uint64
+			for i := 0; i < n; i++ {
+				s += uint64(c.ReadU8(addr))
+			}
+			substrateSink = s
+		}),
+		"translate_miss": measureNs(func(n int) {
+			var s uint64
+			for i := 0; i < n; i++ {
+				s += uint64(c.ReadU8(addr + mem.Addr(i%missPages)*mem.PageSize))
+			}
+			substrateSink = s
+		}),
+		"read_u64": measureNs(func(n int) {
+			var s uint64
+			for i := 0; i < n; i++ {
+				s += c.ReadU64(addr + 8)
+			}
+			substrateSink = s
+		}),
+		"read_page": measureNs(func(n int) {
+			for i := 0; i < n; i++ {
+				c.Read(addr, page)
+			}
+		}),
+		"copy_page": measureNs(func(n int) {
+			for i := 0; i < n; i++ {
+				c.Copy(addr+mem.PageSize, addr, mem.PageSize)
+			}
+		}),
+	}
+
+	// parallel_rw: aggregate per-op latency with GOMAXPROCS-bounded
+	// workers hammering disjoint pages through their own CPUs — the
+	// contention scenario the lock-free table and per-CPU stats address.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 2 {
+		workers = 2
+	}
+	sums := make([]uint64, workers)
+	micro["parallel_rw"] = measureNs(func(n int) {
+		var wg sync.WaitGroup
+		per := n / workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cw := as.NewCPU()
+				base := addr + mem.Addr(w)*mem.PageSize
+				var s uint64
+				for i := 0; i < per; i++ {
+					off := mem.Addr(i) & (mem.PageSize - 8)
+					cw.WriteU8(base+off, byte(i))
+					s += uint64(cw.ReadU8(base + off))
+				}
+				sums[w] = s
+			}(w)
+		}
+		wg.Wait()
+		for _, s := range sums {
+			substrateSink += s
+		}
+	}) / float64(workers)
+	return micro, nil
+}
+
+// measureMemcachedOverhead returns the YCSB run-phase overhead (percent,
+// negative = slower) of the sdrad variant vs vanilla per worker count.
+//
+// Each sample is a back-to-back vanilla/sdrad pair and the reported value
+// is the median of the per-pair throughput ratios. Pairing matters on the
+// shared single-core machines this repository targets: machine-state
+// drift (GC debt, co-located load, thermal) moves both runs of a pair
+// together and cancels in the ratio, where block measurement — all
+// vanilla runs, then all sdrad runs — would book the drift as variant
+// overhead.
+func measureMemcachedOverhead(sc Scale, workerCounts []int) (map[string]float64, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	pairs := 7
+	osc := sc
+	if sc.MemcachedOps <= Quick.MemcachedOps {
+		pairs = 1
+	} else {
+		// Stretch the run phase: at the stock full scale it lasts well
+		// under a second, so a single GC pause or scheduler quantum moves
+		// a cell by ~10%. 4x the ops averages those events out without
+		// changing the workload shape.
+		osc.MemcachedOps *= 4
+	}
+	out := make(map[string]float64, len(workerCounts))
+	for _, workers := range workerCounts {
+		ratios := make([]float64, 0, pairs)
+		for p := 0; p < pairs; p++ {
+			_, vanilla, err := runMemcachedYCSB(memcache.VariantVanilla, workers, osc)
+			if err != nil {
+				return nil, fmt.Errorf("substrate vanilla/%d: %w", workers, err)
+			}
+			_, sdrad, err := runMemcachedYCSB(memcache.VariantSDRaD, workers, osc)
+			if err != nil {
+				return nil, fmt.Errorf("substrate sdrad/%d: %w", workers, err)
+			}
+			ratios = append(ratios, sdrad.Throughput/vanilla.Throughput)
+		}
+		sort.Float64s(ratios)
+		out[fmt.Sprintf("w%d", workers)] = (ratios[len(ratios)/2] - 1) * 100
+	}
+	return out, nil
+}
+
+// RunSubstrate measures the substrate fast paths and the Memcached
+// overhead they govern, returning the machine-readable report and a
+// printable table.
+func RunSubstrate(sc Scale, workerCounts []int) (*SubstrateReport, *Table, error) {
+	micro, err := measureMicro()
+	if err != nil {
+		return nil, nil, err
+	}
+	overhead, err := measureMemcachedOverhead(sc, workerCounts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &SubstrateReport{
+		Schema:                  substrateSchema,
+		MicroNsPerOp:            micro,
+		CalibrationNs:           calibrationNs(),
+		MemcachedRunOverheadPct: overhead,
+	}
+	return rep, rep.Table(), nil
+}
+
+// Table renders the report as a bench table.
+func (r *SubstrateReport) Table() *Table {
+	t := &Table{
+		ID:     "Substrate",
+		Title:  "simulated-MMU fast-path cost and end-to-end overhead",
+		Header: []string{"metric", "value"},
+		Notes: []string{
+			"micro metrics are gated in CI against BENCH_substrate.json (>10% ns/op regression fails)",
+			"overhead = sdrad vs vanilla YCSB run-phase throughput (paper: 2.9-7.1%)",
+		},
+	}
+	for _, k := range sortedKeys(r.MicroNsPerOp) {
+		t.AddRow(k, fmt.Sprintf("%.1f ns/op", r.MicroNsPerOp[k]))
+	}
+	for _, k := range sortedKeys(r.MemcachedRunOverheadPct) {
+		t.AddRow("memcached run "+k, fmt.Sprintf("%+.1f%%", r.MemcachedRunOverheadPct[k]))
+	}
+	return t
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteJSON writes the report to path.
+func (r *SubstrateReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadSubstrateBaseline reads a previously committed report.
+func LoadSubstrateBaseline(path string) (*SubstrateReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r SubstrateReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CheckAgainst compares the report's micro metrics with a baseline,
+// returning an error naming every metric that regressed by more than the
+// tolerance. When both reports carry a calibration figure the baseline is
+// first rescaled by the machine-speed ratio, so a baseline committed from
+// one machine transfers to a runner with a different clock. Metrics
+// missing from either side are ignored (they are new or retired, not
+// regressed).
+func (r *SubstrateReport) CheckAgainst(base *SubstrateReport) error {
+	speed := 1.0
+	if base.CalibrationNs > 0 && r.CalibrationNs > 0 {
+		speed = r.CalibrationNs / base.CalibrationNs
+	}
+	var regressions []string
+	for _, k := range sortedKeys(base.MicroNsPerOp) {
+		old := base.MicroNsPerOp[k] * speed
+		cur, ok := r.MicroNsPerOp[k]
+		if !ok || old <= 0 {
+			continue
+		}
+		if pct := (cur - old) / old * 100; pct > substrateTolerancePct {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%% vs speed-adjusted baseline)", k, old, cur, pct))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench: substrate regression beyond %.0f%%: %v",
+			substrateTolerancePct, regressions)
+	}
+	return nil
+}

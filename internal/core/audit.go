@@ -110,16 +110,22 @@ func (l *Library) Audit(t *proc.Thread) *AuditReport {
 			r.PKRU, ts.current.udi, r.ExpectedPKRU)
 	}
 
-	// Transition-ledger consistency: the counter in the monitor data
-	// domain moves in lockstep with the Go-side statistic.
-	var ledger [8]byte
+	// Transition-ledger consistency: the ledger is sharded into
+	// per-thread slots (see monitorEnter); their sum moves in lockstep
+	// with the Go-side statistic.
+	var ledger [mem.PageSize]byte
 	if err := as.KernelRead(l.monitorBase, ledger[:]); err != nil {
 		r.findingf("monitor ledger unreadable: %v", err)
 	} else {
-		r.LedgerCalls = uint64(ledger[0]) | uint64(ledger[1])<<8 |
-			uint64(ledger[2])<<16 | uint64(ledger[3])<<24 |
-			uint64(ledger[4])<<32 | uint64(ledger[5])<<40 |
-			uint64(ledger[6])<<48 | uint64(ledger[7])<<56
+		var sum uint64
+		for off := 0; off < len(ledger); off += ledgerSlotSize {
+			s := ledger[off:]
+			sum += uint64(s[0]) | uint64(s[1])<<8 |
+				uint64(s[2])<<16 | uint64(s[3])<<24 |
+				uint64(s[4])<<32 | uint64(s[5])<<40 |
+				uint64(s[6])<<48 | uint64(s[7])<<56
+		}
+		r.LedgerCalls = sum
 		if r.LedgerCalls != uint64(r.MonitorCalls) {
 			r.findingf("monitor ledger desync: ledger=%d stats=%d",
 				r.LedgerCalls, r.MonitorCalls)

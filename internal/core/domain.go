@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sdrad/internal/mem"
 	"sdrad/internal/proc"
@@ -68,6 +69,10 @@ type Domain struct {
 	initialized bool
 	entered     bool
 	ownerTID    int // thread that initialized an exec domain
+
+	// pkruCache holds the last derived PKRU policy for executing this
+	// domain, packed as generation<<32|policy (see Library.computePKRU).
+	pkruCache atomic.Uint64
 
 	// grants are the data-domain access rights configured via DProtect.
 	grants map[UDI]mem.Prot
@@ -204,6 +209,7 @@ func (l *Library) InitDomain(t *proc.Thread, udi UDI, opts ...InitOption) error 
 	if d.kind == DataDomain {
 		l.dataDomains[udi] = d
 	}
+	l.policyGen.Add(1)
 	l.mu.Unlock()
 	if d.kind != DataDomain {
 		ts.domains[udi] = d
@@ -397,6 +403,7 @@ func (l *Library) releaseDomain(t *proc.Thread, d *Domain) {
 	if d.kind == DataDomain {
 		delete(l.dataDomains, d.udi)
 	}
+	l.policyGen.Add(1)
 	l.mu.Unlock()
 	if d.kind == DataDomain {
 		_ = as.PkeyFree(d.key)

@@ -60,10 +60,30 @@ type Library struct {
 	dataDomains map[UDI]*Domain
 	stackPool   []*pooledStack
 	root        *Domain // shared root domain
+	// ledgerFree/ledgerNext manage the per-thread transition-ledger slots
+	// in the monitor data domain (see monitorEnter).
+	ledgerFree []mem.Addr
+	ledgerNext int
+
+	// policyGen versions every input of computePKRU (domain topology,
+	// init states, keys, DProtect grants). Bumped under mu at the end of
+	// each mutating critical section, so a policy cached against the
+	// current generation is always derived from current state.
+	policyGen atomic.Uint64
 
 	scopeCtr atomic.Uint64
 	stats    Stats
 }
+
+// The monitor data domain page is carved into 16-byte transition-ledger
+// slots: [0:8) call count, [8:16) owning thread id. Slot 0 is the shared
+// fallback (mutex-guarded) for the unlikely case of more live threads
+// than slots; slots 1.. are exclusive to one live thread each, so the
+// per-call ledger write needs no lock.
+const (
+	ledgerSlotSize = 16
+	ledgerSlots    = int(mem.PageSize / ledgerSlotSize)
+)
 
 // pooledStack is a destroyed domain's stack kept mapped for reuse
 // (paper §IV-C: "we never unmap the stack area ... but keep it for
@@ -83,6 +103,10 @@ type threadState struct {
 	// enterStack records Enter nesting so Exit can restore the previous
 	// domain ("switch back to the parent domain's stack").
 	enterStack []enterRecord
+	// ledgerSlot is this thread's transition-ledger slot in the monitor
+	// data domain; ledgerShared marks the mutex-guarded fallback slot.
+	ledgerSlot   mem.Addr
+	ledgerShared bool
 }
 
 type enterRecord struct {
@@ -263,6 +287,13 @@ func (l *Library) destroyThread(t *proc.Thread) {
 	}
 	l.mu.Lock()
 	delete(l.threads, t.ID())
+	if !ts.ledgerShared && ts.ledgerSlot != 0 {
+		// Recycle the ledger slot without zeroing it: the accumulated
+		// count stays in the monitor domain, so the audit's sum over all
+		// slots remains the total call count.
+		l.ledgerFree = append(l.ledgerFree, ts.ledgerSlot)
+		ts.ledgerSlot = 0
+	}
 	l.mu.Unlock()
 }
 
@@ -278,6 +309,17 @@ func (l *Library) initThread(t *proc.Thread) {
 	t.Local = ts
 	l.mu.Lock()
 	l.threads[t.ID()] = ts
+	switch {
+	case len(l.ledgerFree) > 0:
+		ts.ledgerSlot = l.ledgerFree[len(l.ledgerFree)-1]
+		l.ledgerFree = l.ledgerFree[:len(l.ledgerFree)-1]
+	case l.ledgerNext+1 < ledgerSlots:
+		l.ledgerNext++ // slot 0 stays the shared fallback
+		ts.ledgerSlot = l.monitorBase + mem.Addr(l.ledgerNext*ledgerSlotSize)
+	default:
+		ts.ledgerSlot = l.monitorBase
+		ts.ledgerShared = true
+	}
 	l.mu.Unlock()
 	// From here on, only the reference monitor may touch PKRU (R4).
 	t.CPU().LockWRPKRU(l.pkruToken)
@@ -319,21 +361,28 @@ func (l *Library) Current(t *proc.Thread) UDI {
 // bracketed by monitorEnter/monitorExit, which is where the two PKRU
 // writes per transition — the dominant switch cost in the paper's
 // profiling — come from.
+//
+// The transition ledger is sharded: each live thread owns a 16-byte slot
+// in the monitor data domain, so the per-call read-modify-write is
+// thread-private and needs no lock (a real monitor keeps per-thread
+// transition logs for the same reason). The audit sums the slots against
+// the global call counter.
 func (l *Library) monitorEnter(t *proc.Thread) {
 	c := t.CPU()
 	l.wrpkru(t, mem.PKRUAllow(c.PKRU(), l.monitorKey, true))
 	l.stats.MonitorCalls.Add(1)
-	// Touch the transition ledger in the monitor data domain. The ledger
-	// is shared by all threads, so its read-modify-write is serialized —
-	// the synchronization the monitor data domain needs in any
-	// multithreaded deployment.
-	// Unlock via defer: the ledger writes go through the CPU and can trap
-	// (e.g. under fault injection); the library mutex must not survive the
-	// panic unwind.
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	c.WriteU64(l.monitorBase, c.ReadU64(l.monitorBase)+1)
-	c.WriteU64(l.monitorBase+8, uint64(t.ID()))
+	ts := l.state(t)
+	if ts.ledgerShared {
+		// Fallback slot shared by overflow threads: serialize the RMW.
+		// Unlock via defer: the ledger writes go through the CPU and can
+		// trap (e.g. under fault injection); the library mutex must not
+		// survive the panic unwind.
+		l.mu.Lock()
+		defer l.mu.Unlock()
+	}
+	slot := ts.ledgerSlot
+	c.WriteU64(slot, c.ReadU64(slot)+1)
+	c.WriteU64(slot+8, uint64(t.ID()))
 }
 
 // monitorExit lowers rights back to the policy of the thread's current
@@ -360,7 +409,28 @@ func (l *Library) wrpkru(t *proc.Thread, v uint32) {
 // It locks the library mutex because the root domain is shared by all
 // threads: its child list and grants can be mutated concurrently by other
 // threads initializing domains.
+//
+// The derived value is cached on the domain, tagged with the policy
+// generation it was derived from; monitorExit — two per API call — then
+// costs an atomic load instead of a locked walk. Every policy input
+// mutates under the library mutex with a generation bump at the end of
+// the critical section, so a cache entry tagged with the current
+// generation is always current (a walk that raced a mutation reads the
+// pre-bump generation and caches a value that can never be served).
 func (l *Library) computePKRU(ts *threadState, d *Domain) uint32 {
+	gen := l.policyGen.Load()
+	// The tag packs the generation into 32 bits; the generation counts
+	// domain-topology mutations and cannot realistically wrap.
+	if c := d.pkruCache.Load(); c != 0 && c>>32 == gen&0xffffffff {
+		return uint32(c)
+	}
+	pkru := l.derivePKRU(d)
+	d.pkruCache.Store((gen&0xffffffff)<<32 | uint64(pkru))
+	return pkru
+}
+
+// derivePKRU is the uncached policy walk.
+func (l *Library) derivePKRU(d *Domain) uint32 {
 	pkru := mem.PKRUDenyAll
 	pkru = mem.PKRUAllow(pkru, d.key, true)
 	if d.isRoot() {

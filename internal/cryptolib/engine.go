@@ -149,23 +149,53 @@ func nextNonce(c *mem.CPU, ctx mem.Addr) []byte {
 	return nonce
 }
 
+// rangesOverlap reports whether [a, a+alen) and [b, b+blen) intersect in
+// the simulated address space.
+func rangesOverlap(a mem.Addr, alen int, b mem.Addr, blen int) bool {
+	return a < b+mem.Addr(blen) && b < a+mem.Addr(alen)
+}
+
+// readBlock returns the inl input bytes at in, in place (zero-copy page
+// run) when the block sits inside one page and cannot alias the output or
+// context state the call mutates before ciphering, copying otherwise.
+func readBlock(c *mem.CPU, ctx, in mem.Addr, inl int, out mem.Addr, outl int) []byte {
+	if in.PageOff()+uint64(inl) <= mem.PageSize &&
+		!rangesOverlap(in, inl, out, outl) &&
+		!rangesOverlap(in, inl, ctx, CtxSize) {
+		return c.ReadRun(in, inl)
+	}
+	return c.ReadBytes(in, inl)
+}
+
 // EncryptUpdate encrypts inl bytes at in, writing ciphertext plus tag to
 // out. It returns the output length (inl + GCMTagSize). Each update is
 // sealed under a fresh counter nonce (the simulation treats every update
-// as one AEAD record).
+// as one AEAD record). When input and output each sit within one page the
+// record is read and sealed directly in the simulated frames with no
+// staging copies.
 func (e *Engine) EncryptUpdate(c *mem.CPU, ctx, out, in mem.Addr, inl int) (int, error) {
 	aead, err := e.aeadFor(c, ctx)
 	if err != nil {
 		return 0, err
 	}
-	pt := c.ReadBytes(in, inl)
-	ct := aead.Seal(nil, nextNonce(c, ctx), pt, nil)
+	outl := inl + GCMTagSize
+	pt := readBlock(c, ctx, in, inl, out, outl)
+	nonce := nextNonce(c, ctx)
+	if out.PageOff()+uint64(outl) <= mem.PageSize && !rangesOverlap(out, outl, in, inl) {
+		dst := c.WriteRun(out, outl)
+		aead.Seal(dst[:0], nonce, pt, nil)
+		return outl, nil
+	}
+	ct := aead.Seal(nil, nonce, pt, nil)
 	c.Write(out, ct)
 	return len(ct), nil
 }
 
 // DecryptUpdate authenticates and decrypts inl bytes (ciphertext + tag)
-// at in, written under the given record nonce value, into out.
+// at in, written under the given record nonce value, into out. The
+// ciphertext is read in place when its page run allows; the plaintext is
+// only written to out after authentication succeeds, so a forged record
+// leaves the output untouched.
 func (e *Engine) DecryptUpdate(c *mem.CPU, ctx, out, in mem.Addr, inl int, nonceVal uint64) (int, error) {
 	aead, err := e.aeadFor(c, ctx)
 	if err != nil {
@@ -176,7 +206,7 @@ func (e *Engine) DecryptUpdate(c *mem.CPU, ctx, out, in mem.Addr, inl int, nonce
 	}
 	nonce := make([]byte, 12)
 	binary.LittleEndian.PutUint64(nonce, nonceVal)
-	ct := c.ReadBytes(in, inl)
+	ct := readBlock(c, ctx, in, inl, out, inl-GCMTagSize)
 	pt, err := aead.Open(nil, nonce, ct, nil)
 	if err != nil {
 		return 0, ErrAuth

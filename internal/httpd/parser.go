@@ -194,16 +194,27 @@ func normalizeComplexURI(env *parserEnv, uri []byte) (string, error) {
 			// "/../": drop the previous segment by scanning back to the
 			// prior '/'. The scan has no lower bound — the planted bug:
 			// with enough "..", dp walks below dst into foreign memory.
+			// The scan consumes one backward page run at a time; each run
+			// is entered by an access check at its highest byte, which is
+			// exactly the first byte a descending byte-wise loop would
+			// touch, so the walk still faults at the same address.
 			dp--
-			for c.ReadU8(dp) != '/' {
-				dp--
+			for {
+				run := c.ReadRunBack(dp, mem.PageSize)
+				if k := lastIndexByte(run, '/'); k >= 0 {
+					dp -= mem.Addr(len(run) - 1 - k)
+					break
+				}
+				dp -= mem.Addr(len(run))
 			}
 		default:
 			c.WriteU8(dp, '/')
 			dp++
-			for k := 0; k < len(seg); k++ {
-				c.WriteU8(dp, seg[k])
-				dp++
+			for rem := seg; len(rem) > 0; {
+				run := c.WriteRun(dp, len(rem))
+				n := copy(run, rem)
+				rem = rem[n:]
+				dp += mem.Addr(n)
 			}
 		}
 		i = j
@@ -216,18 +227,56 @@ func normalizeComplexURI(env *parserEnv, uri []byte) (string, error) {
 
 // readLineAt returns the bytes of the CRLF-terminated line starting at
 // off, and the offset just past it. A nil line means no terminator was
-// found.
+// found. The scan walks the buffer one page run at a time with no copying
+// or allocation in the common case (line within one page); the returned
+// slice may alias simulated memory and is only valid until the buffer is
+// next written.
 func readLineAt(env *parserEnv, off int) (line []byte, next int) {
 	if off >= env.blen {
 		return nil, off
 	}
-	chunk := env.c.ReadBytes(env.buf+mem.Addr(off), env.blen-off)
-	for i := 0; i+1 < len(chunk); i++ {
-		if chunk[i] == '\r' && chunk[i+1] == '\n' {
-			return chunk[:i], off + i + 2
+	c := env.c
+	var acc []byte // spill, used only when a line crosses a page boundary
+	scanned := 0
+	for off+scanned < env.blen {
+		run := c.ReadRun(env.buf+mem.Addr(off+scanned), env.blen-off-scanned)
+		if len(acc) > 0 && acc[len(acc)-1] == '\r' && run[0] == '\n' {
+			return acc[:len(acc)-1], off + scanned + 1
 		}
+		if i := findCRLF(run); i >= 0 {
+			if acc == nil {
+				return run[:i], off + scanned + i + 2
+			}
+			return append(acc, run[:i]...), off + scanned + i + 2
+		}
+		acc = append(acc, run...)
+		scanned += len(run)
 	}
 	return nil, off
+}
+
+// findCRLF returns the index of the first "\r\n" fully inside b, or -1.
+func findCRLF(b []byte) int {
+	for i := 0; i+1 < len(b); i++ {
+		j := indexByte(b[i:len(b)-1], '\r')
+		if j < 0 {
+			return -1
+		}
+		i += j
+		if b[i+1] == '\n' {
+			return i
+		}
+	}
+	return -1
+}
+
+func lastIndexByte(b []byte, c byte) int {
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
 }
 
 func splitSpaces(b []byte) [][]byte {

@@ -1,0 +1,115 @@
+package mem
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// benchSpace maps npages of RW memory and returns a CPU for them.
+func benchSpace(b *testing.B, npages int) (*AddressSpace, *CPU, Addr) {
+	b.Helper()
+	as := NewAddressSpace()
+	addr, err := as.MapAnon(npages*PageSize, ProtRW, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return as, as.NewCPU(), addr
+}
+
+// BenchmarkTranslateHit measures the TLB-hit fast path: repeated one-byte
+// loads of the same address.
+func BenchmarkTranslateHit(b *testing.B) {
+	_, c, addr := benchSpace(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		sink = c.ReadU8(addr)
+	}
+	_ = sink
+}
+
+// BenchmarkTranslateMiss measures the page-table walk: alternating
+// accesses to two pages whose page numbers collide in the direct-mapped
+// TLB, so every translation misses.
+func BenchmarkTranslateMiss(b *testing.B) {
+	_, c, addr := benchSpace(b, 2*tlbSize)
+	conflict := addr + tlbSize*PageSize // same TLB index as addr
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		if i&1 == 0 {
+			sink = c.ReadU8(addr)
+		} else {
+			sink = c.ReadU8(conflict)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkReadU64 measures the aligned scalar fast path used by the tlsf
+// header, stack canary, and memcache item-header accesses.
+func BenchmarkReadU64(b *testing.B) {
+	_, c, addr := benchSpace(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = c.ReadU64(addr + 8)
+	}
+	_ = sink
+}
+
+// BenchmarkReadSpan measures bulk access: reading one full page through
+// the span-chunked Read path.
+func BenchmarkReadSpan(b *testing.B) {
+	_, c, addr := benchSpace(b, 1)
+	buf := make([]byte, PageSize)
+	b.SetBytes(PageSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(addr, buf)
+	}
+}
+
+// BenchmarkCopy measures the zero-allocation page-to-page copy path.
+func BenchmarkCopy(b *testing.B) {
+	_, c, addr := benchSpace(b, 32)
+	b.SetBytes(16 * PageSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Copy(addr+16*PageSize, addr, 16*PageSize)
+	}
+}
+
+// BenchmarkParallelRW measures the lock-free read path under parallelism:
+// each worker owns a CPU and hammers a disjoint page, the scenario the
+// per-CPU counters and lock-free table exist for.
+func BenchmarkParallelRW(b *testing.B) {
+	as := NewAddressSpace()
+	const workers = 8
+	addr, err := as.MapAnon(workers*PageSize, ProtRW, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var next int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := as.NewCPU()
+		// Hand each goroutine its own page, wrapping if GOMAXPROCS
+		// exceeds the mapped pages.
+		w := int(atomic.AddInt64(&next, 1)-1) % workers
+		base := addr + Addr(w*PageSize)
+		i := uint64(0)
+		for pb.Next() {
+			off := Addr(i % (PageSize - 8))
+			c.WriteU8(base+off, byte(i))
+			_ = c.ReadU8(base + off)
+			i++
+		}
+	})
+}

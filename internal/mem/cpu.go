@@ -3,6 +3,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // PKRU bit layout: for key k, bit 2k is the access-disable (AD) bit and bit
@@ -43,14 +44,34 @@ func PKRURights(pkru uint32, key int) (accessDisable, writeDisable bool) {
 	return pkru&(1<<(2*uint(key))) != 0, pkru&(1<<(2*uint(key)+1)) != 0
 }
 
-// tlbSize is the number of direct-mapped TLB entries per CPU context.
-const tlbSize = 64
+// TLB geometry: direct-mapped, per CPU context.
+const (
+	tlbBits = 8
+	tlbSize = 1 << tlbBits
+	tlbMask = tlbSize - 1
+)
 
+// tlbEntry caches one translation. An entry is valid only when its epoch
+// matches the CPU's current tlbEpoch; bumping the epoch (on shootdown)
+// invalidates the whole TLB in O(1).
 type tlbEntry struct {
-	gen  uint64
-	pn   uint64
-	pg   *page
-	used bool
+	pn    uint64
+	epoch uint64
+	pg    *page
+}
+
+// cpuCounters are the hot access counters, owned exclusively by the CPU's
+// thread and therefore plain (non-atomic) — the whole point of the per-CPU
+// split is that the fast path touches no shared cache line. They are read
+// by Stats.Snapshot, which callers must invoke only when quiescent with
+// respect to the counted accesses (after joining worker threads), the same
+// discipline per-CPU kernel counters require.
+type cpuCounters struct {
+	reads        int64
+	writes       int64
+	bytesRead    int64
+	bytesWritten int64
+	pkruWrites   int64
 }
 
 // CPU is a simulated hardware-thread context: the PKRU register plus a
@@ -61,7 +82,14 @@ type tlbEntry struct {
 type CPU struct {
 	as   *AddressSpace
 	pkru uint32
-	tlb  [tlbSize]tlbEntry
+
+	// tlbEpoch tags valid TLB entries; needFlush is set by page-table
+	// mutations (the shootdown IPI) and consumed at the next translation,
+	// which bumps the epoch and thereby drops every cached entry.
+	tlbEpoch  uint64
+	needFlush atomic.Bool
+
+	counts cpuCounters
 
 	// WRPKRU lockdown: when locked, only the holder of the token (the
 	// SDRaD reference monitor) may write PKRU. This models the paper's
@@ -74,12 +102,35 @@ type CPU struct {
 	// inject, when non-nil, is consulted before every translation; see
 	// SetFaultInjector.
 	inject FaultInjector
+
+	tlb [tlbSize]tlbEntry
 }
 
 // NewCPU returns a CPU attached to the address space with the
-// architectural initial PKRU value (only key 0 accessible).
+// architectural initial PKRU value (only key 0 accessible). The CPU is
+// registered with the address space for TLB shootdowns and stats
+// aggregation; CPUs are created once per simulated thread, so the registry
+// stays small.
 func (as *AddressSpace) NewCPU() *CPU {
-	return &CPU{as: as, pkru: PKRUInit}
+	c := &CPU{as: as, pkru: PKRUInit, tlbEpoch: 1}
+	as.cpuMu.Lock()
+	as.cpus = append(as.cpus, c)
+	as.cpuMu.Unlock()
+	return c
+}
+
+// shootdown flags every registered CPU to flush its TLB before the next
+// translation — the simulation's TLB-shootdown IPI. Page-table mutators
+// call it after publishing their changes, so a CPU that observes its flag
+// clear may still use a translation from before the mutation (exactly the
+// stale-TLB window real hardware has until the IPI lands), while the
+// mutating thread itself always observes its own mutation.
+func (as *AddressSpace) shootdown() {
+	as.cpuMu.Lock()
+	for _, c := range as.cpus {
+		c.needFlush.Store(true)
+	}
+	as.cpuMu.Unlock()
 }
 
 // AddressSpace returns the address space this CPU is attached to.
@@ -129,7 +180,7 @@ func (c *CPU) MonitorWRPKRU(token uint64, v uint32) {
 
 func (c *CPU) wrpkru(v uint32) {
 	c.pkru = v
-	c.as.stats.PKRUWrites.Add(1)
+	c.counts.pkruWrites++
 	if n := c.as.wrpkruSpin; n > 0 {
 		spin(n)
 	}
@@ -163,6 +214,8 @@ func (c *CPU) raise(f *Fault) {
 
 // translate returns the page containing addr after performing the full
 // protection check for an access of the given kind, faulting on violation.
+// The fast path — TLB hit with no pending shootdown — touches only
+// CPU-local state plus one uncontended atomic flag load.
 func (c *CPU) translate(addr Addr, kind AccessKind) *page {
 	if c.inject != nil {
 		if f := c.inject(addr, kind); f != nil {
@@ -174,18 +227,21 @@ func (c *CPU) translate(addr Addr, kind AccessKind) *page {
 			c.raise(f)
 		}
 	}
+	if c.needFlush.Load() {
+		c.needFlush.Store(false)
+		c.tlbEpoch++
+	}
 	pn := addr.PageNum()
-	e := &c.tlb[pn%tlbSize]
-	gen := c.as.generation()
-	var pg *page
-	if e.used && e.gen == gen && e.pn == pn {
-		pg = e.pg
-	} else {
+	e := &c.tlb[pn&tlbMask]
+	pg := e.pg
+	if e.pn != pn || e.epoch != c.tlbEpoch {
 		pg = c.as.lookup(pn)
 		if pg == nil {
 			c.fault(addr, kind, CodeMapErr, 0)
 		}
-		*e = tlbEntry{gen: gen, pn: pn, pg: pg, used: true}
+		e.pn = pn
+		e.epoch = c.tlbEpoch
+		e.pg = pg
 	}
 	switch kind {
 	case AccessRead:
@@ -210,6 +266,76 @@ func (c *CPU) translate(addr Addr, kind AccessKind) *page {
 		}
 	}
 	return pg
+}
+
+// translateRange translates addr for an access of the given kind and
+// returns the accessible span starting at addr within its page, clipped to
+// max bytes. It is the bulk-translation primitive: one permission check
+// covers every byte of the returned span (they share a PTE), and a
+// multi-page access faults at the exact first byte of the offending page
+// because each page is entered through a fresh translate at its first
+// touched address. Counters are the caller's responsibility.
+func (c *CPU) translateRange(addr Addr, max int, kind AccessKind) []byte {
+	pg := c.translate(addr, kind)
+	run := pg.data[addr.PageOff():]
+	if len(run) > max {
+		run = run[:max]
+	}
+	return run
+}
+
+// AccessRun checks an access of the given kind at addr and returns a
+// direct view of the underlying frame: up to max bytes, clipped at the
+// page boundary. The span stays valid after page-table changes (frames are
+// shared by PTE copies) but rights are only checked now — callers must not
+// cache spans across domain switches. One op and len(span) bytes are
+// counted.
+func (c *CPU) AccessRun(addr Addr, max int, kind AccessKind) []byte {
+	if max <= 0 {
+		return nil
+	}
+	run := c.translateRange(addr, max, kind)
+	if kind == AccessWrite {
+		c.counts.writes++
+		c.counts.bytesWritten += int64(len(run))
+	} else {
+		c.counts.reads++
+		c.counts.bytesRead += int64(len(run))
+	}
+	return run
+}
+
+// ReadRun returns a readable span of up to max bytes starting at addr,
+// clipped at the page boundary; see AccessRun.
+func (c *CPU) ReadRun(addr Addr, max int) []byte {
+	return c.AccessRun(addr, max, AccessRead)
+}
+
+// WriteRun returns a writable span of up to max bytes ending no later than
+// the page boundary after addr; see AccessRun.
+func (c *CPU) WriteRun(addr Addr, max int) []byte {
+	return c.AccessRun(addr, max, AccessWrite)
+}
+
+// ReadRunBack returns a readable span ending at addr inclusive, extending
+// backwards up to max bytes but not across addr's page boundary. The
+// access is checked at addr itself, so a backward scan that walks off
+// mapped memory faults at exactly the first byte the scan touches in each
+// page — matching a byte-at-a-time descending loop.
+func (c *CPU) ReadRunBack(addr Addr, max int) []byte {
+	if max <= 0 {
+		return nil
+	}
+	pg := c.translate(addr, AccessRead)
+	hi := int(addr.PageOff()) + 1
+	lo := 0
+	if hi > max {
+		lo = hi - max
+	}
+	run := pg.data[lo:hi]
+	c.counts.reads++
+	c.counts.bytesRead += int64(len(run))
+	return run
 }
 
 // Probe performs the access check for [addr, addr+n) without moving data,
@@ -239,16 +365,16 @@ func (c *CPU) Probe(addr Addr, n int, kind AccessKind) (err error) {
 // ReadU8 loads one byte from addr.
 func (c *CPU) ReadU8(addr Addr) byte {
 	pg := c.translate(addr, AccessRead)
-	c.as.stats.Reads.Add(1)
-	c.as.stats.BytesRead.Add(1)
+	c.counts.reads++
+	c.counts.bytesRead++
 	return pg.data[addr.PageOff()]
 }
 
 // WriteU8 stores one byte at addr.
 func (c *CPU) WriteU8(addr Addr, b byte) {
 	pg := c.translate(addr, AccessWrite)
-	c.as.stats.Writes.Add(1)
-	c.as.stats.BytesWritten.Add(1)
+	c.counts.writes++
+	c.counts.bytesWritten++
 	pg.data[addr.PageOff()] = b
 }
 
@@ -258,12 +384,10 @@ func (c *CPU) Read(addr Addr, p []byte) {
 	if len(p) == 0 {
 		return
 	}
-	c.as.stats.Reads.Add(1)
-	c.as.stats.BytesRead.Add(int64(len(p)))
+	c.counts.reads++
+	c.counts.bytesRead += int64(len(p))
 	for len(p) > 0 {
-		pg := c.translate(addr, AccessRead)
-		off := addr.PageOff()
-		n := copy(p, pg.data[off:])
+		n := copy(p, c.translateRange(addr, len(p), AccessRead))
 		p = p[n:]
 		addr += Addr(n)
 	}
@@ -275,12 +399,11 @@ func (c *CPU) Write(addr Addr, p []byte) {
 	if len(p) == 0 {
 		return
 	}
-	c.as.stats.Writes.Add(1)
-	c.as.stats.BytesWritten.Add(int64(len(p)))
+	c.counts.writes++
+	c.counts.bytesWritten += int64(len(p))
 	for len(p) > 0 {
-		pg := c.translate(addr, AccessWrite)
-		off := addr.PageOff()
-		n := copy(pg.data[off:], p)
+		run := c.translateRange(addr, len(p), AccessWrite)
+		n := copy(run, p)
 		p = p[n:]
 		addr += Addr(n)
 	}
@@ -298,43 +421,48 @@ func (c *CPU) Memset(addr Addr, b byte, n int) {
 	if n <= 0 {
 		return
 	}
-	c.as.stats.Writes.Add(1)
-	c.as.stats.BytesWritten.Add(int64(n))
+	c.counts.writes++
+	c.counts.bytesWritten += int64(n)
 	for n > 0 {
-		pg := c.translate(addr, AccessWrite)
-		off := int(addr.PageOff())
-		chunk := PageSize - off
-		if chunk > n {
-			chunk = n
-		}
-		d := pg.data[off : off+chunk]
+		d := c.translateRange(addr, n, AccessWrite)
 		for i := range d {
 			d[i] = b
 		}
-		n -= chunk
-		addr += Addr(chunk)
+		n -= len(d)
+		addr += Addr(len(d))
 	}
 }
 
 // Copy moves n bytes from src to dst within the address space, performing
 // both the read and the write checks (a memcpy executed by this thread).
+// The copy proceeds page run by page run with no staging buffer; like
+// memcpy, overlapping ranges yield unspecified contents.
 func (c *CPU) Copy(dst, src Addr, n int) {
 	if n <= 0 {
 		return
 	}
-	buf := make([]byte, min(n, 64*1024))
+	c.counts.reads++
+	c.counts.bytesRead += int64(n)
+	c.counts.writes++
+	c.counts.bytesWritten += int64(n)
 	for n > 0 {
-		chunk := min(n, len(buf))
-		c.Read(src, buf[:chunk])
-		c.Write(dst, buf[:chunk])
-		src += Addr(chunk)
-		dst += Addr(chunk)
-		n -= chunk
+		s := c.translateRange(src, n, AccessRead)
+		d := c.translateRange(dst, len(s), AccessWrite)
+		m := copy(d, s)
+		src += Addr(m)
+		dst += Addr(m)
+		n -= m
 	}
 }
 
 // ReadU16 loads a little-endian uint16 from addr.
 func (c *CPU) ReadU16(addr Addr) uint16 {
+	if off := addr.PageOff(); off <= PageSize-2 {
+		pg := c.translate(addr, AccessRead)
+		c.counts.reads++
+		c.counts.bytesRead += 2
+		return binary.LittleEndian.Uint16(pg.data[off:])
+	}
 	var b [2]byte
 	c.Read(addr, b[:])
 	return binary.LittleEndian.Uint16(b[:])
@@ -342,6 +470,13 @@ func (c *CPU) ReadU16(addr Addr) uint16 {
 
 // WriteU16 stores a little-endian uint16 at addr.
 func (c *CPU) WriteU16(addr Addr, v uint16) {
+	if off := addr.PageOff(); off <= PageSize-2 {
+		pg := c.translate(addr, AccessWrite)
+		c.counts.writes++
+		c.counts.bytesWritten += 2
+		binary.LittleEndian.PutUint16(pg.data[off:], v)
+		return
+	}
 	var b [2]byte
 	binary.LittleEndian.PutUint16(b[:], v)
 	c.Write(addr, b[:])
@@ -349,6 +484,12 @@ func (c *CPU) WriteU16(addr Addr, v uint16) {
 
 // ReadU32 loads a little-endian uint32 from addr.
 func (c *CPU) ReadU32(addr Addr) uint32 {
+	if off := addr.PageOff(); off <= PageSize-4 {
+		pg := c.translate(addr, AccessRead)
+		c.counts.reads++
+		c.counts.bytesRead += 4
+		return binary.LittleEndian.Uint32(pg.data[off:])
+	}
 	var b [4]byte
 	c.Read(addr, b[:])
 	return binary.LittleEndian.Uint32(b[:])
@@ -356,6 +497,13 @@ func (c *CPU) ReadU32(addr Addr) uint32 {
 
 // WriteU32 stores a little-endian uint32 at addr.
 func (c *CPU) WriteU32(addr Addr, v uint32) {
+	if off := addr.PageOff(); off <= PageSize-4 {
+		pg := c.translate(addr, AccessWrite)
+		c.counts.writes++
+		c.counts.bytesWritten += 4
+		binary.LittleEndian.PutUint32(pg.data[off:], v)
+		return
+	}
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], v)
 	c.Write(addr, b[:])
@@ -363,6 +511,12 @@ func (c *CPU) WriteU32(addr Addr, v uint32) {
 
 // ReadU64 loads a little-endian uint64 from addr.
 func (c *CPU) ReadU64(addr Addr) uint64 {
+	if off := addr.PageOff(); off <= PageSize-8 {
+		pg := c.translate(addr, AccessRead)
+		c.counts.reads++
+		c.counts.bytesRead += 8
+		return binary.LittleEndian.Uint64(pg.data[off:])
+	}
 	var b [8]byte
 	c.Read(addr, b[:])
 	return binary.LittleEndian.Uint64(b[:])
@@ -370,6 +524,13 @@ func (c *CPU) ReadU64(addr Addr) uint64 {
 
 // WriteU64 stores a little-endian uint64 at addr.
 func (c *CPU) WriteU64(addr Addr, v uint64) {
+	if off := addr.PageOff(); off <= PageSize-8 {
+		pg := c.translate(addr, AccessWrite)
+		c.counts.writes++
+		c.counts.bytesWritten += 8
+		binary.LittleEndian.PutUint64(pg.data[off:], v)
+		return
+	}
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
 	c.Write(addr, b[:])

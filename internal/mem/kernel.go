@@ -1,20 +1,6 @@
 package mem
 
-import (
-	"sort"
-	"sync/atomic"
-)
-
-// gen is the TLB-invalidation generation counter. Any change to the page
-// table bumps it, which invalidates every CPU's cached translations — the
-// simulation's TLB shootdown.
-type gen struct{ v atomic.Uint64 }
-
-func (as *AddressSpace) generation() uint64 { return as.genCtr.v.Load() }
-
-// bumpGeneration invalidates all TLBs. Called with as.mu held or not; the
-// counter is independent of the page-table lock.
-func (as *AddressSpace) bumpGeneration() { as.genCtr.v.Add(1) }
+import "sort"
 
 // KernelRead copies n bytes at addr into p without protection or key
 // checks, as kernel code would. It returns ErrUnmapped if the range is not
@@ -67,10 +53,10 @@ type PageDump struct {
 // sorted by address. This is the substrate for the CRIU-style
 // checkpoint/restore baseline the paper compares rewinding against.
 func (as *AddressSpace) ExportPages() []PageDump {
-	as.mu.RLock()
-	defer as.mu.RUnlock()
-	dumps := make([]PageDump, 0, len(as.pages))
-	for pn, pg := range as.pages {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	dumps := make([]PageDump, 0, as.stats.MappedBytes.Load()>>PageShift)
+	as.forEachPage(func(pn uint64, pg *page) {
 		data := make([]byte, PageSize)
 		copy(data, pg.data)
 		dumps = append(dumps, PageDump{
@@ -79,7 +65,7 @@ func (as *AddressSpace) ExportPages() []PageDump {
 			PKey: int(pg.pkey),
 			Data: data,
 		})
-	}
+	})
 	sort.Slice(dumps, func(i, j int) bool { return dumps[i].Addr < dumps[j].Addr })
 	return dumps
 }
@@ -95,7 +81,7 @@ func (as *AddressSpace) ImportPages(dumps []PageDump) error {
 			return ErrAlignment
 		}
 		pn := d.Addr.PageNum()
-		if _, ok := as.pages[pn]; ok {
+		if as.lookup(pn) != nil {
 			return ErrOverlap
 		}
 		if d.PKey < 0 || d.PKey >= NumKeys {
@@ -103,10 +89,11 @@ func (as *AddressSpace) ImportPages(dumps []PageDump) error {
 		}
 		data := make([]byte, PageSize)
 		copy(data, d.Data)
-		as.pages[pn] = &page{data: data, prot: d.Prot, pkey: uint8(d.PKey)}
+		as.setPage(pn, &page{data: data, prot: d.Prot, pkey: uint8(d.PKey)})
 		as.pkeys[d.PKey] = true
+		as.keyPages[d.PKey]++
 		as.stats.MappedBytes.Add(PageSize)
 	}
-	as.bumpGeneration()
+	as.shootdown()
 	return nil
 }

@@ -21,11 +21,17 @@
 // a synchronous hardware trap; the process layer (internal/proc) and the
 // SDRaD reference monitor (internal/core) contain the "signal handlers"
 // that recover such panics and decide between rewinding and termination.
+//
+// The page table is a lock-free two-level radix tree (see DESIGN.md,
+// "MMU fast path"): translations never take a lock, mutations serialize on
+// a mutex and publish through atomic pointer stores plus a per-CPU TLB
+// shootdown flag.
 package mem
 
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // Page geometry of the simulated MMU. The values match x86-64 4 KiB pages.
@@ -93,21 +99,59 @@ var (
 )
 
 // page is a simulated page-table entry together with its backing frame.
+// Once published into the page table a page is immutable except for its
+// data: protection or key changes replace the entry with a copy sharing the
+// same frame (copy-on-write of the PTE), so lock-free readers always see a
+// consistent (prot, pkey) pair.
 type page struct {
 	data []byte // len == PageSize
 	prot Prot
 	pkey uint8
 }
 
+// Two-level radix page-table geometry. The root is an inline array of
+// atomic pointers to leaves; each leaf is an array of atomic pointers to
+// pages. Together they cover 2^(rootBits+leafBits) pages = 2 TiB of
+// virtual address space, far above the simulation's bump-allocated
+// placements; pages beyond that fall back to a mutex-guarded overflow map.
+const (
+	leafBits     = 14
+	rootBits     = 15
+	leafPages    = 1 << leafBits
+	coveredPages = 1 << (rootBits + leafBits)
+)
+
+// pageLeaf is one second-level page-table node covering 64 MiB of VA.
+type pageLeaf [leafPages]atomic.Pointer[page]
+
 // AddressSpace is a simulated per-process virtual address space: a sparse
 // page table plus protection-key allocation state. All methods are safe for
 // concurrent use by multiple simulated threads; data accesses to distinct
 // bytes behave like real shared memory (no implicit synchronization).
 type AddressSpace struct {
-	mu      sync.RWMutex
-	pages   map[uint64]*page
-	pkeys   [NumKeys]bool // allocated keys; key 0 always allocated
-	nextMap Addr          // bump pointer for MapAnon placement
+	// root is the first radix level. Translation reads it lock-free;
+	// mutations (all serialized on mu) publish entries with atomic stores.
+	// Leaves are allocated on first use and never freed — an empty leaf is
+	// just a cached interior node, as in a real page table.
+	root [1 << rootBits]atomic.Pointer[pageLeaf]
+
+	// mu serializes all page-table and key-state mutations. Translations
+	// never take it.
+	mu       sync.Mutex
+	pkeys    [NumKeys]bool    // allocated keys; key 0 always allocated
+	keyPages [NumKeys]int64   // mapped pages tagged with each key
+	overflow map[uint64]*page // pages with pn >= coveredPages
+	nextMap  Addr             // bump pointer for MapAnon placement
+
+	// overflowMu guards overflow for lock-free-path readers; mutators hold
+	// mu as well.
+	overflowMu sync.RWMutex
+
+	// cpuMu guards cpus, the registry of CPU contexts attached to this
+	// address space. CPUs are per simulated thread, so the registry is
+	// small and bounded by the process's thread count.
+	cpuMu sync.Mutex
+	cpus  []*CPU
 
 	// guardGap is the unmapped gap (bytes) MapAnon leaves between regions
 	// so that large overflows out of a mapping hit unmapped memory, the
@@ -120,9 +164,6 @@ type AddressSpace struct {
 
 	// faults is the bounded log of recent traps; see RecentFaults.
 	faults faultLog
-
-	// genCtr is the TLB-invalidation generation; see kernel.go.
-	genCtr gen
 
 	stats Stats
 }
@@ -155,11 +196,11 @@ func WithWRPKRUCost(iterations int) Option {
 // allocated (the architectural default key).
 func NewAddressSpace(opts ...Option) *AddressSpace {
 	as := &AddressSpace{
-		pages:    make(map[uint64]*page),
 		nextMap:  mapAnonBase,
 		guardGap: defaultGuardGap,
 	}
 	as.pkeys[0] = true
+	as.stats.as = as
 	for _, o := range opts {
 		o(as)
 	}
@@ -194,10 +235,8 @@ func (as *AddressSpace) PkeyFree(key int) error {
 	if !as.pkeys[key] {
 		return ErrBadKey
 	}
-	for _, pg := range as.pages {
-		if int(pg.pkey) == key {
-			return ErrKeyInUse
-		}
+	if as.keyPages[key] != 0 {
+		return ErrKeyInUse
 	}
 	as.pkeys[key] = false
 	return nil
@@ -208,14 +247,58 @@ func (as *AddressSpace) KeyAllocated(key int) bool {
 	if key < 0 || key >= NumKeys {
 		return false
 	}
-	as.mu.RLock()
-	defer as.mu.RUnlock()
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	return as.pkeys[key]
 }
 
 // roundUp rounds n up to a multiple of PageSize.
 func roundUp(n int) uint64 {
 	return (uint64(n) + PageMask) &^ uint64(PageMask)
+}
+
+// lookup returns the page containing pn or nil. It is the translation slow
+// path (TLB miss) and takes no locks on the radix-covered range.
+func (as *AddressSpace) lookup(pn uint64) *page {
+	if pn < coveredPages {
+		leaf := as.root[pn>>leafBits].Load()
+		if leaf == nil {
+			return nil
+		}
+		return leaf[pn&(leafPages-1)].Load()
+	}
+	as.overflowMu.RLock()
+	pg := as.overflow[pn]
+	as.overflowMu.RUnlock()
+	return pg
+}
+
+// setPage publishes (or, with nil, removes) the page-table entry for pn.
+// Callers hold as.mu; readers observe the change via atomic loads.
+func (as *AddressSpace) setPage(pn uint64, pg *page) {
+	if pn < coveredPages {
+		slot := &as.root[pn>>leafBits]
+		leaf := slot.Load()
+		if leaf == nil {
+			if pg == nil {
+				return
+			}
+			leaf = new(pageLeaf)
+			slot.Store(leaf)
+		}
+		leaf[pn&(leafPages-1)].Store(pg)
+		return
+	}
+	as.overflowMu.Lock()
+	if pg == nil {
+		delete(as.overflow, pn)
+	} else {
+		if as.overflow == nil {
+			as.overflow = make(map[uint64]*page)
+		}
+		as.overflow[pn] = pg
+	}
+	as.overflowMu.Unlock()
 }
 
 // Map establishes a mapping of length bytes at addr with the given
@@ -242,20 +325,35 @@ func (as *AddressSpace) Map(addr Addr, length int, prot Prot, pkey int) error {
 		return ErrBadKey
 	}
 	base := addr.PageNum()
+	if base+npages < base {
+		return ErrOutOfAddress
+	}
 	for i := uint64(0); i < npages; i++ {
-		if _, ok := as.pages[base+i]; ok {
+		if as.lookup(base+i) != nil {
 			return ErrOverlap
 		}
 	}
+	// One slab of page structs and one backing array per mapping: the
+	// radix walk chases root -> leaf -> *page -> data, and individually
+	// allocated structs land wherever the allocator's span layout puts
+	// them, making the walk's cache behavior (and the translate_miss
+	// benchmark) bimodal across processes. Contiguity by construction
+	// keeps it flat. The slab stays reachable until every page of the
+	// mapping is unmapped and re-protect copies have dropped their frame
+	// references — acceptable, since regions are unmapped as units.
+	slab := make([]page, npages)
+	data := make([]byte, int(npages)<<PageShift)
 	for i := uint64(0); i < npages; i++ {
-		as.pages[base+i] = &page{
-			data: make([]byte, PageSize),
-			prot: prot,
-			pkey: uint8(pkey),
-		}
+		pg := &slab[i]
+		lo := int(i) << PageShift
+		pg.data = data[lo : lo+PageSize : lo+PageSize]
+		pg.prot = prot
+		pg.pkey = uint8(pkey)
+		as.setPage(base+i, pg)
 	}
+	as.keyPages[pkey] += int64(npages)
 	as.stats.MappedBytes.Add(int64(npages) * PageSize)
-	as.bumpGeneration()
+	as.shootdown()
 	return nil
 }
 
@@ -295,15 +393,17 @@ func (as *AddressSpace) Unmap(addr Addr, length int) error {
 	defer as.mu.Unlock()
 	base := addr.PageNum()
 	for i := uint64(0); i < npages; i++ {
-		if _, ok := as.pages[base+i]; !ok {
+		if as.lookup(base+i) == nil {
 			return ErrUnmapped
 		}
 	}
 	for i := uint64(0); i < npages; i++ {
-		delete(as.pages, base+i)
+		pg := as.lookup(base + i)
+		as.keyPages[pg.pkey]--
+		as.setPage(base+i, nil)
 	}
 	as.stats.MappedBytes.Add(-int64(npages) * PageSize)
-	as.bumpGeneration()
+	as.shootdown()
 	return nil
 }
 
@@ -340,28 +440,33 @@ func (as *AddressSpace) protect(addr Addr, length int, prot Prot, pkey int) erro
 	}
 	base := addr.PageNum()
 	for i := uint64(0); i < npages; i++ {
-		if _, ok := as.pages[base+i]; !ok {
+		if as.lookup(base+i) == nil {
 			return ErrUnmapped
 		}
 	}
 	for i := uint64(0); i < npages; i++ {
-		pg := as.pages[base+i]
-		pg.prot = prot
-		if pkey >= 0 {
-			pg.pkey = uint8(pkey)
+		old := as.lookup(base + i)
+		// Copy-on-write of the PTE: lock-free readers may hold the old
+		// entry, which stays internally consistent; they pick up the new
+		// rights after the shootdown below, exactly like a stale TLB entry
+		// on hardware.
+		next := &page{data: old.data, prot: prot, pkey: old.pkey}
+		if pkey >= 0 && uint8(pkey) != old.pkey {
+			as.keyPages[old.pkey]--
+			as.keyPages[pkey]++
+			next.pkey = uint8(pkey)
 		}
+		as.setPage(base+i, next)
 	}
-	as.bumpGeneration()
+	as.shootdown()
 	return nil
 }
 
 // PageInfo returns the protection and key of the page containing addr.
 // ok is false when the page is unmapped.
 func (as *AddressSpace) PageInfo(addr Addr) (prot Prot, pkey int, ok bool) {
-	as.mu.RLock()
-	defer as.mu.RUnlock()
-	pg, found := as.pages[addr.PageNum()]
-	if !found {
+	pg := as.lookup(addr.PageNum())
+	if pg == nil {
 		return 0, 0, false
 	}
 	return pg.prot, int(pg.pkey), true
@@ -372,26 +477,37 @@ func (as *AddressSpace) Mapped(addr Addr, length int) bool {
 	if length <= 0 {
 		return false
 	}
-	as.mu.RLock()
-	defer as.mu.RUnlock()
 	first := addr.PageNum()
 	last := (Addr(uint64(addr) + uint64(length) - 1)).PageNum()
 	for pn := first; pn <= last; pn++ {
-		if _, ok := as.pages[pn]; !ok {
+		if as.lookup(pn) == nil {
 			return false
 		}
 	}
 	return true
 }
 
-// lookup returns the page containing pn or nil.
-func (as *AddressSpace) lookup(pn uint64) *page {
-	as.mu.RLock()
-	pg := as.pages[pn]
-	as.mu.RUnlock()
-	return pg
+// forEachPage calls f for every mapped page. Caller holds as.mu.
+func (as *AddressSpace) forEachPage(f func(pn uint64, pg *page)) {
+	for ri := range as.root {
+		leaf := as.root[ri].Load()
+		if leaf == nil {
+			continue
+		}
+		for li := range leaf {
+			if pg := leaf[li].Load(); pg != nil {
+				f(uint64(ri)<<leafBits|uint64(li), pg)
+			}
+		}
+	}
+	as.overflowMu.RLock()
+	for pn, pg := range as.overflow {
+		f(pn, pg)
+	}
+	as.overflowMu.RUnlock()
 }
 
 // Stats returns the address-space counters. The returned pointer is live;
-// callers read the atomic fields directly.
+// callers read the atomic gauge fields directly or aggregate the per-CPU
+// counters with Snapshot.
 func (as *AddressSpace) Stats() *Stats { return &as.stats }

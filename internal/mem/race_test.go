@@ -1,0 +1,155 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTranslateRaceWithMapping hammers the lock-free translation path from
+// several CPUs while another goroutine continuously maps, remaps,
+// protects, and unmaps a churn region. It pins down the invariants the
+// radix table and TLB-shootdown protocol must uphold under -race:
+//
+//   - a translation never observes torn page-table state (the race
+//     detector verifies the atomics discipline);
+//   - accesses to a stable region keep succeeding, with stable contents;
+//   - accesses to the churn region either succeed or raise a well-formed
+//     Fault for the mapping state they raced with — never anything else.
+func TestTranslateRaceWithMapping(t *testing.T) {
+	as := NewAddressSpace()
+
+	stable, err := as.MapAnon(4*PageSize, ProtRW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := as.NewCPU()
+	for i := 0; i < 4*PageSize; i += 8 {
+		init.WriteU64(stable+Addr(i), uint64(i))
+	}
+
+	churn, err := as.MapAnon(8*PageSize, ProtRW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := as.PkeyAlloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 4
+	iters := 30000
+	if testing.Short() {
+		iters = 8000
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Mutator: cycles the churn region through unmap/map/protect/
+	// pkey_mprotect, each step a full shootdown.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < iters; i++ {
+			switch i % 4 {
+			case 0:
+				if err := as.Unmap(churn, 8*PageSize); err != nil {
+					t.Errorf("unmap: %v", err)
+					return
+				}
+			case 1:
+				if err := as.Map(churn, 8*PageSize, ProtRW, 0); err != nil {
+					t.Errorf("map: %v", err)
+					return
+				}
+			case 2:
+				if err := as.Protect(churn, 8*PageSize, ProtRead); err != nil {
+					t.Errorf("protect: %v", err)
+					return
+				}
+			case 3:
+				if err := as.PkeyMprotect(churn, 8*PageSize, ProtRW, key); err != nil {
+					t.Errorf("pkey_mprotect: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Readers: each on its own CPU, interleaving stable-region checks with
+	// churn-region probes.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := as.NewCPU()
+			c.WRPKRU(PKRUAllow(PKRUInit, key, true))
+			i := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := Addr((i * 8) % (4 * PageSize))
+				if got := c.ReadU64(stable + off); got != uint64(off) {
+					t.Errorf("reader %d: stable word at +%#x = %d, want %d", r, off, got, off)
+					return
+				}
+				addr := churn + Addr((i*64)%(8*PageSize))
+				if err := c.Probe(addr, 1, AccessWrite); err != nil {
+					f := AsFault(err)
+					if f == nil {
+						t.Errorf("reader %d: non-fault error %v", r, err)
+						return
+					}
+					if f.Code != CodeMapErr && f.Code != CodeAccErr && f.Code != CodePkuErr {
+						t.Errorf("reader %d: unexpected fault code %v", r, f.Code)
+						return
+					}
+				}
+				i++
+			}
+		}(r)
+	}
+
+	wg.Wait()
+
+	// After the dust settles every CPU must observe the final state
+	// exactly: the mutator ends on a PkeyMprotect(ProtRW, key) step.
+	final := as.NewCPU()
+	final.WRPKRU(PKRUAllow(PKRUInit, key, true))
+	final.WriteU8(churn, 0xAB)
+	if got := final.ReadU8(churn); got != 0xAB {
+		t.Fatalf("final churn byte = %#x, want 0xAB", got)
+	}
+}
+
+// TestShootdownIsExactForOwnThread verifies the amortized TLB-invalidation
+// scheme never lets a thread see its own stale mapping: mutate-then-access
+// on one goroutine must fault (or see new rights) immediately, which is
+// the property the fault-semantics tests and rewind machinery rely on.
+func TestShootdownIsExactForOwnThread(t *testing.T) {
+	as := NewAddressSpace()
+	addr, err := as.MapAnon(PageSize, ProtRW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := as.NewCPU()
+	c.WriteU8(addr, 1) // populate TLB
+
+	if err := as.Protect(addr, PageSize, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Probe(addr, 1, AccessWrite); AsFault(err) == nil || AsFault(err).Code != CodeAccErr {
+		t.Fatalf("write after Protect(r--): err = %v, want ACCERR fault", err)
+	}
+
+	if err := as.Unmap(addr, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Probe(addr, 1, AccessRead); AsFault(err) == nil || AsFault(err).Code != CodeMapErr {
+		t.Fatalf("read after Unmap: err = %v, want MAPERR fault", err)
+	}
+}

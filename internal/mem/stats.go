@@ -2,29 +2,28 @@ package mem
 
 import "sync/atomic"
 
-// Stats aggregates counters across an address space and all CPU contexts
-// attached to it. All fields are updated atomically and may be read at any
-// time; they power the memory-overhead ("RSS") and domain-switch-profiling
-// experiments.
+// Stats aggregates counters for an address space and the CPU contexts
+// attached to it; they power the memory-overhead ("RSS") and
+// domain-switch-profiling experiments.
+//
+// The hot access counters (reads, writes, bytes, PKRU writes) live on each
+// CPU as plain thread-local fields so the access fast path never touches a
+// shared cache line; Snapshot folds them together. The fields kept here are
+// the cold shared ones: Faults (raised at trap frequency, not access
+// frequency) and the MappedBytes gauge.
 type Stats struct {
-	// Reads and Writes count access operations (not bytes).
-	Reads  atomic.Int64
-	Writes atomic.Int64
-	// BytesRead and BytesWritten count payload bytes moved.
-	BytesRead    atomic.Int64
-	BytesWritten atomic.Int64
-	// PKRUWrites counts WRPKRU executions across all threads; the paper
-	// attributes 30-50% of domain-switch cost to this instruction.
-	PKRUWrites atomic.Int64
 	// Faults counts raised memory faults.
 	Faults atomic.Int64
 	// MappedBytes is the current total of mapped page bytes — the
 	// simulation's resident-set-size analog used for the memory-overhead
 	// experiments (paper §V-A, §V-B).
 	MappedBytes atomic.Int64
+
+	as *AddressSpace
 }
 
-// Snapshot is a point-in-time copy of Stats, safe to compare and print.
+// Snapshot is a point-in-time copy of the counters, safe to compare and
+// print.
 type Snapshot struct {
 	Reads        int64
 	Writes       int64
@@ -35,17 +34,27 @@ type Snapshot struct {
 	MappedBytes  int64
 }
 
-// Snapshot captures the current counter values.
+// Snapshot aggregates the per-CPU counters with the shared gauges. The
+// per-CPU fields are plain (unsynchronized) thread-local counters, so a
+// snapshot is exact only when the counted threads are quiescent (joined or
+// parked); concurrent snapshots see a consistent-enough running total for
+// monitoring but must not race with a -race-instrumented access stream.
 func (s *Stats) Snapshot() Snapshot {
-	return Snapshot{
-		Reads:        s.Reads.Load(),
-		Writes:       s.Writes.Load(),
-		BytesRead:    s.BytesRead.Load(),
-		BytesWritten: s.BytesWritten.Load(),
-		PKRUWrites:   s.PKRUWrites.Load(),
-		Faults:       s.Faults.Load(),
-		MappedBytes:  s.MappedBytes.Load(),
+	snap := Snapshot{
+		Faults:      s.Faults.Load(),
+		MappedBytes: s.MappedBytes.Load(),
 	}
+	as := s.as
+	as.cpuMu.Lock()
+	for _, c := range as.cpus {
+		snap.Reads += c.counts.reads
+		snap.Writes += c.counts.writes
+		snap.BytesRead += c.counts.bytesRead
+		snap.BytesWritten += c.counts.bytesWritten
+		snap.PKRUWrites += c.counts.pkruWrites
+	}
+	as.cpuMu.Unlock()
+	return snap
 }
 
 // Sub returns the delta s minus o, field by field. MappedBytes is copied

@@ -306,11 +306,27 @@ func readLine(c *mem.CPU, rbuf mem.Addr, rlen int) (line []byte, bodyOff int) {
 	if max > 512 {
 		max = 512 // command lines are short; bodies follow separately
 	}
-	head := c.ReadBytes(rbuf, max)
-	for i := 0; i+1 < len(head); i++ {
-		if head[i] == '\r' && head[i+1] == '\n' {
-			return head[:i], i + 2
+	// Scan page runs in place instead of copying the whole head: the
+	// common case (line inside one page) allocates nothing, and the
+	// returned slice aliases simulated memory until the buffer is next
+	// written.
+	var acc []byte // spill, used only when the line crosses a page boundary
+	scanned := 0
+	for scanned < max {
+		run := c.ReadRun(rbuf+mem.Addr(scanned), max-scanned)
+		if len(acc) > 0 && acc[len(acc)-1] == '\r' && run[0] == '\n' {
+			return acc[:len(acc)-1], scanned + 1
 		}
+		for i := 0; i+1 < len(run); i++ {
+			if run[i] == '\r' && run[i+1] == '\n' {
+				if acc == nil {
+					return run[:i], scanned + i + 2
+				}
+				return append(acc, run[:i]...), scanned + i + 2
+			}
+		}
+		acc = append(acc, run...)
+		scanned += len(run)
 	}
 	return nil, 0
 }

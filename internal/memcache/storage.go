@@ -204,6 +204,24 @@ func itemKey(c *mem.CPU, it mem.Addr) []byte {
 	return c.ReadBytes(it+itemHeader, int(klen))
 }
 
+// itemKeyEqual reports whether the item's key equals key, comparing page
+// runs in place — the hash-chain walk allocates nothing.
+func itemKeyEqual(c *mem.CPU, it mem.Addr, key []byte) bool {
+	if c.ReadU64(it+itemOffKeyLen) != uint64(len(key)) {
+		return false
+	}
+	addr := it + itemHeader
+	for len(key) > 0 {
+		run := c.ReadRun(addr, len(key))
+		if string(run) != string(key[:len(run)]) {
+			return false
+		}
+		key = key[len(run):]
+		addr += mem.Addr(len(run))
+	}
+	return true
+}
+
 // itemValueAddr returns the address and length of an item's value.
 func itemValueAddr(c *mem.CPU, it mem.Addr) (mem.Addr, int) {
 	klen := c.ReadU64(it + itemOffKeyLen)
@@ -290,8 +308,7 @@ func (st *Storage) lookupLocked(c *mem.CPU, key []byte) mem.Addr {
 	ba := st.bucketAddr(hashKey(key))
 	it := c.ReadAddr(ba)
 	for it != 0 {
-		k := itemKey(c, it)
-		if string(k) == string(key) {
+		if itemKeyEqual(c, it, key) {
 			return it
 		}
 		it = c.ReadAddr(it + itemOffNext)
