@@ -33,6 +33,7 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiment names and exit")
 	subJSON := fs.String("substrate-json", "", "write the substrate report as JSON to this path")
 	subBaseline := fs.String("substrate-baseline", "", "compare the substrate report against this JSON baseline; exit non-zero on >10% micro regression")
+	telGuard := fs.Bool("telemetry-guard", false, "exit non-zero when an enabled telemetry recorder costs more than 2% YCSB run-phase throughput")
 	selected := make(map[string]*bool, len(bench.Experiments))
 	for _, name := range bench.Experiments {
 		selected[name] = fs.Bool(name, false, "run the "+name+" experiment")
@@ -58,7 +59,7 @@ func run(args []string) error {
 			toRun = append(toRun, name)
 		}
 	}
-	if (*subJSON != "" || *subBaseline != "") && !*selected["substrate"] {
+	if (*subJSON != "" || *subBaseline != "" || *telGuard) && !*selected["substrate"] {
 		toRun = append(toRun, "substrate")
 	}
 	if len(toRun) == 0 {
@@ -67,8 +68,8 @@ func run(args []string) error {
 	fmt.Printf("SDRaD-Go evaluation (scale: %s)\n", scaleName)
 	fmt.Printf("Reproducing: Gülmez et al., \"Rewind & Discard\", DSN 2023\n\n")
 	for _, name := range toRun {
-		if name == "substrate" && (*subJSON != "" || *subBaseline != "") {
-			if err := runSubstrate(scale, *subJSON, *subBaseline); err != nil {
+		if name == "substrate" && (*subJSON != "" || *subBaseline != "" || *telGuard) {
+			if err := runSubstrate(scale, *subJSON, *subBaseline, *telGuard); err != nil {
 				return fmt.Errorf("substrate: %w", err)
 			}
 			continue
@@ -83,7 +84,7 @@ func run(args []string) error {
 // runSubstrate runs the substrate experiment with its JSON side outputs:
 // an optional report dump and an optional regression check against a
 // committed baseline.
-func runSubstrate(scale bench.Scale, jsonPath, baselinePath string) error {
+func runSubstrate(scale bench.Scale, jsonPath, baselinePath string, telGuard bool) error {
 	rep, table, err := bench.RunSubstrate(scale, nil)
 	if err != nil {
 		return err
@@ -104,6 +105,12 @@ func runSubstrate(scale bench.Scale, jsonPath, baselinePath string) error {
 			return err
 		}
 		fmt.Printf("substrate micro metrics within 10%% of baseline %s\n", baselinePath)
+	}
+	if telGuard {
+		if err := rep.CheckTelemetryOverhead(); err != nil {
+			return err
+		}
+		fmt.Println("telemetry-enabled run overhead within the 2% budget")
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sdrad/internal/chaos"
+	"sdrad/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +40,8 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list campaign names and exit")
 	budget := fs.Duration("budget", 0, "keep running rounds with fresh seeds until the budget elapses")
 	verbose := fs.Bool("v", false, "print every schedule line")
+	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /flightrecorder on this address while campaigns run")
+	flightDump := fs.String("flight-dump", "", "write the final telemetry dump (metrics, flight record, forensics) as JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,11 +59,27 @@ func run(args []string) error {
 		*seed = time.Now().UnixNano() & 0x7fffffff
 	}
 
+	// One recorder spans every round, so the dump holds the whole run's
+	// flight record and forensics reports. The campaigns' per-operation
+	// forensics assertions work off counter deltas and are unaffected by
+	// the shared history. A larger flight ring keeps more of the tail.
+	var rec *telemetry.Recorder
+	if *telAddr != "" || *flightDump != "" {
+		rec = telemetry.New(telemetry.Options{FlightEvents: 65536, ForensicsRetain: 256})
+		if *telAddr != "" {
+			bound, err := rec.Serve(*telAddr)
+			if err != nil {
+				return fmt.Errorf("telemetry: %w", err)
+			}
+			fmt.Printf("telemetry on http://%s/ (/metrics, /flightrecorder, /forensics)\n", bound)
+		}
+	}
+
 	deadline := time.Now().Add(*budget)
 	failed := 0
 	for round := 0; ; round++ {
 		roundSeed := *seed + int64(round)
-		cfg := chaos.Config{Seed: roundSeed, Ops: *ops}
+		cfg := chaos.Config{Seed: roundSeed, Ops: *ops, Telemetry: rec}
 		if *verbose {
 			cfg.Logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
 		}
@@ -81,6 +100,17 @@ func run(args []string) error {
 		if *budget <= 0 || !time.Now().Before(deadline) {
 			break
 		}
+	}
+	if *flightDump != "" {
+		data, err := rec.DumpJSON()
+		if err != nil {
+			return fmt.Errorf("flight dump: %w", err)
+		}
+		if err := os.WriteFile(*flightDump, data, 0o644); err != nil {
+			return fmt.Errorf("flight dump: %w", err)
+		}
+		fmt.Printf("telemetry dump written to %s (%d flight events, %d forensics reports)\n",
+			*flightDump, rec.Flight().Written(), rec.Forensics().Added())
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d campaign(s) failed", failed)

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"sdrad/internal/httpd"
+	"sdrad/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8089", "listen address")
 	workers := fs.Int("workers", 2, "worker processes")
 	variantName := fs.String("variant", "sdrad", "build variant: vanilla, tlsf, or sdrad")
+	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /flightrecorder on this address (empty = telemetry off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,6 +52,10 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown variant %q", *variantName)
 	}
+	var rec *telemetry.Recorder
+	if *telAddr != "" {
+		rec = telemetry.New(telemetry.Options{})
+	}
 	m, err := httpd.NewMaster(httpd.Config{
 		Variant: variant,
 		Workers: *workers,
@@ -57,6 +63,7 @@ func run(args []string) error {
 			"/index.html": 1024,
 			"/big.bin":    128 * 1024,
 		},
+		Telemetry: rec,
 	})
 	if err != nil {
 		return err
@@ -67,6 +74,13 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("sdrad-httpd (%s, %d workers) listening on %s\n", variant, *workers, ln.Addr())
+	if rec != nil {
+		bound, err := rec.Serve(*telAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		fmt.Printf("telemetry on http://%s/ (/metrics, /flightrecorder, /forensics)\n", bound)
+	}
 	fmt.Println("files: /index.html (1KiB), /big.bin (128KiB)")
 	return m.ServeListener(ln)
 }

@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"sdrad/internal/memcache"
+	"sdrad/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 4, "worker threads")
 	variantName := fs.String("variant", "sdrad", "build variant: vanilla, tlsf, or sdrad")
 	cacheMB := fs.Int("cache-mb", 64, "cache memory limit (MiB)")
+	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /flightrecorder on this address (empty = telemetry off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,10 +54,15 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown variant %q", *variantName)
 	}
+	var rec *telemetry.Recorder
+	if *telAddr != "" {
+		rec = telemetry.New(telemetry.Options{})
+	}
 	s, err := memcache.NewServer(memcache.Config{
 		Variant:    variant,
 		Workers:    *workers,
 		CacheBytes: uint64(*cacheMB) << 20,
+		Telemetry:  rec,
 	})
 	if err != nil {
 		return err
@@ -66,6 +73,13 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("sdrad-memcached (%s, %d workers) listening on %s\n", variant, *workers, ln.Addr())
+	if rec != nil {
+		bound, err := rec.Serve(*telAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		fmt.Printf("telemetry on http://%s/ (/metrics, /flightrecorder, /forensics)\n", bound)
+	}
 	serveErr := s.ServeListener(ln)
 	if crashed, cause := s.Crashed(); crashed {
 		fmt.Printf("server process CRASHED: %v\n", cause)

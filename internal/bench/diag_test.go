@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"os"
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"sdrad/internal/memcache"
+	"sdrad/internal/telemetry"
+	"sdrad/internal/ycsb"
+)
+
+// TestDiagPhaseNoise is a manual diagnostic: replay identical run phases
+// on one server, alternating the recorder's enabled bit, and print each
+// phase's CPU cost — the data for judging the noise floor the telemetry
+// guard has to beat (and where the cost valley flattens out). Opt-in via
+// SDRAD_BENCH_DIAG=1 since it takes ~30s of pure benchmarking.
+func TestDiagPhaseNoise(t *testing.T) {
+	if os.Getenv("SDRAD_BENCH_DIAG") == "" {
+		t.Skip("diagnostic; set SDRAD_BENCH_DIAG=1 to run")
+	}
+	osc := Quick
+	osc.MemcachedOps *= 64
+	rec := telemetry.New(telemetry.Options{})
+	rec.SetEnabled(false)
+	s, err := memcachedServerTel(memcache.VariantSDRaD, osc, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	runner, err := ycsb.NewRunner(ycsb.Config{Records: osc.MemcachedRecords, Operations: osc.MemcachedOps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inlineLoadPhase(s, 1, runner.Config()); err != nil {
+		t.Fatal(err)
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+		if _, err := inlineRunPhase(s, 1, runner); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		on := i%2 == 1
+		runtime.GC()
+		rec.SetEnabled(on)
+		st, err := inlineRunPhase(s, 1, runner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("phase %2d on=%-5v: cpu/op %.0f ns  wall/op %.0f ns", i, on,
+			st.CPUSeconds*1e9/float64(st.Operations),
+			float64(st.Elapsed.Nanoseconds())/float64(st.Operations))
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"sdrad/internal/ckpt"
 	"sdrad/internal/memcache"
+	"sdrad/internal/telemetry"
 	"sdrad/internal/ycsb"
 )
 
@@ -51,11 +52,19 @@ func (d *memcacheDB) Update(key string, value []byte) error { return d.Insert(ke
 // parallelism (each live worker thread pins a protection key; 8 inline
 // plus 8 idle event loops would exhaust the 15 keys).
 func memcachedServer(variant memcache.Variant, _ int, sc Scale) (*memcache.Server, error) {
+	return memcachedServerTel(variant, sc, nil)
+}
+
+// memcachedServerTel is memcachedServer with an optional telemetry
+// recorder attached to the server's library, for the telemetry-overhead
+// cells.
+func memcachedServerTel(variant memcache.Variant, sc Scale, rec *telemetry.Recorder) (*memcache.Server, error) {
 	return memcache.NewServer(memcache.Config{
 		Variant:    variant,
 		Workers:    1,
 		HashPower:  15,
 		CacheBytes: uint64(sc.MemcachedRecords)*1536 + 8<<20,
+		Telemetry:  rec,
 	})
 }
 
@@ -91,11 +100,17 @@ func inlineGet(do memcache.InlineDo, conn *memcache.Conn, key string) error {
 // being measured). Contention on the shared cache lock across workers is
 // preserved — that is the real serialization point, as in Memcached.
 func runMemcachedYCSB(variant memcache.Variant, workers int, sc Scale) (load, run ycsb.Stats, err error) {
+	return runMemcachedYCSBTel(variant, workers, sc, nil)
+}
+
+// runMemcachedYCSBTel is runMemcachedYCSB with an optional telemetry
+// recorder attached, for measuring the enabled-recorder overhead.
+func runMemcachedYCSBTel(variant memcache.Variant, workers int, sc Scale, rec *telemetry.Recorder) (load, run ycsb.Stats, err error) {
 	// Level the Go-runtime playing field between cells: each cell
 	// allocates tens of MiB of simulated pages, and carried-over GC debt
 	// otherwise taxes whichever cell runs next.
 	runtime.GC()
-	s, err := memcachedServer(variant, workers, sc)
+	s, err := memcachedServerTel(variant, sc, rec)
 	if err != nil {
 		return load, run, err
 	}
@@ -109,78 +124,98 @@ func runMemcachedYCSB(variant memcache.Variant, workers int, sc Scale) (load, ru
 	}
 	cfg := runner.Config()
 
-	// phase fans the op range out over one inline worker thread each and
-	// reports aggregate throughput over the barrier-to-last-finish wall
-	// time.
-	phase := func(name string, total int, op func(do memcache.InlineDo, conn *memcache.Conn, rng *rand.Rand, i int) error) (ycsb.Stats, error) {
-		startGate := make(chan struct{})
-		readyCh := make(chan error, workers)
-		errs := make(chan error, workers)
-		for w := 0; w < workers; w++ {
-			go func(w int) {
-				started := false
-				err := s.RunInline(fmt.Sprintf("%s-%d", name, w), func(newConn func() *memcache.Conn, do memcache.InlineDo) error {
-					conn := newConn()
-					rng := rand.New(rand.NewSource(int64(w)*7919 + 17))
-					started = true
-					readyCh <- nil
-					<-startGate
-					lo, hi := w*total/workers, (w+1)*total/workers
-					for i := lo; i < hi; i++ {
-						if err := op(do, conn, rng, i); err != nil {
-							return err
-						}
-					}
-					return nil
-				})
-				if !started {
-					// The worker failed before reaching the gate (e.g.
-					// provisioning error): unblock the coordinator.
-					readyCh <- err
-				}
-				errs <- err
-			}(w)
-		}
-		var firstErr error
-		for i := 0; i < workers; i++ {
-			if err := <-readyCh; err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		start := time.Now()
-		close(startGate)
-		for i := 0; i < workers; i++ {
-			if err := <-errs; err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		elapsed := time.Since(start)
-		if firstErr != nil {
-			return ycsb.Stats{}, firstErr
-		}
-		return ycsb.Stats{
-			Phase:      name,
-			Operations: total,
-			Elapsed:    elapsed,
-			Throughput: float64(total) / elapsed.Seconds(),
-		}, nil
-	}
-
-	load, err = phase("load", cfg.Records, func(do memcache.InlineDo, conn *memcache.Conn, rng *rand.Rand, i int) error {
-		return inlineSet(do, conn, ycsb.Key(i), ycsb.Value(i, cfg.ValueSize))
-	})
+	load, err = inlineLoadPhase(s, workers, cfg)
 	if err != nil {
 		return load, run, err
 	}
-	chooser := runner.KeyChooser()
-	run, err = phase("run", cfg.Operations, func(do memcache.InlineDo, conn *memcache.Conn, rng *rand.Rand, i int) error {
-		idx := chooser(rng)
-		if rng.Float64() < cfg.ReadProportion {
-			return inlineGet(do, conn, ycsb.Key(idx))
-		}
-		return inlineSet(do, conn, ycsb.Key(idx), ycsb.Value(idx, cfg.ValueSize))
-	})
+	run, err = inlineRunPhase(s, workers, runner)
 	return load, run, err
+}
+
+// inlinePhase fans the op range out over one inline worker thread each and
+// reports aggregate throughput over the barrier-to-last-finish wall time
+// plus the process CPU the phase consumed.
+func inlinePhase(s *memcache.Server, workers int, name string, total int,
+	op func(do memcache.InlineDo, conn *memcache.Conn, rng *rand.Rand, i int) error) (ycsb.Stats, error) {
+	startGate := make(chan struct{})
+	readyCh := make(chan error, workers)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			started := false
+			err := s.RunInline(fmt.Sprintf("%s-%d", name, w), func(newConn func() *memcache.Conn, do memcache.InlineDo) error {
+				conn := newConn()
+				rng := rand.New(rand.NewSource(int64(w)*7919 + 17))
+				started = true
+				readyCh <- nil
+				<-startGate
+				lo, hi := w*total/workers, (w+1)*total/workers
+				for i := lo; i < hi; i++ {
+					if err := op(do, conn, rng, i); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if !started {
+				// The worker failed before reaching the gate (e.g.
+				// provisioning error): unblock the coordinator.
+				readyCh <- err
+			}
+			errs <- err
+		}(w)
+	}
+	var firstErr error
+	for i := 0; i < workers; i++ {
+		if err := <-readyCh; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	cpu0 := ycsb.ProcessCPUSeconds()
+	start := time.Now()
+	close(startGate)
+	for i := 0; i < workers; i++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	elapsed := time.Since(start)
+	cpu := ycsb.ProcessCPUSeconds() - cpu0
+	if firstErr != nil {
+		return ycsb.Stats{}, firstErr
+	}
+	return ycsb.Stats{
+		Phase:      name,
+		Operations: total,
+		Elapsed:    elapsed,
+		Throughput: float64(total) / elapsed.Seconds(),
+		CPUSeconds: cpu,
+	}, nil
+}
+
+// inlineLoadPhase populates the keyspace through inline workers.
+func inlineLoadPhase(s *memcache.Server, workers int, cfg ycsb.Config) (ycsb.Stats, error) {
+	return inlinePhase(s, workers, "load", cfg.Records,
+		func(do memcache.InlineDo, conn *memcache.Conn, rng *rand.Rand, i int) error {
+			return inlineSet(do, conn, ycsb.Key(i), ycsb.Value(i, cfg.ValueSize))
+		})
+}
+
+// inlineRunPhase issues one full transaction phase through inline workers.
+// Each call draws a fresh identically-seeded key chooser, so repeated run
+// phases against the same server replay the same op stream — what lets
+// the telemetry-overhead measurement compare arms on one server instance.
+func inlineRunPhase(s *memcache.Server, workers int, runner *ycsb.Runner) (ycsb.Stats, error) {
+	cfg := runner.Config()
+	chooser := runner.KeyChooser()
+	return inlinePhase(s, workers, "run", cfg.Operations,
+		func(do memcache.InlineDo, conn *memcache.Conn, rng *rand.Rand, i int) error {
+			idx := chooser(rng)
+			if rng.Float64() < cfg.ReadProportion {
+				return inlineGet(do, conn, ycsb.Key(idx))
+			}
+			return inlineSet(do, conn, ycsb.Key(idx), ycsb.Value(idx, cfg.ValueSize))
+		})
 }
 
 // medianMemcachedYCSB repeats a cell and keeps the run with the median

@@ -4,6 +4,7 @@ import (
 	"sdrad/internal/core"
 	"sdrad/internal/mem"
 	"sdrad/internal/proc"
+	"sdrad/internal/telemetry"
 )
 
 // auditor runs the post-rewind invariant audit: the monitor's own
@@ -14,6 +15,10 @@ import (
 type auditor struct {
 	r   *Report
 	lib *core.Library
+	// rec is the telemetry recorder attached to the audited library; every
+	// absorbed rewind must leave exactly one forensics report whose
+	// identity (si_code, fault address, failed domain) matches the oracle.
+	rec *telemetry.Recorder
 
 	// baselineMapped holds, per steady-state class, the address-space
 	// mapped-bytes gauge captured the first time that class was reached;
@@ -109,4 +114,115 @@ func (a *auditor) checkRewindDelta(label string, before int64, want int) int64 {
 		a.r.failf("%s: %d rewinds absorbed, want %d", label, delta, want)
 	}
 	return now
+}
+
+// forensicsPre snapshots the cumulative forensics-report counter before an
+// operation. The counter never rewinds (unlike the retain ring, which
+// evicts), so diffing it counts reports exactly even when older reports
+// have been pushed out.
+func (a *auditor) forensicsPre() int64 {
+	if a.rec == nil {
+		return 0
+	}
+	return a.rec.Forensics().Added()
+}
+
+// checkForensics verifies the recorder captured exactly want forensics
+// reports since the pre snapshot. Benign operations pass want=0: a report
+// with no rewind means the recorder is inventing incidents.
+func (a *auditor) checkForensics(label string, pre int64, want int) {
+	if a.rec == nil {
+		return
+	}
+	if got := int(a.rec.Forensics().Added() - pre); got != want {
+		a.r.failf("%s: %d forensics reports captured, want %d", label, got, want)
+	}
+}
+
+// lastForensics fetches the newest forensics report, failing the campaign
+// if the store is empty.
+func (a *auditor) lastForensics(label string) (telemetry.RewindReport, bool) {
+	rep, ok := a.rec.Forensics().Last()
+	if !ok {
+		a.r.failf("%s: forensics store empty after rewind", label)
+	}
+	return rep, ok
+}
+
+// checkForensicsExit verifies an absorbed rewind produced exactly one
+// forensics report and that the report's identity matches the abnormal
+// exit the caller observed: same si_code, fault address, and failing
+// domain. Used by the campaigns that see the *core.AbnormalExit directly.
+func (a *auditor) checkForensicsExit(label string, pre int64, abn *core.AbnormalExit) {
+	if a.rec == nil {
+		return
+	}
+	a.checkForensics(label, pre, 1)
+	if abn == nil {
+		return
+	}
+	rep, ok := a.lastForensics(label)
+	if !ok {
+		return
+	}
+	if rep.SiCode != abn.Code {
+		a.r.failf("%s: forensics si_code %d (%s), oracle %d", label, rep.SiCode, rep.SiCodeName, abn.Code)
+	}
+	if rep.Addr != abn.Addr {
+		a.r.failf("%s: forensics fault address 0x%x, oracle 0x%x", label, rep.Addr, abn.Addr)
+	}
+	if rep.FailedUDI != int(abn.FailedUDI) {
+		a.r.failf("%s: forensics failed domain %d, oracle %d", label, rep.FailedUDI, abn.FailedUDI)
+	}
+	if rep.SignalName != abn.Signal.String() {
+		a.r.failf("%s: forensics signal %s, oracle %v", label, rep.SignalName, abn.Signal)
+	}
+}
+
+// checkForensicsFault verifies a workload rewind — where the server
+// absorbs the abnormal exit internally and no *core.AbnormalExit reaches
+// the campaign — produced exactly one forensics report agreeing with the
+// MMU fault-log tail: same si_code, fault address, and injection
+// provenance.
+func (a *auditor) checkForensicsFault(as *mem.AddressSpace, label string, pre int64) {
+	if a.rec == nil {
+		return
+	}
+	a.checkForensics(label, pre, 1)
+	rep, ok := a.lastForensics(label)
+	if !ok {
+		return
+	}
+	recs := as.RecentFaults()
+	if len(recs) == 0 {
+		a.r.failf("%s: fault log empty, cannot correlate forensics report", label)
+		return
+	}
+	f := recs[len(recs)-1]
+	if rep.SiCode != int(f.Code) {
+		a.r.failf("%s: forensics si_code %d (%s), fault log %v", label, rep.SiCode, rep.SiCodeName, f.Code)
+	}
+	if rep.Addr != uint64(f.Addr) {
+		a.r.failf("%s: forensics fault address 0x%x, fault log 0x%x", label, rep.Addr, uint64(f.Addr))
+	}
+	if rep.Injected != f.Injected {
+		a.r.failf("%s: forensics injected=%v, fault log %v", label, rep.Injected, f.Injected)
+	}
+}
+
+// checkForensicsAbort verifies a canary-detected workload rewind produced
+// one report whose oracle is the stack protector, not the MMU.
+func (a *auditor) checkForensicsAbort(label string, pre int64) {
+	if a.rec == nil {
+		return
+	}
+	a.checkForensics(label, pre, 1)
+	rep, ok := a.lastForensics(label)
+	if !ok {
+		return
+	}
+	if rep.SignalName != "SIGABRT" || rep.SiCodeName != "STACK_CHK" {
+		a.r.failf("%s: forensics oracle %s/%s, want SIGABRT/STACK_CHK",
+			label, rep.SignalName, rep.SiCodeName)
+	}
 }

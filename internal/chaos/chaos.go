@@ -23,6 +23,8 @@ package chaos
 import (
 	"fmt"
 	"sort"
+
+	"sdrad/internal/telemetry"
 )
 
 // Config parameterizes one campaign run.
@@ -35,6 +37,22 @@ type Config struct {
 	// Logf, when non-nil, receives progress lines (the -v output of
 	// cmd/sdrad-chaos).
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, is attached to every campaign's library so
+	// one recorder accumulates the flight record and forensics reports
+	// across campaigns (cmd/sdrad-chaos's -flight-dump). When nil each
+	// campaign builds a private recorder; either way the campaigns assert
+	// that every absorbed rewind leaves exactly one forensics report whose
+	// si_code matches the injected fault.
+	Telemetry *telemetry.Recorder
+}
+
+// recorder returns the campaign's telemetry recorder, building a private
+// one when the caller did not share one.
+func (c *Config) recorder() *telemetry.Recorder {
+	if c.Telemetry != nil {
+		return c.Telemetry
+	}
+	return telemetry.New(telemetry.Options{})
 }
 
 func (c *Config) setDefaults() {

@@ -32,7 +32,8 @@ type coreEnv struct {
 
 func runCoreCampaign(cfg Config, r *Report, body func(env *coreEnv) error) error {
 	p := proc.NewProcess("chaos-"+r.Campaign, proc.WithSeed(cfg.Seed))
-	lib, err := core.Setup(p, core.WithScrubOnDiscard(true))
+	rec := cfg.recorder()
+	lib, err := core.Setup(p, core.WithScrubOnDiscard(true), core.WithTelemetry(rec))
 	if err != nil {
 		return err
 	}
@@ -45,7 +46,7 @@ func runCoreCampaign(cfg Config, r *Report, body func(env *coreEnv) error) error
 			lib: lib,
 			t:   t,
 			as:  p.AddressSpace(),
-			a:   &auditor{r: r, lib: lib},
+			a:   &auditor{r: r, lib: lib, rec: rec},
 		})
 	})
 }
@@ -120,6 +121,7 @@ func runPKU(cfg Config, r *Report) error {
 			countdown := 1 + env.rng.Intn(4)
 			preSeq := env.as.FaultSeq()
 			preRewinds := lib.Stats().Rewinds.Load()
+			preForensics := env.a.forensicsPre()
 
 			var heapBase mem.Addr
 			var heapSize uint64
@@ -164,6 +166,7 @@ func runPKU(cfg Config, r *Report) error {
 					r.failf("%s: benign op failed: %v", label, gerr)
 				}
 				env.a.checkRewindDelta(label, preRewinds, 0)
+				env.a.checkForensics(label, preForensics, 0)
 				env.a.audit(t, label)
 				r.event("%s ok", label)
 				continue
@@ -178,6 +181,7 @@ func runPKU(cfg Config, r *Report) error {
 			}
 			env.a.checkFaultLogged(env.as, label, preSeq, mem.CodePkuErr, vector == "inject")
 			env.a.checkRewindDelta(label, preRewinds, 1)
+			env.a.checkForensicsExit(label, preForensics, abn)
 			env.postRewind(label, heapBase, heapSize)
 			if abn != nil {
 				r.event("%s code=SEGV_PKUERR addr=0x%x rewind", label, abn.Addr)
@@ -208,6 +212,7 @@ func runCanary(cfg Config, r *Report) error {
 			overrun := 8 * (1 + env.rng.Intn(2))
 			preSeq := env.as.FaultSeq()
 			preRewinds := lib.Stats().Rewinds.Load()
+			preForensics := env.a.forensicsPre()
 
 			var heapBase mem.Addr
 			var heapSize uint64
@@ -278,6 +283,7 @@ func runCanary(cfg Config, r *Report) error {
 					r.failf("%s: benign op failed: %v", label, gerr)
 				}
 				env.a.checkRewindDelta(label, preRewinds, 0)
+				env.a.checkForensics(label, preForensics, 0)
 				env.a.audit(t, label)
 				r.event("%s ok", label)
 				continue
@@ -290,6 +296,7 @@ func runCanary(cfg Config, r *Report) error {
 				r.failf("%s: canary smash raised %d memory faults", label, seq-preSeq)
 			}
 			env.a.checkRewindDelta(label, preRewinds, 1)
+			env.a.checkForensicsExit(label, preForensics, abn)
 			env.postRewind(label, heapBase, heapSize)
 			if abn != nil {
 				r.event("%s SIGABRT addr=0x%x rewind", label, abn.Addr)
@@ -312,6 +319,7 @@ func runOOB(cfg Config, r *Report) error {
 			offset := mem.Addr(8 * env.rng.Intn(64))
 			preSeq := env.as.FaultSeq()
 			preRewinds := lib.Stats().Rewinds.Load()
+			preForensics := env.a.forensicsPre()
 
 			var heapBase mem.Addr
 			var heapSize uint64
@@ -351,6 +359,7 @@ func runOOB(cfg Config, r *Report) error {
 					r.failf("%s: benign op failed: %v", label, gerr)
 				}
 				env.a.checkRewindDelta(label, preRewinds, 0)
+				env.a.checkForensics(label, preForensics, 0)
 				env.a.audit(t, label)
 				r.event("%s ok", label)
 				continue
@@ -365,6 +374,7 @@ func runOOB(cfg Config, r *Report) error {
 				env.a.checkFaultLogged(env.as, label, preSeq, code, false)
 			}
 			env.a.checkRewindDelta(label, preRewinds, 1)
+			env.a.checkForensicsExit(label, preForensics, abn)
 			env.postRewind(label, heapBase, heapSize)
 			if abn != nil {
 				r.event("%s code=%v addr=0x%x rewind", label, mem.FaultCode(abn.Code), abn.Addr)

@@ -61,11 +61,13 @@ func runCrypto(cfg Config, r *Report) error {
 			n := 16 + env.rng.Intn(240)
 			preRewinds := lib.Stats().Rewinds.Load()
 			preSeq := env.as.FaultSeq()
+			preForensics := env.a.forensicsPre()
 
 			switch vector {
 			case "encrypt":
 				encrypt(label, n, true)
 				env.a.checkRewindDelta(label, preRewinds, 0)
+				env.a.checkForensics(label, preForensics, 0)
 				r.event("%s len=%d ok", label, n)
 			case "inject-crypto":
 				// The injector fires inside the crypto domain mid-update;
@@ -91,6 +93,7 @@ func runCrypto(cfg Config, r *Report) error {
 				}
 				env.a.checkFaultLogged(env.as, label, preSeq, mem.CodePkuErr, true)
 				env.a.checkRewindDelta(label, preRewinds, 1)
+				env.a.checkForensicsExit(label, preForensics, abn)
 				env.a.audit(t, label)
 				if err := cr.Reinit(t, key); err != nil {
 					r.failf("%s: reinit failed: %v", label, err)
@@ -109,6 +112,7 @@ func runCrypto(cfg Config, r *Report) error {
 					r.failf("%s: oracle %v, want SIGABRT", label, abn.Signal)
 				}
 				env.a.checkRewindDelta(label, preRewinds, 1)
+				env.a.checkForensicsExit(label, preForensics, abn)
 				env.a.audit(t, label)
 				r.event("%s SIGABRT rewind", label)
 			case "good-cert":
@@ -119,6 +123,7 @@ func runCrypto(cfg Config, r *Report) error {
 					r.failf("%s: valid certificate rejected", label)
 				}
 				env.a.checkRewindDelta(label, preRewinds, 0)
+				env.a.checkForensics(label, preForensics, 0)
 				r.event("%s valid", label)
 			}
 		}

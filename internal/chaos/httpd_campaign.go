@@ -44,12 +44,14 @@ func certRequest(path string, cert []byte) []byte {
 // fuzz-mutated requests, and injector-raised PKU faults inside the parser
 // domain.
 func runHTTPD(cfg Config, r *Report) error {
+	rec := cfg.recorder()
 	m, err := httpd.NewMaster(httpd.Config{
 		Variant:           httpd.VariantSDRaD,
 		Workers:           1,
 		VerifyClientCerts: true,
 		Files:             map[string]int{"/index.html": 512, "/about.html": 256},
 		Seed:              cfg.Seed,
+		Telemetry:         rec,
 	})
 	if err != nil {
 		return err
@@ -60,7 +62,7 @@ func runHTTPD(cfg Config, r *Report) error {
 	w := m.Worker(0)
 	lib := w.Library()
 	as := w.Process().AddressSpace()
-	a := &auditor{r: r, lib: lib}
+	a := &auditor{r: r, lib: lib, rec: rec}
 	conn := w.NewConn()
 
 	do := func(req []byte) ([]byte, bool) {
@@ -110,6 +112,7 @@ func runHTTPD(cfg Config, r *Report) error {
 		vector := vectors[rng.Intn(len(vectors))]
 		label := fmt.Sprintf("op=%02d %s", i, vector)
 		preRewinds := lib.Stats().Rewinds.Load()
+		preForensics := a.forensicsPre()
 
 		switch vector {
 		case "get":
@@ -122,6 +125,7 @@ func runHTTPD(cfg Config, r *Report) error {
 				r.failf("%s: %s returned %s", label, path, status)
 			}
 			a.checkRewindDelta(label, preRewinds, 0)
+			a.checkForensics(label, preForensics, 0)
 			r.event("%s %s 200", label, path)
 		case "miss":
 			resp, closed := do(httpd.FormatRequest(fmt.Sprintf("/nope-%d.html", rng.Intn(16)), true))
@@ -130,6 +134,7 @@ func runHTTPD(cfg Config, r *Report) error {
 				r.failf("%s: want 404, got %s", label, status)
 			}
 			a.checkRewindDelta(label, preRewinds, 0)
+			a.checkForensics(label, preForensics, 0)
 			r.event("%s %s", label, status)
 		case "dotdot-attack":
 			// CVE-2009-2629 analog: complex-URI normalization walks the
@@ -142,6 +147,7 @@ func runHTTPD(cfg Config, r *Report) error {
 				r.failf("%s: traversal attack left connection open", label)
 			}
 			a.checkRewindDelta(label, preRewinds, 1)
+			a.checkForensicsFault(as, label, preForensics)
 			postRewind(label, "parser-rewind")
 			r.event("%s depth=%d rewind", label, depth)
 		case "bad-cert":
@@ -152,6 +158,7 @@ func runHTTPD(cfg Config, r *Report) error {
 			resp, closed := do(certRequest("/index.html", cryptolib.MaliciousCertificate()))
 			status := httpStatus(resp, closed)
 			a.checkRewindDelta(label, preRewinds, 1)
+			a.checkForensicsAbort(label, preForensics)
 			postRewind(label, "verifier-rewind")
 			// Re-establish the verifier domain so later steady states see
 			// it resident again, keeping the other classes comparable.
@@ -165,6 +172,7 @@ func runHTTPD(cfg Config, r *Report) error {
 				r.failf("%s: valid certificate rejected: %s", label, status)
 			}
 			a.checkRewindDelta(label, preRewinds, 0)
+			a.checkForensics(label, preForensics, 0)
 			r.event("%s 200", label)
 		case "mutate":
 			req := mutate(rng, httpd.FormatRequest("/index.html", true))
@@ -172,6 +180,7 @@ func runHTTPD(cfg Config, r *Report) error {
 			delta := int(lib.Stats().Rewinds.Load() - preRewinds)
 			r.Absorbed += delta
 			r.Injected += delta // mutation-induced faults count as injected
+			a.checkForensics(label, preForensics, delta)
 			if delta > 0 {
 				postRewind(label, "parser-rewind")
 			}
@@ -199,6 +208,7 @@ func runHTTPD(cfg Config, r *Report) error {
 			}
 			a.checkFaultLogged(as, label, preSeq, mem.CodePkuErr, true)
 			a.checkRewindDelta(label, preRewinds, 1)
+			a.checkForensicsFault(as, label, preForensics)
 			postRewind(label, "parser-rewind")
 			r.event("%s countdown=%d rewind", label, countdown)
 		}

@@ -34,11 +34,13 @@ func respClass(resp []byte, closed bool) string {
 // allocation failures. After every absorbed rewind it audits the monitor
 // on the serving thread and proves the cache survived.
 func runMemcache(cfg Config, r *Report) error {
+	rec := cfg.recorder()
 	s, err := memcache.NewServer(memcache.Config{
 		Variant:   memcache.VariantSDRaD,
 		Workers:   1,
 		HashPower: 10,
 		Seed:      cfg.Seed,
+		Telemetry: rec,
 	})
 	if err != nil {
 		return err
@@ -48,7 +50,7 @@ func runMemcache(cfg Config, r *Report) error {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	lib := s.Library()
 	as := s.Process().AddressSpace()
-	a := &auditor{r: r, lib: lib}
+	a := &auditor{r: r, lib: lib, rec: rec}
 	conn := s.NewConn()
 
 	do := func(req []byte) ([]byte, bool) {
@@ -102,6 +104,7 @@ func runMemcache(cfg Config, r *Report) error {
 		key := fmt.Sprintf("k%d", rng.Intn(8))
 		label := fmt.Sprintf("op=%02d %s", i, vector)
 		preRewinds := lib.Stats().Rewinds.Load()
+		preForensics := a.forensicsPre()
 
 		switch vector {
 		case "set":
@@ -115,6 +118,7 @@ func runMemcache(cfg Config, r *Report) error {
 				delete(tainted, key)
 			}
 			a.checkRewindDelta(label, preRewinds, 0)
+			a.checkForensics(label, preForensics, 0)
 			r.event("%s %s len=%d %s", label, key, len(val), respClass(resp, closed))
 		case "get":
 			resp, closed := do(memcache.FormatGet(key))
@@ -140,6 +144,7 @@ func runMemcache(cfg Config, r *Report) error {
 				}
 			}
 			a.checkRewindDelta(label, preRewinds, 0)
+			a.checkForensics(label, preForensics, 0)
 			r.event("%s %s hit=%v", label, key, ok)
 		case "delete":
 			resp, closed := do(memcache.FormatDelete(key))
@@ -149,6 +154,7 @@ func runMemcache(cfg Config, r *Report) error {
 				delete(tainted, key)
 			}
 			a.checkRewindDelta(label, preRewinds, 0)
+			a.checkForensics(label, preForensics, 0)
 			r.event("%s %s %s", label, key, respClass(resp, closed))
 		case "mutate":
 			base := memcache.FormatSet(key, []byte("mutation-fodder"), 1)
@@ -164,6 +170,7 @@ func runMemcache(cfg Config, r *Report) error {
 			delta := int(lib.Stats().Rewinds.Load() - preRewinds)
 			r.Absorbed += delta
 			r.Injected += delta // mutation-induced faults count as injected
+			a.checkForensics(label, preForensics, delta)
 			if delta > 0 {
 				postRewind(label)
 			}
@@ -177,6 +184,7 @@ func runMemcache(cfg Config, r *Report) error {
 				r.failf("%s: overflow attack left connection open: %q", label, resp)
 			}
 			a.checkRewindDelta(label, preRewinds, 1)
+			a.checkForensicsFault(as, label, preForensics)
 			postRewind(label)
 			r.event("%s rewind", label)
 		case "inject-pku":
@@ -205,6 +213,7 @@ func runMemcache(cfg Config, r *Report) error {
 			}
 			a.checkFaultLogged(as, label, preSeq, mem.CodePkuErr, true)
 			a.checkRewindDelta(label, preRewinds, 1)
+			a.checkForensicsFault(as, label, preForensics)
 			postRewind(label)
 			r.event("%s countdown=%d rewind", label, countdown)
 		case "inject-oom":
@@ -218,6 +227,7 @@ func runMemcache(cfg Config, r *Report) error {
 				r.failf("%s: overflow attack left connection open", label)
 			}
 			a.checkRewindDelta(label, preRewinds, 1)
+			a.checkForensicsFault(as, label, preForensics)
 			// Audit the rewind without issuing a request: a health probe
 			// here would rebuild the event domain and defuse the hook
 			// before the starved request arrives.
@@ -235,6 +245,7 @@ func runMemcache(cfg Config, r *Report) error {
 				return errInjectedOOM
 			})
 			oomRewinds := lib.Stats().Rewinds.Load()
+			oomForensics := a.forensicsPre()
 			_, _, oomErr := conn.Do(memcache.FormatSet(key, []byte("starved-request"), 3))
 			tainted[key] = true
 			lib.SetAllocFault(nil)
@@ -245,6 +256,7 @@ func runMemcache(cfg Config, r *Report) error {
 				r.failf("%s: starved request returned %v, want heap exhaustion", label, oomErr)
 			}
 			a.checkRewindDelta(label, oomRewinds, 0)
+			a.checkForensics(label, oomForensics, 0)
 			r.event("%s fired=%v heap-exhausted=%v", label, fired, oomErr != nil)
 			resp, closed := do(memcache.FormatSet(key, []byte("recovered"), 4))
 			if closed || !bytes.HasPrefix(resp, []byte("STORED")) {

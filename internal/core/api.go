@@ -179,6 +179,17 @@ func (l *Library) DProtect(t *proc.Thread, udi, tddi UDI, prot mem.Prot) error {
 // nested domain's memory-access policy.
 func (l *Library) Enter(t *proc.Thread, udi UDI) error {
 	ts := l.state(t)
+	// Telemetry costs one atomic load when disabled; when enabled,
+	// latency is clocked only on the sampled transitions (keyed off the
+	// native transition counter, so no extra hot-path write either).
+	rec := l.tel.Load()
+	var telT0 int64
+	sampled := false
+	if rec != nil {
+		if sampled = rec.Sampled(uint64(l.stats.DomainSwitches.Load())); sampled {
+			telT0 = rec.Clock()
+		}
+	}
 	l.monitorEnter(t)
 	defer l.monitorExit(t)
 
@@ -213,6 +224,9 @@ func (l *Library) Enter(t *proc.Thread, udi UDI) error {
 	d.entered = true
 	ts.current = d
 	l.stats.DomainSwitches.Add(1)
+	if sampled {
+		rec.RecordEnter(t.ID(), int(udi), rec.Clock()-telT0)
+	}
 	return nil
 }
 
@@ -222,6 +236,14 @@ func (l *Library) Enter(t *proc.Thread, udi UDI) error {
 // detected here, mirroring __stack_chk_fail firing on return.
 func (l *Library) Exit(t *proc.Thread) error {
 	ts := l.state(t)
+	tel := l.tel.Load()
+	var telT0 int64
+	sampled := false
+	if tel != nil {
+		if sampled = tel.Sampled(uint64(l.stats.DomainSwitches.Load())); sampled {
+			telT0 = tel.Clock()
+		}
+	}
 	l.monitorEnter(t)
 	defer l.monitorExit(t)
 
@@ -246,6 +268,9 @@ func (l *Library) Exit(t *proc.Thread) error {
 	d.entered = false
 	ts.current = rec.prev
 	l.stats.DomainSwitches.Add(1)
+	if sampled {
+		tel.RecordExit(t.ID(), int(d.udi), tel.Clock()-telT0)
+	}
 	return nil
 }
 

@@ -215,6 +215,9 @@ func (l *Library) InitDomain(t *proc.Thread, udi UDI, opts ...InitOption) error 
 		ts.domains[udi] = d
 	}
 	l.stats.Inits.Add(1)
+	if rec := l.tel.Load(); rec != nil {
+		rec.RecordDomainInit(t.ID(), int(udi), int(d.kind), d.heapSize)
+	}
 	return nil
 }
 
@@ -328,6 +331,9 @@ func (l *Library) Destroy(t *proc.Thread, udi UDI, opt DestroyOption) error {
 		if err := l.mergeHeapIntoParent(t, d); err != nil {
 			return err
 		}
+		if rec := l.tel.Load(); rec != nil {
+			rec.RecordHeapMerge(t.ID(), int(udi), d.heapSize)
+		}
 	} else {
 		l.discardHeap(t, d)
 	}
@@ -381,6 +387,9 @@ func (l *Library) discardHeap(t *proc.Thread, d *Domain) {
 	}
 	_ = as.Unmap(d.heapBase, int(d.heapSize))
 	d.heap = nil
+	if rec := l.tel.Load(); rec != nil {
+		rec.RecordDiscard(t.ID(), int(d.udi), d.heapSize)
+	}
 }
 
 // releaseDomain removes the domain from the tables and recycles or

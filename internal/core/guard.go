@@ -5,6 +5,7 @@ import (
 	"sdrad/internal/proc"
 	"sdrad/internal/sig"
 	"sdrad/internal/stack"
+	"sdrad/internal/telemetry"
 )
 
 // rewindPanic is the unwinding value that carries an abnormal domain exit
@@ -171,6 +172,15 @@ func (l *Library) handleTrap(t *proc.Thread, ts *threadState, info sig.Info, cau
 		targetScope = parent.scopeID
 	}
 
+	// Forensics capture must precede the discard: the enter stack, the
+	// heap region, and its live-allocation count are the evidence the
+	// rewind is about to destroy.
+	rec := l.tel.Load()
+	var rep telemetry.RewindReport
+	if rec != nil {
+		rep = buildRewindReport(t, ts, failing, info, cause, l.rewindLimit)
+	}
+
 	// ⑪ restore the parent's execution: pop the enter record for the
 	// failing domain if it was entered.
 	l.monitorEnter(t)
@@ -184,6 +194,11 @@ func (l *Library) handleTrap(t *proc.Thread, ts *threadState, info sig.Info, cau
 	seq := l.stats.Rewinds.Add(1)
 	l.monitorExit(t)
 
+	if rec != nil {
+		rep.Seq = seq
+		rep.RewindCount = seq
+		rec.RecordRewind(rep)
+	}
 	if l.onRewind != nil {
 		l.onRewind(RewindEvent{
 			Seq:        seq,

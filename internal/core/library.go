@@ -9,6 +9,7 @@ import (
 	"sdrad/internal/proc"
 	"sdrad/internal/sig"
 	"sdrad/internal/stack"
+	"sdrad/internal/telemetry"
 )
 
 // UDI is a user domain index: the developer-chosen handle for a domain
@@ -73,6 +74,10 @@ type Library struct {
 
 	scopeCtr atomic.Uint64
 	stats    Stats
+
+	// tel is the optional telemetry recorder (nil = disabled). Hot paths
+	// pay exactly one atomic pointer load to find out it is off.
+	tel atomic.Pointer[telemetry.Recorder]
 }
 
 // The monitor data domain page is carved into 16-byte transition-ledger
@@ -191,6 +196,15 @@ func WithRewindObserver(fn func(RewindEvent)) SetupOption {
 	return func(l *Library) { l.onRewind = fn }
 }
 
+// WithTelemetry attaches a telemetry recorder: domain-lifecycle events
+// feed its flight recorder, every rewind synthesizes a forensics report,
+// and the monitor's native counters are mirrored into its metrics
+// registry. One recorder may serve several libraries (e.g. one per worker
+// process); their counter callbacks sum into one series.
+func WithTelemetry(rec *telemetry.Recorder) SetupOption {
+	return func(l *Library) { l.tel.Store(rec) }
+}
+
 // WithRewindLimit forces process termination once limit rewinds have
 // been absorbed, implementing the paper's probabilistic-defense
 // protection (§VI, Limitations): unbounded rewinding would let an
@@ -251,6 +265,10 @@ func Setup(p *proc.Process, opts ...SetupOption) (*Library, error) {
 		return sig.ActionTerminate
 	})
 
+	if rec := l.tel.Load(); rec != nil {
+		l.attachTelemetry(rec)
+	}
+
 	p.RegisterThreadConstructor(func(t *proc.Thread) error {
 		l.initThread(t)
 		return nil
@@ -295,6 +313,9 @@ func (l *Library) destroyThread(t *proc.Thread) {
 		ts.ledgerSlot = 0
 	}
 	l.mu.Unlock()
+	if rec := l.tel.Load(); rec != nil {
+		rec.RecordThreadExit(t.ID())
+	}
 }
 
 // initThread builds the per-thread control data and grants the thread
@@ -325,6 +346,9 @@ func (l *Library) initThread(t *proc.Thread) {
 	t.CPU().LockWRPKRU(l.pkruToken)
 	// The thread starts executing in the root domain.
 	l.wrpkru(t, l.computePKRU(ts, l.root))
+	if rec := l.tel.Load(); rec != nil {
+		rec.RecordThreadStart(t.ID())
+	}
 }
 
 // state returns the thread's SDRaD control data, initializing it if the

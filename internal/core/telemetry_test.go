@@ -1,0 +1,223 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+	"sdrad/internal/sig"
+	"sdrad/internal/telemetry"
+)
+
+// faultGuard runs one guarded round in domain 1: malloc, enter, then
+// either a store to an unmapped address (fault=true) or a clean exit.
+func faultGuard(t *testing.T, l *Library, th *proc.Thread, addr mem.Addr, fault bool) error {
+	t.Helper()
+	return l.Guard(th, 1, func() error {
+		if _, err := l.Malloc(th, 1, 64); err != nil {
+			return err
+		}
+		if err := l.Enter(th, 1); err != nil {
+			return err
+		}
+		if !fault {
+			return l.Exit(th)
+		}
+		th.CPU().WriteU8(addr, 1)
+		return nil
+	}, Accessible())
+}
+
+func TestRewindForensicsReportFields(t *testing.T) {
+	rec := telemetry.New(telemetry.Options{TransitionSampleShift: -1})
+	p, l := newLib(t, WithTelemetry(rec))
+	run(t, p, func(th *proc.Thread) error {
+		err := faultGuard(t, l, th, 0xDEAD0000, true)
+		var abn *AbnormalExit
+		if !errors.As(err, &abn) {
+			t.Fatalf("err = %v, want AbnormalExit", err)
+		}
+		if rec.Forensics().Added() != 1 {
+			t.Fatalf("forensics Added() = %d, want 1", rec.Forensics().Added())
+		}
+		rep, ok := rec.Forensics().Last()
+		if !ok {
+			t.Fatal("no forensics report retained")
+		}
+		if rep.Seq != 1 || rep.RewindCount != 1 {
+			t.Errorf("seq/rewind_count = %d/%d, want 1/1", rep.Seq, rep.RewindCount)
+		}
+		if rep.FailedUDI != int(abn.FailedUDI) || rep.FailedUDI != 1 {
+			t.Errorf("failed_udi = %d, want %d", rep.FailedUDI, abn.FailedUDI)
+		}
+		if rep.SignalName != "SIGSEGV" || rep.Signal != int(sig.SIGSEGV) {
+			t.Errorf("signal = %d/%q, want SIGSEGV", rep.Signal, rep.SignalName)
+		}
+		if rep.SiCode != int(mem.CodeMapErr) || rep.SiCodeName != "SEGV_MAPERR" {
+			t.Errorf("si_code = %d/%q, want SEGV_MAPERR", rep.SiCode, rep.SiCodeName)
+		}
+		if rep.Addr != 0xDEAD0000 {
+			t.Errorf("addr = %#x, want 0xDEAD0000", rep.Addr)
+		}
+		if n := len(rep.DomainStack); n == 0 || rep.DomainStack[n-1] != 1 {
+			t.Errorf("domain_stack = %v, want failing domain 1 last", rep.DomainStack)
+		}
+		if rep.HeapBytes == 0 || rep.HeapPages == 0 || rep.StackBytes == 0 || rep.StackPages == 0 {
+			t.Errorf("discard accounting empty: %+v", rep)
+		}
+		if rep.LiveAllocs != 1 {
+			t.Errorf("live_allocs = %d, want 1 (one malloc, never freed)", rep.LiveAllocs)
+		}
+		if rep.Injected {
+			t.Error("organic fault reported as injected")
+		}
+		if rep.TimeNs <= 0 {
+			t.Errorf("time_ns = %d, want > 0", rep.TimeNs)
+		}
+		if rep.ThreadName != "main" {
+			t.Errorf("thread_name = %q, want main", rep.ThreadName)
+		}
+		if rep.RewindLimit != 0 {
+			t.Errorf("rewind_limit = %d, want 0 (unlimited)", rep.RewindLimit)
+		}
+		return nil
+	})
+
+	// The fault, the rewind, and the sampled transitions must all be on
+	// the flight record; the rewind metric must carry the si_code label.
+	kinds := map[string]bool{}
+	for _, ev := range rec.Flight().Snapshot() {
+		kinds[ev.Kind] = true
+	}
+	for _, k := range []string{"enter", "fault", "rewind"} {
+		if !kinds[k] {
+			t.Errorf("flight record missing %q event (have %v)", k, kinds)
+		}
+	}
+	var b strings.Builder
+	if err := rec.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`sdrad_rewinds_total{si_code="SEGV_MAPERR"} 1`,
+		`sdrad_domain_faults_total{udi="1"} 1`,
+		"sdrad_domain_transitions_total",
+		"sdrad_monitor_calls_total",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestStackCanaryForensics(t *testing.T) {
+	// A canary-detected rewind has no memory fault: the report must say
+	// SIGABRT/STACK_CHK and carry no faulting address.
+	rec := telemetry.New(telemetry.Options{})
+	p, l := newLib(t, WithTelemetry(rec))
+	run(t, p, func(th *proc.Thread) error {
+		err := l.Guard(th, 1, func() error {
+			if err := l.Enter(th, 1); err != nil {
+				return err
+			}
+			d := l.state(th).current
+			f, err := d.stk.PushFrame(th.CPU(), 32)
+			if err != nil {
+				return err
+			}
+			th.CPU().Memset(f.Locals(), 0x41, 32+8+8)
+			return l.Exit(th)
+		})
+		var abn *AbnormalExit
+		if !errors.As(err, &abn) {
+			t.Fatalf("err = %v, want AbnormalExit", err)
+		}
+		return nil
+	})
+	rep, ok := rec.Forensics().Last()
+	if !ok {
+		t.Fatal("no forensics report for canary rewind")
+	}
+	if rep.SignalName != "SIGABRT" || rep.SiCodeName != "STACK_CHK" {
+		t.Fatalf("canary report = %s/%s, want SIGABRT/STACK_CHK", rep.SignalName, rep.SiCodeName)
+	}
+}
+
+// scenarioResult captures everything externally observable about a fault
+// scenario: what the guards returned, what the MMU logged, and how many
+// rewinds the monitor absorbed.
+type scenarioResult struct {
+	exits   []AbnormalExit
+	faults  []mem.FaultRecord
+	rewinds int64
+}
+
+// runFaultScenario drives a fixed schedule — fault, clean round, fault —
+// against a fresh process built with opts.
+func runFaultScenario(t *testing.T, opts ...SetupOption) scenarioResult {
+	t.Helper()
+	p, l := newLib(t, opts...)
+	var res scenarioResult
+	run(t, p, func(th *proc.Thread) error {
+		for i, fault := range []bool{true, false, true} {
+			err := faultGuard(t, l, th, 0xDEAD0000+mem.Addr(i)<<12, fault)
+			if !fault {
+				if err != nil {
+					t.Fatalf("clean round %d failed: %v", i, err)
+				}
+				continue
+			}
+			var abn *AbnormalExit
+			if !errors.As(err, &abn) {
+				t.Fatalf("round %d: err = %v, want AbnormalExit", i, err)
+			}
+			cp := *abn
+			cp.Cause = nil // pointer identity differs across runs by construction
+			res.exits = append(res.exits, cp)
+		}
+		return nil
+	})
+	res.faults = p.AddressSpace().RecentFaults()
+	res.rewinds = l.Stats().Rewinds.Load()
+	return res
+}
+
+// TestFaultSemanticsUnchangedByTelemetry is the regression guard for the
+// recorder's observer role: with an attached recorder (sampling every
+// transition, the most intrusive setting) the guards must return
+// bit-identical AbnormalExits, the MMU must log a bit-identical fault
+// sequence, and the monitor must absorb the same number of rewinds as a
+// run with telemetry off.
+func TestFaultSemanticsUnchangedByTelemetry(t *testing.T) {
+	plain := runFaultScenario(t)
+	rec := telemetry.New(telemetry.Options{TransitionSampleShift: -1})
+	traced := runFaultScenario(t, WithTelemetry(rec))
+
+	if !reflect.DeepEqual(plain.exits, traced.exits) {
+		t.Errorf("AbnormalExits diverge:\n plain: %+v\ntraced: %+v", plain.exits, traced.exits)
+	}
+	if !reflect.DeepEqual(plain.faults, traced.faults) {
+		t.Errorf("MMU fault logs diverge:\n plain: %+v\ntraced: %+v", plain.faults, traced.faults)
+	}
+	if plain.rewinds != traced.rewinds {
+		t.Errorf("rewind counts diverge: plain %d, traced %d", plain.rewinds, traced.rewinds)
+	}
+	// And the recorder saw what the run produced: one report per rewind,
+	// each matching the logged fault that caused it.
+	if got := rec.Forensics().Added(); got != traced.rewinds {
+		t.Fatalf("forensics Added() = %d, want %d (one report per rewind)", got, traced.rewinds)
+	}
+	reports := rec.Forensics().Reports()
+	if len(reports) != len(traced.exits) {
+		t.Fatalf("retained %d reports, want %d", len(reports), len(traced.exits))
+	}
+	for i, rep := range reports {
+		if rep.SiCode != traced.exits[i].Code || rep.Addr != traced.exits[i].Addr {
+			t.Errorf("report %d (code=%d addr=%#x) does not match exit (code=%d addr=%#x)",
+				i, rep.SiCode, rep.Addr, traced.exits[i].Code, traced.exits[i].Addr)
+		}
+	}
+}

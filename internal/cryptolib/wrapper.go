@@ -7,6 +7,7 @@ import (
 	"sdrad/internal/core"
 	"sdrad/internal/mem"
 	"sdrad/internal/proc"
+	"sdrad/internal/telemetry"
 )
 
 // Mode selects how data crosses between the application and the isolated
@@ -71,6 +72,8 @@ type Crypto struct {
 
 	dataBuf mem.Addr // staging buffer in the shared data domain
 	dataCap int
+
+	mOps *telemetry.Counter // nil without telemetry
 }
 
 // NewCrypto builds the wrapper on thread t: it creates the inaccessible
@@ -84,6 +87,12 @@ func NewCrypto(t *proc.Thread, lib *core.Library, eng *Engine, mode Mode, key []
 		return nil, ErrBadKeyLen
 	}
 	cr := &Crypto{lib: lib, eng: eng, mode: mode, dataCap: bufCap}
+	if lib != nil {
+		if rec := lib.Telemetry(); rec != nil {
+			cr.mOps = rec.Registry().CounterVec("sdrad_crypto_ops_total",
+				"Crypto-wrapper operations, by kind.", "op").With("encrypt_update")
+		}
+	}
 	c := t.CPU()
 
 	if mode == ModeNative {
@@ -169,6 +178,9 @@ func (cr *Crypto) SharedOut() mem.Addr {
 // and 2; inside the data domain for mode 3, in which case out may be 0
 // to use SharedOut).
 func (cr *Crypto) EncryptUpdate(t *proc.Thread, out, in mem.Addr, inl int) (int, error) {
+	if cr.mOps != nil {
+		cr.mOps.Inc()
+	}
 	if cr.mode == ModeNative {
 		return cr.eng.EncryptUpdate(t.CPU(), cr.ctx, out, in, inl)
 	}

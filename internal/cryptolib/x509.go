@@ -10,6 +10,7 @@ import (
 	"sdrad/internal/mem"
 	"sdrad/internal/proc"
 	"sdrad/internal/stack"
+	"sdrad/internal/telemetry"
 )
 
 // This file implements the toy X.509 certificate checker carrying the
@@ -159,12 +160,18 @@ type Verifier struct {
 	ready   bool
 	certBuf mem.Addr
 	rewinds int64
+	mOps    *telemetry.Counter // nil without telemetry
 }
 
 // NewVerifier builds an isolated verifier able to check certificates up
 // to bufCap bytes.
 func NewVerifier(lib *core.Library, bufCap int) *Verifier {
-	return &Verifier{lib: lib, bufCap: bufCap}
+	v := &Verifier{lib: lib, bufCap: bufCap}
+	if rec := lib.Telemetry(); rec != nil {
+		v.mOps = rec.Registry().CounterVec("sdrad_crypto_ops_total",
+			"Crypto-wrapper operations, by kind.", "op").With("x509_verify")
+	}
+	return v
 }
 
 // Rewinds reports how many attacks the verifier absorbed.
@@ -175,6 +182,9 @@ func (v *Verifier) Rewinds() int64 { return v.rewinds }
 // error (retrievable with errors.As); the domain is already discarded
 // and will be re-created on the next call.
 func (v *Verifier) Verify(t *proc.Thread, cert []byte) (VerifyResult, error) {
+	if v.mOps != nil {
+		v.mOps.Inc()
+	}
 	if len(cert) > v.bufCap {
 		return VerifyResult{}, fmt.Errorf("%w: too large", ErrBadCertificate)
 	}

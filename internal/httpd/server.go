@@ -14,6 +14,7 @@ import (
 	"sdrad/internal/mem"
 	"sdrad/internal/proc"
 	"sdrad/internal/stack"
+	"sdrad/internal/telemetry"
 	"sdrad/internal/tlsf"
 )
 
@@ -73,6 +74,9 @@ type Config struct {
 	VerifyClientCerts bool
 	// Seed fixes process randomness.
 	Seed int64
+	// Telemetry optionally attaches a recorder shared by all worker
+	// processes; each worker's monitor and address space feed it.
+	Telemetry *telemetry.Recorder
 }
 
 func (c *Config) setDefaults() {
@@ -173,6 +177,11 @@ type Worker struct {
 	files   map[string]fileEntry
 	rewinds atomic.Int64
 	handle  *proc.Handle
+	// reqs is this worker's native request count; each worker mirrors
+	// its own counter into the registry via CounterFunc (callbacks on
+	// one name sum), so the request path never touches a counter shared
+	// with another worker.
+	reqs atomic.Int64
 
 	// Parser-domain state (owned by the worker thread).
 	domainReady  bool
@@ -245,11 +254,22 @@ func newWorker(cfg Config, idx int) (*Worker, error) {
 		ch:  make(chan *event),
 	}
 	if cfg.Variant == VariantSDRaD {
-		lib, err := core.Setup(w.p, core.WithRootHeapSize(heapBudget(cfg)))
+		opts := []core.SetupOption{core.WithRootHeapSize(heapBudget(cfg))}
+		if cfg.Telemetry != nil {
+			opts = append(opts, core.WithTelemetry(cfg.Telemetry))
+		}
+		lib, err := core.Setup(w.p, opts...)
 		if err != nil {
 			return nil, err
 		}
 		w.lib = lib
+	} else if cfg.Telemetry != nil {
+		w.p.AddressSpace().SetTelemetry(cfg.Telemetry)
+	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Registry().CounterFunc("sdrad_http_requests_total",
+			"HTTP requests processed across all workers.",
+			func() int64 { return w.reqs.Load() })
 	}
 	if err := w.p.Attach("init", w.provision); err != nil {
 		return nil, fmt.Errorf("httpd: provisioning worker %d: %w", idx, err)
@@ -471,6 +491,7 @@ func (w *Worker) handleEvent(t *proc.Thread, ev *event) result {
 	if len(ev.req) > w.cfg.ConnBufSize {
 		return result{err: ErrTooLarge}
 	}
+	w.reqs.Add(1)
 	c := t.CPU()
 	if !conn.ready {
 		if err := w.allocConnBuffers(t, conn); err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sdrad/internal/httpd"
+	"sdrad/internal/telemetry"
 )
 
 // Config describes one benchmark run.
@@ -22,6 +23,11 @@ type Config struct {
 	Connections int
 	// Requests is the total request budget across all connections.
 	Requests int
+	// Telemetry, when non-nil, additionally receives every request
+	// latency as the sdrad_http_request_latency_ns registry histogram, so
+	// a scrape of the server's /metrics shows the client-observed
+	// distribution.
+	Telemetry *telemetry.Recorder
 }
 
 // Result summarizes a run.
@@ -31,11 +37,16 @@ type Result struct {
 	Elapsed    time.Duration
 	Throughput float64 // requests per second
 	BytesRead  int64
+	// P50, P95, P99 are per-request latency percentiles, interpolated
+	// from a log2-bucketed histogram (approximate, not exact order
+	// statistics).
+	P50, P95, P99 time.Duration
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%d requests in %v: %.0f req/s (%d errors, %d bytes)",
-		r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Errors, r.BytesRead)
+	return fmt.Sprintf("%d requests in %v: %.0f req/s (%d errors, %d bytes) p50=%v p95=%v p99=%v",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Errors, r.BytesRead,
+		r.P50, r.P95, r.P99)
 }
 
 // Run drives the master's workers with Config.Connections concurrent
@@ -54,6 +65,16 @@ func Run(m *httpd.Master, cfg Config) Result {
 	var errs, bytesRead atomic.Int64
 	var wg sync.WaitGroup
 
+	// lat collects every request's wall latency; histograms are safe for
+	// concurrent Observe, so all connections share one. A registry copy
+	// feeds the server's /metrics when a recorder was provided.
+	var lat telemetry.Histogram
+	var regLat *telemetry.Histogram
+	if cfg.Telemetry != nil {
+		regLat = cfg.Telemetry.Registry().Histogram("sdrad_http_request_latency_ns",
+			"Client-observed HTTP request latency, nanoseconds.")
+	}
+
 	start := time.Now()
 	for i := 0; i < cfg.Connections; i++ {
 		w := m.Worker(i % m.Workers())
@@ -62,10 +83,16 @@ func Run(m *httpd.Master, cfg Config) Result {
 			defer wg.Done()
 			conn := w.NewConn()
 			for remaining.Add(-1) >= 0 {
+				t0 := time.Now()
 				resp, closed, err := conn.Do(req)
 				if err != nil {
 					errs.Add(1)
 					return
+				}
+				ns := time.Since(t0).Nanoseconds()
+				lat.Observe(ns)
+				if regLat != nil {
+					regLat.Observe(ns)
 				}
 				bytesRead.Add(int64(len(resp)))
 				if closed {
@@ -83,5 +110,8 @@ func Run(m *httpd.Master, cfg Config) Result {
 		Elapsed:    elapsed,
 		Throughput: float64(done) / elapsed.Seconds(),
 		BytesRead:  bytesRead.Load(),
+		P50:        time.Duration(lat.Quantile(0.50)),
+		P95:        time.Duration(lat.Quantile(0.95)),
+		P99:        time.Duration(lat.Quantile(0.99)),
 	}
 }

@@ -1,9 +1,11 @@
 package loadgen
 
 import (
+	"strings"
 	"testing"
 
 	"sdrad/internal/httpd"
+	"sdrad/internal/telemetry"
 )
 
 func TestRunAgainstServer(t *testing.T) {
@@ -17,7 +19,8 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 	defer m.Stop()
 
-	res := Run(m, Config{Path: "/f.bin", Connections: 8, Requests: 400})
+	rec := telemetry.New(telemetry.Options{})
+	res := Run(m, Config{Path: "/f.bin", Connections: 8, Requests: 400, Telemetry: rec})
 	if res.Errors != 0 {
 		t.Fatalf("errors = %d", res.Errors)
 	}
@@ -33,6 +36,23 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 	if res.String() == "" {
 		t.Error("empty result string")
+	}
+	// Percentiles must be populated and ordered.
+	if res.P50 <= 0 {
+		t.Errorf("p50 = %v, want > 0", res.P50)
+	}
+	if res.P50 > res.P95 || res.P95 > res.P99 {
+		t.Errorf("percentiles out of order: p50=%v p95=%v p99=%v", res.P50, res.P95, res.P99)
+	}
+	// The run must have fed the recorder's registry histogram too.
+	h := rec.Registry().Histogram("sdrad_http_request_latency_ns", "")
+	if h.Count() != 400 {
+		t.Errorf("registry histogram count = %d, want 400", h.Count())
+	}
+	var sb strings.Builder
+	rec.Registry().WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "sdrad_http_request_latency_ns_count 400") {
+		t.Errorf("latency histogram missing from exposition:\n%s", sb.String())
 	}
 }
 

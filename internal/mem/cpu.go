@@ -126,6 +126,7 @@ func (as *AddressSpace) NewCPU() *CPU {
 // stale-TLB window real hardware has until the IPI lands), while the
 // mutating thread itself always observes its own mutation.
 func (as *AddressSpace) shootdown() {
+	as.shootdowns.Add(1)
 	as.cpuMu.Lock()
 	for _, c := range as.cpus {
 		c.needFlush.Store(true)
@@ -209,6 +210,9 @@ func (c *CPU) fault(addr Addr, kind AccessKind, code FaultCode, pkey int) {
 func (c *CPU) raise(f *Fault) {
 	c.as.stats.Faults.Add(1)
 	c.as.recordFault(f)
+	if rec := c.as.tel.Load(); rec != nil {
+		rec.RecordFault(f.Code.String(), int(f.Code), uint64(f.Addr), f.PKey, f.Injected)
+	}
 	panic(f)
 }
 

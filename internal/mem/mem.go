@@ -32,6 +32,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"sdrad/internal/telemetry"
 )
 
 // Page geometry of the simulated MMU. The values match x86-64 4 KiB pages.
@@ -164,6 +166,11 @@ type AddressSpace struct {
 
 	// faults is the bounded log of recent traps; see RecentFaults.
 	faults faultLog
+
+	// shootdowns counts shootdown broadcasts; tel is the optional
+	// telemetry recorder (nil = disabled, see SetTelemetry).
+	shootdowns atomic.Int64
+	tel        atomic.Pointer[telemetry.Recorder]
 
 	stats Stats
 }

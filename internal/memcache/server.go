@@ -9,6 +9,7 @@ import (
 	"sdrad/internal/galloc"
 	"sdrad/internal/mem"
 	"sdrad/internal/proc"
+	"sdrad/internal/telemetry"
 	"sdrad/internal/tlsf"
 )
 
@@ -67,6 +68,10 @@ type Config struct {
 	DomainHeapSize uint64
 	// Seed fixes process randomness.
 	Seed int64
+	// Telemetry optionally attaches a recorder: the hardened build wires
+	// it through the reference monitor, the vanilla build through the
+	// address space only (fault events and MMU counters).
+	Telemetry *telemetry.Recorder
 }
 
 func (c *Config) setDefaults() {
@@ -121,6 +126,12 @@ type worker struct {
 	ch     chan *event
 	handle *proc.Handle
 
+	// reqs is the worker's native request count. Keeping it per worker
+	// (its own cache line, uncontended) and summing at exposition via a
+	// CounterFunc is what keeps the enabled-telemetry request path free
+	// of shared-counter ping-pong.
+	reqs atomic.Int64
+
 	// Hardened-build per-worker domain state (owned by the worker
 	// goroutine).
 	domainReady bool
@@ -168,14 +179,20 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.Variant == VariantSDRaD {
 		rootHeap := uint64(cfg.ConnBufSize)*2*256 + 2<<20 // 256 live conns + slack
-		lib, err := core.Setup(s.p,
+		opts := []core.SetupOption{
 			core.WithRootHeapSize(rootHeap),
 			core.WithDefaultHeapSize(cfg.DomainHeapSize),
-		)
+		}
+		if cfg.Telemetry != nil {
+			opts = append(opts, core.WithTelemetry(cfg.Telemetry))
+		}
+		lib, err := core.Setup(s.p, opts...)
 		if err != nil {
 			return nil, err
 		}
 		s.lib = lib
+	} else if cfg.Telemetry != nil {
+		s.p.AddressSpace().SetTelemetry(cfg.Telemetry)
 	}
 	if err := s.p.Attach("init", s.provision); err != nil {
 		return nil, fmt.Errorf("memcache: provisioning: %w", err)
@@ -184,6 +201,18 @@ func NewServer(cfg Config) (*Server, error) {
 		w := &worker{idx: i, s: s, ch: make(chan *event)}
 		w.handle = s.p.Spawn(fmt.Sprintf("worker-%d", i), w.run)
 		s.workers = append(s.workers, w)
+	}
+	if cfg.Telemetry != nil {
+		workers := s.workers
+		cfg.Telemetry.Registry().CounterFunc("sdrad_memcache_requests_total",
+			"Memcached protocol commands processed.",
+			func() int64 {
+				var n int64
+				for _, w := range workers {
+					n += w.reqs.Load()
+				}
+				return n
+			})
 	}
 	return s, nil
 }
@@ -297,6 +326,7 @@ func (s *Server) handleEvent(t *proc.Thread, w *worker, ev *event) result {
 	if len(ev.req) > s.cfg.ConnBufSize {
 		return result{err: ErrRequestTooLarge}
 	}
+	w.reqs.Add(1)
 	c := t.CPU()
 	if !conn.ready {
 		if err := s.allocConnBuffers(t, conn); err != nil {

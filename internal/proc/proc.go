@@ -308,6 +308,9 @@ func (p *Process) supervise(t *Thread, body func(*Thread) error) (err error) {
 		// dies. This matches Linux: returning from a SIGSEGV handler
 		// without fixing the cause re-faults forever.
 		p.sigs.Deliver(&info, t.mask, t)
+		if rec := p.as.Telemetry(); rec != nil {
+			rec.RecordCrash(t.id)
+		}
 		crash := &CrashError{Thread: t.name, Info: info}
 		p.Terminate(crash)
 		err = crash

@@ -105,6 +105,8 @@ type Table struct {
 	ignored  map[Signal]bool
 	// delivered counts deliveries per signal for observability.
 	delivered map[Signal]int
+	// observer, when set, sees every delivery and its outcome (telemetry).
+	observer func(info *Info, action Action)
 }
 
 // NewTable returns a table with default dispositions for all signals.
@@ -140,6 +142,16 @@ func (t *Table) Ignore(sig Signal) {
 	delete(t.handlers, sig)
 }
 
+// SetObserver installs (or, with nil, removes) a callback invoked after
+// every delivery with the resulting action. The telemetry subsystem uses
+// it to record signal events; the callback must not call back into the
+// table.
+func (t *Table) SetObserver(fn func(info *Info, action Action)) {
+	t.mu.Lock()
+	t.observer = fn
+	t.mu.Unlock()
+}
+
 // Deliver routes info to the registered handler of the faulting thread,
 // falling back to the default action. Synchronous faults (SIGSEGV) that a
 // thread has blocked in its mask cause immediate termination, matching
@@ -149,8 +161,18 @@ func (t *Table) Deliver(info *Info, mask Mask, tls any) Action {
 	t.delivered[info.Signal]++
 	h := t.handlers[info.Signal]
 	ign := t.ignored[info.Signal]
+	obs := t.observer
 	t.mu.Unlock()
 
+	act := deliverAction(info, mask, h, ign, tls)
+	if obs != nil {
+		obs(info, act)
+	}
+	return act
+}
+
+// deliverAction computes the delivery outcome.
+func deliverAction(info *Info, mask Mask, h Handler, ign bool, tls any) Action {
 	if info.Signal == SIGSEGV && mask.Has(SIGSEGV) {
 		// A blocked synchronous signal is fatal; the handler never runs.
 		return ActionTerminate

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RewindReport is the post-mortem synthesized for one absorbed rewind:
+// everything an operator needs to understand why a domain was discarded,
+// captured before the evidence (the domain's heap) is thrown away.
+type RewindReport struct {
+	// Seq is the monitor's rewind sequence number (1-based).
+	Seq    int64 `json:"seq"`
+	TimeNs int64 `json:"time_ns"`
+
+	ThreadID   int    `json:"thread_id"`
+	ThreadName string `json:"thread_name,omitempty"`
+
+	// FailedUDI is the domain that faulted and was discarded.
+	FailedUDI int `json:"failed_udi"`
+	// DomainStack is the nested-domain enter stack at the time of the
+	// fault, outermost first; the last element is the failing domain.
+	DomainStack []int `json:"domain_stack"`
+
+	Signal     int    `json:"signal"`
+	SignalName string `json:"signal_name"`
+	// SiCode is the fault's si_code (0 for non-memory oracles such as a
+	// stack-canary SIGABRT).
+	SiCode     int    `json:"si_code"`
+	SiCodeName string `json:"si_code_name"`
+	Addr       uint64 `json:"addr"`
+	PKey       int    `json:"pkey"`
+	// Injected marks faults planted by the chaos fault injector.
+	Injected bool `json:"injected"`
+
+	// Discard accounting: the heap region thrown away with the domain
+	// and the stack region reset under it.
+	HeapBase   uint64 `json:"heap_base"`
+	HeapBytes  uint64 `json:"heap_bytes"`
+	HeapPages  int    `json:"heap_pages"`
+	StackBytes uint64 `json:"stack_bytes"`
+	StackPages int    `json:"stack_pages"`
+	// LiveAllocs is the number of allocations still live in the
+	// discarded heap (allocs minus frees) — the state the rewind lost.
+	LiveAllocs int64 `json:"live_allocs"`
+
+	// RewindCount is the monitor's cumulative rewind count including
+	// this one; RewindLimit is the configured abort threshold (0 =
+	// unlimited), per the Unlimited Lives rate-limiting argument.
+	RewindCount int64 `json:"rewind_count"`
+	RewindLimit int64 `json:"rewind_limit"`
+}
+
+// ForensicsStore retains the last N rewind reports and counts all of
+// them. The cumulative Added count is what campaign assertions diff:
+// unlike the retained window it can never lose a report to eviction.
+type ForensicsStore struct {
+	added  atomic.Int64
+	retain int
+
+	mu   sync.Mutex
+	ring []RewindReport
+	next int
+	full bool
+}
+
+func newForensicsStore(retain int) *ForensicsStore {
+	return &ForensicsStore{retain: retain, ring: make([]RewindReport, retain)}
+}
+
+// Add stores a report, evicting the oldest when the window is full.
+func (s *ForensicsStore) Add(rep RewindReport) {
+	s.mu.Lock()
+	s.ring[s.next] = rep
+	s.next++
+	if s.next == s.retain {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+	s.added.Add(1)
+}
+
+// Added returns the cumulative number of reports ever stored.
+func (s *ForensicsStore) Added() int64 { return s.added.Load() }
+
+// Reports returns the retained reports, oldest first.
+func (s *ForensicsStore) Reports() []RewindReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		return append([]RewindReport(nil), s.ring[:s.next]...)
+	}
+	out := make([]RewindReport, 0, s.retain)
+	out = append(out, s.ring[s.next:]...)
+	out = append(out, s.ring[:s.next]...)
+	return out
+}
+
+// Last returns the most recent report, if any.
+func (s *ForensicsStore) Last() (RewindReport, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full && s.next == 0 {
+		return RewindReport{}, false
+	}
+	i := s.next - 1
+	if i < 0 {
+		i = s.retain - 1
+	}
+	return s.ring[i], true
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package ycsb
+
+// ProcessCPUSeconds is unavailable off unix; callers treat 0 deltas as
+// "no CPU accounting" and fall back to wall-clock throughput.
+func ProcessCPUSeconds() float64 { return 0 }

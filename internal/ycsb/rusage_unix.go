@@ -1,0 +1,21 @@
+//go:build unix
+
+package ycsb
+
+import "syscall"
+
+// ProcessCPUSeconds returns the user+system CPU time consumed by this
+// process so far. Phase deltas of this value are far more stable than
+// wall clock on oversubscribed machines (CI runners, single-vCPU VMs):
+// preemption by unrelated processes stretches elapsed time but does not
+// charge CPU to us, while extra work done by the code under test does.
+func ProcessCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	tv := func(t syscall.Timeval) float64 {
+		return float64(t.Sec) + float64(t.Usec)/1e6
+	}
+	return tv(ru.Utime) + tv(ru.Stime)
+}

@@ -91,6 +91,11 @@ type Stats struct {
 	Elapsed    time.Duration
 	// Throughput is operations per second.
 	Throughput float64
+	// CPUSeconds is the user+system CPU time the whole process consumed
+	// during this phase (0 where the platform offers no accounting).
+	// Overhead comparisons prefer CPUSeconds/Operations over Throughput
+	// because it is immune to preemption by unrelated processes.
+	CPUSeconds float64
 	// P50, P95, P99 are latency percentiles.
 	P50, P95, P99 time.Duration
 }
@@ -154,6 +159,7 @@ func (r *Runner) runPhase(name string, total int, factory func(int) DB,
 		samples []time.Duration
 	}
 	results := make(chan threadResult, threads)
+	cpu0 := ProcessCPUSeconds()
 	start := time.Now()
 	for th := 0; th < threads; th++ {
 		go func(th int) {
@@ -192,6 +198,7 @@ func (r *Runner) runPhase(name string, total int, factory func(int) DB,
 		all = append(all, tr.samples...)
 	}
 	elapsed := time.Since(start)
+	cpu := ProcessCPUSeconds() - cpu0
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	pct := func(p float64) time.Duration {
 		if len(all) == 0 {
@@ -207,6 +214,7 @@ func (r *Runner) runPhase(name string, total int, factory func(int) DB,
 		Errors:     errs,
 		Elapsed:    elapsed,
 		Throughput: float64(done) / elapsed.Seconds(),
+		CPUSeconds: cpu,
 		P50:        pct(0.50),
 		P95:        pct(0.95),
 		P99:        pct(0.99),
