@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check chaos-smoke bench-smoke ci
+.PHONY: build test race vet fmt-check chaos-smoke bench-smoke throughput-gate ci
 
 build:
 	$(GO) build ./...
@@ -29,5 +29,10 @@ chaos-smoke:
 # The evaluation at reduced scale.
 bench-smoke:
 	$(GO) run ./cmd/sdrad-bench -quick
+
+# The channel-path scaling curve against the committed baseline, as the
+# bench-regression CI job gates it (full scale, ~3 minutes).
+throughput-gate:
+	$(GO) run ./cmd/sdrad-bench -throughput -throughput-baseline BENCH_throughput.json
 
 ci: build vet fmt-check test race chaos-smoke

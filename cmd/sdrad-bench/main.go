@@ -34,6 +34,8 @@ func run(args []string) error {
 	subJSON := fs.String("substrate-json", "", "write the substrate report as JSON to this path")
 	subBaseline := fs.String("substrate-baseline", "", "compare the substrate report against this JSON baseline; exit non-zero on >10% micro regression")
 	telGuard := fs.Bool("telemetry-guard", false, "exit non-zero when an enabled telemetry recorder costs more than 2% YCSB run-phase throughput")
+	tputJSON := fs.String("throughput-json", "", "write the scaling-curve throughput report as JSON to this path")
+	tputBaseline := fs.String("throughput-baseline", "", "compare the throughput report against this JSON baseline; exit non-zero on >25% speed-adjusted drop")
 	selected := make(map[string]*bool, len(bench.Experiments))
 	for _, name := range bench.Experiments {
 		selected[name] = fs.Bool(name, false, "run the "+name+" experiment")
@@ -62,6 +64,9 @@ func run(args []string) error {
 	if (*subJSON != "" || *subBaseline != "" || *telGuard) && !*selected["substrate"] {
 		toRun = append(toRun, "substrate")
 	}
+	if (*tputJSON != "" || *tputBaseline != "") && !*selected["throughput"] {
+		toRun = append(toRun, "throughput")
+	}
 	if len(toRun) == 0 {
 		toRun = bench.Experiments
 	}
@@ -71,6 +76,12 @@ func run(args []string) error {
 		if name == "substrate" && (*subJSON != "" || *subBaseline != "" || *telGuard) {
 			if err := runSubstrate(scale, *subJSON, *subBaseline, *telGuard); err != nil {
 				return fmt.Errorf("substrate: %w", err)
+			}
+			continue
+		}
+		if name == "throughput" && (*tputJSON != "" || *tputBaseline != "") {
+			if err := runThroughput(scale, *tputJSON, *tputBaseline); err != nil {
+				return fmt.Errorf("throughput: %w", err)
 			}
 			continue
 		}
@@ -111,6 +122,33 @@ func runSubstrate(scale bench.Scale, jsonPath, baselinePath string, telGuard boo
 			return err
 		}
 		fmt.Println("telemetry-enabled run overhead within the 2% budget")
+	}
+	return nil
+}
+
+// runThroughput runs the scaling-curve experiment with its JSON side
+// outputs, mirroring runSubstrate.
+func runThroughput(scale bench.Scale, jsonPath, baselinePath string) error {
+	rep, table, err := bench.RunThroughput(scale, nil, nil)
+	if err != nil {
+		return err
+	}
+	table.Fprint(os.Stdout)
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("throughput report written to %s\n", jsonPath)
+	}
+	if baselinePath != "" {
+		base, err := bench.LoadThroughputBaseline(baselinePath)
+		if err != nil {
+			return err
+		}
+		if err := rep.CheckAgainst(base); err != nil {
+			return err
+		}
+		fmt.Printf("throughput within 25%% of baseline %s\n", baselinePath)
 	}
 	return nil
 }

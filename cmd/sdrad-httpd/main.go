@@ -37,6 +37,7 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8089", "listen address")
 	workers := fs.Int("workers", 2, "worker processes")
 	variantName := fs.String("variant", "sdrad", "build variant: vanilla, tlsf, or sdrad")
+	maxBatch := fs.Int("max-batch", 16, "max pipelined requests parsed per guard scope")
 	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /flightrecorder on this address (empty = telemetry off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,8 +58,9 @@ func run(args []string) error {
 		rec = telemetry.New(telemetry.Options{})
 	}
 	m, err := httpd.NewMaster(httpd.Config{
-		Variant: variant,
-		Workers: *workers,
+		Variant:  variant,
+		Workers:  *workers,
+		MaxBatch: *maxBatch,
 		Files: map[string]int{
 			"/index.html": 1024,
 			"/big.bin":    128 * 1024,

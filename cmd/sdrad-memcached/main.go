@@ -39,6 +39,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 4, "worker threads")
 	variantName := fs.String("variant", "sdrad", "build variant: vanilla, tlsf, or sdrad")
 	cacheMB := fs.Int("cache-mb", 64, "cache memory limit (MiB)")
+	shards := fs.Int("shards", 8, "lock-striped storage shards (power of two)")
+	maxBatch := fs.Int("max-batch", 16, "max pipelined requests handled per guard scope")
 	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /flightrecorder on this address (empty = telemetry off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +64,8 @@ func run(args []string) error {
 		Variant:    variant,
 		Workers:    *workers,
 		CacheBytes: uint64(*cacheMB) << 20,
+		Shards:     *shards,
+		MaxBatch:   *maxBatch,
 		Telemetry:  rec,
 	})
 	if err != nil {

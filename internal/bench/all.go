@@ -10,7 +10,7 @@ var Experiments = []string{
 	"fig4", "rewind-memcached", "mem-memcached",
 	"fig5", "scaling-nginx", "rewind-nginx", "mem-nginx",
 	"openssl", "rewind-openssl",
-	"switchcost", "ablations", "substrate",
+	"switchcost", "ablations", "substrate", "throughput",
 }
 
 // Run executes one named experiment at the given scale and prints its
@@ -70,6 +70,10 @@ func Run(w io.Writer, name string, sc Scale) error {
 	case "substrate":
 		var t *Table
 		_, t, err = RunSubstrate(sc, nil)
+		tables = append(tables, t)
+	case "throughput":
+		var t *Table
+		_, t, err = RunThroughput(sc, nil, nil)
 		tables = append(tables, t)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", name, Experiments)

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunThroughput(t *testing.T) {
+	rep, tbl, err := RunThroughput(tiny, []int{1, 2}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 { // 2 worker counts x 2 depths
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+	if len(rep.RunTput) != 8 { // x 2 variants
+		t.Errorf("cells = %d", len(rep.RunTput))
+	}
+	for cell, tput := range rep.RunTput {
+		if tput <= 0 {
+			t.Errorf("cell %s: throughput %v", cell, tput)
+		}
+	}
+	if rep.Schema != throughputSchema || rep.CalibrationNs <= 0 {
+		t.Errorf("schema %q calibration %v", rep.Schema, rep.CalibrationNs)
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	for _, want := range []string{"Scaling", "vanilla", "sdrad", "depth"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestThroughputBaselineRoundTrip(t *testing.T) {
+	rep := &ThroughputReport{
+		Schema:        throughputSchema,
+		CalibrationNs: 2.0,
+		Records:       1,
+		Operations:    2,
+		RunTput: map[string]float64{
+			"sdrad_w1_d1":  100000,
+			"sdrad_w8_d16": 300000,
+		},
+	}
+	path := filepath.Join(t.TempDir(), "tput.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadThroughputBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.RunTput["sdrad_w8_d16"] != 300000 || base.CalibrationNs != 2.0 {
+		t.Errorf("round trip lost data: %+v", base)
+	}
+	// Identical report passes.
+	if err := rep.CheckAgainst(base); err != nil {
+		t.Errorf("self-comparison failed: %v", err)
+	}
+	// A >25% drop in one cell fails and names it.
+	cur := &ThroughputReport{
+		Schema:        throughputSchema,
+		CalibrationNs: 2.0,
+		RunTput: map[string]float64{
+			"sdrad_w1_d1":  99000,
+			"sdrad_w8_d16": 150000,
+		},
+	}
+	err = cur.CheckAgainst(base)
+	if err == nil || !strings.Contains(err.Error(), "sdrad_w8_d16") {
+		t.Errorf("regression not caught: %v", err)
+	}
+	// The same drop on a machine measured 2x slower is within tolerance
+	// after speed adjustment.
+	cur.CalibrationNs = 4.0
+	if err := cur.CheckAgainst(base); err != nil {
+		t.Errorf("speed adjustment not applied: %v", err)
+	}
+	// Cells missing from the current report are ignored.
+	delete(cur.RunTput, "sdrad_w1_d1")
+	if err := cur.CheckAgainst(base); err != nil {
+		t.Errorf("missing cell treated as regression: %v", err)
+	}
+}

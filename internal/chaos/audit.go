@@ -62,18 +62,26 @@ func (a *auditor) checkMappedStable(class, label string, mapped int64) {
 }
 
 // checkDiscarded verifies that a discarded domain's heap pages really
-// left the address space: a rewind must unmap the corrupted heap, and any
-// page still resident is a residual mapping an attacker could revisit.
+// left the address space: a rewind must either unmap the corrupted heap
+// or park it — scrubbed — in the library's reuse pool. Any page still
+// resident outside the pool is a residual mapping an attacker could
+// revisit. (The library audit separately proves pooled regions were
+// scrubbed when scrub-on-discard is on.)
 func (a *auditor) checkDiscarded(as *mem.AddressSpace, label string, base mem.Addr, size uint64) {
 	if base == 0 || size == 0 {
 		return
 	}
 	for off := uint64(0); off < size; off += mem.PageSize {
-		if _, _, ok := as.PageInfo(base + mem.Addr(off)); ok {
-			a.r.failf("%s: residual mapping: discarded heap page 0x%x still mapped",
-				label, uint64(base)+off)
-			return
+		addr := base + mem.Addr(off)
+		if _, _, ok := as.PageInfo(addr); !ok {
+			continue
 		}
+		if a.lib.HeapPooled(addr) {
+			continue
+		}
+		a.r.failf("%s: residual mapping: discarded heap page 0x%x still mapped",
+			label, uint64(base)+off)
+		return
 	}
 }
 

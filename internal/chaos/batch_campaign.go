@@ -1,0 +1,189 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"sdrad/internal/memcache"
+	"sdrad/internal/proc"
+)
+
+// runBatch drives the hardened memcached build through pipelined request
+// batches — the amortized guard-scope path — and injects the bset
+// overflow at seeded positions inside a batch. The paper's rewind
+// semantics must hold batch-wide: a trap anywhere in the batch rewinds
+// exactly once, discards the WHOLE in-flight batch (writes earlier in
+// the batch never reach the database), closes the batch's connection,
+// and synthesizes exactly one forensics report. Clean batches must be
+// bit-equivalent to sequential execution, which the campaign checks by
+// replaying every pipeline against a shadow store.
+func runBatch(cfg Config, r *Report) error {
+	const maxBatch = 8
+	rec := cfg.recorder()
+	s, err := memcache.NewServer(memcache.Config{
+		Variant:   memcache.VariantSDRaD,
+		Workers:   1,
+		HashPower: 10,
+		MaxBatch:  maxBatch,
+		Seed:      cfg.Seed,
+		Telemetry: rec,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Stop()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lib := s.Library()
+	as := s.Process().AddressSpace()
+	a := &auditor{r: r, lib: lib, rec: rec}
+	conn := s.NewConn()
+
+	onWorker := func(fn func(t *proc.Thread) error) {
+		if err := conn.Inspect(fn); err != nil {
+			r.failf("inspect failed: %v", err)
+		}
+	}
+	auditSteady := func(label string) {
+		onWorker(func(t *proc.Thread) error {
+			a.audit(t, label)
+			if err := s.Storage().AuditShards(t.CPU()); err != nil {
+				r.failf("%s: shard audit: %v", label, err)
+			}
+			return nil
+		})
+		a.checkMappedStable("event-rewind", label, s.MappedBytes())
+	}
+
+	persistVal := []byte("survives-every-batch-rewind")
+	if resp, closed, err := conn.Do(memcache.FormatSet("persist", persistVal, 7)); err != nil || closed || !bytes.HasPrefix(resp, []byte("STORED")) {
+		return fmt.Errorf("chaos: persist set failed: %q closed=%v err=%v", resp, closed, err)
+	}
+
+	// shadow mirrors the store exactly: batches either apply in full
+	// (clean) or not at all (trapped), so there is never taint.
+	shadow := map[string][]byte{"persist": persistVal}
+	checkKey := func(label, key string) {
+		resp, closed, err := conn.Do(memcache.FormatGet(key))
+		if err != nil || closed {
+			r.failf("%s: probe get %s: closed=%v err=%v", label, key, closed, err)
+			return
+		}
+		val, _, ok := memcache.ParseGetValue(resp)
+		want, have := shadow[key]
+		if ok != have {
+			r.failf("%s: %s present=%v, shadow says %v", label, key, ok, have)
+		}
+		if ok && !bytes.Equal(val, want) {
+			r.failf("%s: %s value %q, shadow %q", label, key, val, want)
+		}
+	}
+
+	for i := 0; i < cfg.Ops; i++ {
+		n := 2 + rng.Intn(maxBatch-1) // pipeline depth in [2, maxBatch]: one event, one batch
+		atkPos := -1
+		if rng.Intn(3) == 0 {
+			atkPos = rng.Intn(n)
+		}
+		label := fmt.Sprintf("op=%02d batch n=%d atk=%d", i, n, atkPos)
+
+		type planned struct {
+			verb string
+			key  string
+			val  []byte
+		}
+		var plan []planned
+		var reqs [][]byte
+		for j := 0; j < n; j++ {
+			if j == atkPos {
+				plan = append(plan, planned{verb: "bset"})
+				reqs = append(reqs, memcache.FormatBSet("atk", 1<<20, nil))
+				continue
+			}
+			key := fmt.Sprintf("k%d", rng.Intn(8))
+			switch rng.Intn(3) {
+			case 0, 1:
+				val := make([]byte, 8+rng.Intn(56))
+				for k := range val {
+					val[k] = byte('a' + rng.Intn(26))
+				}
+				plan = append(plan, planned{verb: "set", key: key, val: val})
+				reqs = append(reqs, memcache.FormatSet(key, val, uint32(i)))
+			case 2:
+				plan = append(plan, planned{verb: "get", key: key})
+				reqs = append(reqs, memcache.FormatGet(key))
+			}
+		}
+
+		preRewinds := lib.Stats().Rewinds.Load()
+		preForensics := a.forensicsPre()
+		res := conn.DoPipeline(reqs)
+		if len(res) != n {
+			r.failf("%s: %d results for %d requests", label, len(res), n)
+			continue
+		}
+
+		if atkPos >= 0 {
+			// Trapped batch: one rewind, one forensics report, every item
+			// reported closed, and NONE of the batch's writes visible.
+			r.Injected++
+			for j, pr := range res {
+				if !pr.Closed {
+					r.failf("%s: item %d not closed after batch rewind", label, j)
+				}
+			}
+			a.checkRewindDelta(label, preRewinds, 1)
+			a.checkForensicsFault(as, label, preForensics)
+			conn = s.NewConn()
+			auditSteady(label)
+			for _, p := range plan {
+				if p.verb == "set" {
+					checkKey(label+" discarded-write", p.key)
+				}
+			}
+			checkKey(label, "persist")
+			r.event("%s rewind", label)
+		} else {
+			// Clean batch: sequential semantics, then the shadow advances.
+			a.checkRewindDelta(label, preRewinds, 0)
+			a.checkForensics(label, preForensics, 0)
+			classes := make([]string, 0, n)
+			for j, p := range plan {
+				pr := res[j]
+				if pr.Err != nil || pr.Closed {
+					r.failf("%s: item %d (%s): closed=%v err=%v", label, j, p.verb, pr.Closed, pr.Err)
+					continue
+				}
+				classes = append(classes, respClass(pr.Resp, pr.Closed))
+				switch p.verb {
+				case "set":
+					if !bytes.HasPrefix(pr.Resp, []byte("STORED")) {
+						r.failf("%s: set %s = %q", label, p.key, pr.Resp)
+						continue
+					}
+					shadow[p.key] = p.val
+				case "get":
+					val, _, ok := memcache.ParseGetValue(pr.Resp)
+					want, have := shadow[p.key]
+					if ok != have {
+						r.failf("%s: item %d get %s present=%v, shadow says %v", label, j, p.key, ok, have)
+					}
+					if ok && !bytes.Equal(val, want) {
+						r.failf("%s: item %d get %s = %q, shadow %q", label, j, p.key, val, want)
+					}
+				}
+			}
+			r.event("%s %v", label, classes)
+		}
+
+		if crashed, cause := s.Crashed(); crashed {
+			return fmt.Errorf("chaos: server process died at op %d: %v", i, cause)
+		}
+	}
+
+	auditSteady("final")
+	checkKey("final", "persist")
+	r.event("final rewinds=%d", lib.Stats().Rewinds.Load())
+	return nil
+}

@@ -150,6 +150,7 @@ var campaigns = []Campaign{
 	{Name: "oob", Desc: "out-of-bounds and unmapped accesses from nested domains", run: runOOB},
 	{Name: "alloc", Desc: "allocation-failure injection in the tlsf and galloc allocators", run: runAlloc},
 	{Name: "memcache", Desc: "memcached workload: bset overflow, mutated protocol bytes, injected PKU faults and OOM", run: runMemcache},
+	{Name: "batch", Desc: "pipelined memcached batches: bset overflow mid-batch, whole-batch discard, shard invariant audits", run: runBatch},
 	{Name: "httpd", Desc: "httpd workload: URI traversal, malicious client certs, mutated requests, injected PKU faults", run: runHTTPD},
 	{Name: "crypto", Desc: "cryptolib wrappers: injected faults inside EncryptUpdate, malicious certificate verification", run: runCrypto},
 }

@@ -80,6 +80,9 @@ func runMemcache(cfg Config, r *Report) error {
 	postRewind := func(label string) {
 		onWorker(func(t *proc.Thread) error {
 			a.audit(t, label)
+			if err := s.Storage().AuditShards(t.CPU()); err != nil {
+				r.failf("%s: shard audit: %v", label, err)
+			}
 			return nil
 		})
 		// Every memcache rewind discards the same event domain, so all
@@ -275,6 +278,9 @@ func runMemcache(cfg Config, r *Report) error {
 	// Final steady-state audit and cache-survival proof.
 	onWorker(func(t *proc.Thread) error {
 		a.audit(t, "final")
+		if err := s.Storage().AuditShards(t.CPU()); err != nil {
+			r.failf("final: shard audit: %v", err)
+		}
 		return nil
 	})
 	resp, closed := do(memcache.FormatGet("persist"))

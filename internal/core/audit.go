@@ -58,6 +58,9 @@ type AuditReport struct {
 	Domains []DomainAudit
 	// PooledStacks is the stack-reuse pool size.
 	PooledStacks int
+	// PooledHeaps counts pool entries that also carry a discarded heap
+	// region kept mapped for reuse.
+	PooledHeaps int
 	// AccountedBytes sums the mapped bytes attributable to SDRaD state
 	// visible from this thread: the monitor page, the root heap, this
 	// thread's domain stacks and heaps, data-domain heaps, and pooled
@@ -294,7 +297,9 @@ func (l *Library) auditHeap(t *proc.Thread, r *AuditReport, d *Domain) {
 
 // auditPool validates the stack-reuse pool: keys still allocated and not
 // shared with live domains, and — when scrub-on-discard is on — every
-// pooled page zeroed, proving discard really scrubbed.
+// pooled page zeroed, proving discard really scrubbed. Pooled heap
+// regions (discarded exec-domain heaps that ride along with their
+// stack) get the same treatment: mapped, accounted, and scrubbed.
 func (l *Library) auditPool(r *AuditReport, as *mem.AddressSpace, keys map[int]UDI) {
 	l.mu.Lock()
 	pool := make([]*pooledStack, len(l.stackPool))
@@ -302,6 +307,21 @@ func (l *Library) auditPool(r *AuditReport, as *mem.AddressSpace, keys map[int]U
 	l.mu.Unlock()
 	r.PooledStacks = len(pool)
 	buf := make([]byte, mem.PageSize)
+	// scrubbed checks every page of a pooled region reads back zero.
+	scrubbed := func(what string, i int, base mem.Addr, size uint64) {
+		for off := uint64(0); off < size; off += mem.PageSize {
+			if err := as.KernelRead(base+mem.Addr(off), buf); err != nil {
+				r.findingf("pooled %s %d unreadable at +0x%x: %v", what, i, off, err)
+				return
+			}
+			for _, b := range buf {
+				if b != 0 {
+					r.findingf("pooled %s %d not scrubbed at +0x%x", what, i, off)
+					return
+				}
+			}
+		}
+	}
 	for i, ps := range pool {
 		if owner, dup := keys[ps.key]; dup {
 			r.findingf("pooled stack %d key %d still tags live domain %d", i, ps.key, owner)
@@ -309,26 +329,24 @@ func (l *Library) auditPool(r *AuditReport, as *mem.AddressSpace, keys map[int]U
 		if !as.KeyAllocated(ps.key) {
 			r.findingf("pooled stack %d key %d not allocated", i, ps.key)
 		}
+		if ps.heapBase != 0 {
+			if !as.Mapped(ps.heapBase, int(ps.heapSize)) {
+				r.findingf("pooled heap %d region not mapped", i)
+			} else {
+				r.PooledHeaps++
+				r.AccountedBytes += ps.heapSize
+				if l.scrubOnDiscard {
+					scrubbed("heap", i, ps.heapBase, ps.heapSize)
+				}
+			}
+		}
 		if !as.Mapped(ps.stk.Base(), int(ps.size)) {
 			r.findingf("pooled stack %d region not mapped", i)
 			continue
 		}
 		r.AccountedBytes += ps.size
-		if !l.scrubOnDiscard {
-			continue
-		}
-		for off := uint64(0); off < ps.size; off += mem.PageSize {
-			if err := as.KernelRead(ps.stk.Base()+mem.Addr(off), buf); err != nil {
-				r.findingf("pooled stack %d unreadable at +0x%x: %v", i, off, err)
-				break
-			}
-			for _, b := range buf {
-				if b != 0 {
-					r.findingf("pooled stack %d not scrubbed at +0x%x", i, off)
-					off = ps.size // stop outer loop
-					break
-				}
-			}
+		if l.scrubOnDiscard {
+			scrubbed("stack", i, ps.stk.Base(), ps.size)
 		}
 	}
 }

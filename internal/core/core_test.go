@@ -266,13 +266,65 @@ func TestAbnormalExitDiscardsDomain(t *testing.T) {
 		if !errors.As(err, &abn) || abn.Code != int(mem.CodeMapErr) {
 			t.Fatalf("err = %v", err)
 		}
-		// Domain is gone: its heap pages are unmapped and the UDI is free
-		// to re-initialize.
-		if p.AddressSpace().Mapped(heapPtr, 1) {
-			t.Error("discarded domain heap still mapped")
+		// Domain is gone: its heap pages left the domain — either unmapped
+		// or parked, scrubbed, in the reuse pool — and the UDI is free to
+		// re-initialize.
+		if p.AddressSpace().Mapped(heapPtr, 1) && !l.HeapPooled(heapPtr) {
+			t.Error("discarded domain heap still mapped outside the reuse pool")
 		}
 		if err := l.InitDomain(th, 1); err != nil {
 			t.Errorf("re-init after discard: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestHeapPoolingReusesRegionAfterRewind(t *testing.T) {
+	// A rewind parks the discarded exec-domain heap alongside its stack in
+	// the reuse pool; the next provisioning of the domain reuses the same
+	// region instead of mapping a fresh one, so mapped bytes stay flat
+	// across crash/re-init cycles.
+	p, l := newLib(t, WithScrubOnDiscard(true))
+	run(t, p, func(th *proc.Thread) error {
+		crash := func() mem.Addr {
+			var heapPtr mem.Addr
+			err := l.Guard(th, 1, func() error {
+				var err error
+				heapPtr, err = l.Malloc(th, 1, 64)
+				if err != nil {
+					return err
+				}
+				if err := l.Enter(th, 1); err != nil {
+					return err
+				}
+				th.CPU().WriteU8(0xDEAD0000, 1) // unmapped -> rewind
+				return nil
+			}, Accessible())
+			var abn *AbnormalExit
+			if !errors.As(err, &abn) {
+				t.Fatalf("guard err = %v", err)
+			}
+			return heapPtr
+		}
+		first := crash()
+		if !l.HeapPooled(first) {
+			t.Fatal("discarded heap not parked in the reuse pool")
+		}
+		rep := l.Audit(th)
+		if rep.PooledHeaps == 0 {
+			t.Error("audit reports no pooled heaps")
+		}
+		if len(rep.Findings) != 0 {
+			t.Errorf("audit findings after pooling: %v", rep.Findings)
+		}
+		mappedAfterFirst := p.AddressSpace().Stats().MappedBytes.Load()
+		second := crash()
+		if second != first {
+			t.Errorf("pooled heap not reused: first alloc 0x%x, second 0x%x", first, second)
+		}
+		if got := p.AddressSpace().Stats().MappedBytes.Load(); got != mappedAfterFirst {
+			t.Errorf("mapped bytes drifted across pooled rewind cycle: %d, want %d",
+				got, mappedAfterFirst)
 		}
 		return nil
 	})

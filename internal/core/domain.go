@@ -56,9 +56,13 @@ type Domain struct {
 
 	// Heap: region mapped at init, TLSF control built lazily on the
 	// first allocation ("Upon first call to memory management within a
-	// domain, its heap is initialized", §IV-C).
+	// domain, its heap is initialized", §IV-C). heapKeep is set by
+	// discardHeap when the region stays mapped for pooling (exec
+	// domains with stack reuse): releaseDomain then parks it with the
+	// pooled stack instead of losing it.
 	heapBase mem.Addr
 	heap     *tlsf.Heap
+	heapKeep bool
 
 	// Recovery context (execution domains): valid while a Guard scope is
 	// active for this domain on its owning thread.
@@ -226,12 +230,26 @@ func (l *Library) provisionDomain(t *proc.Thread, d *Domain) error {
 	as := l.p.AddressSpace()
 
 	// Stack first: a pooled stack brings its key along (§IV-C stack
-	// reuse keeps both the mapping and its key).
+	// reuse keeps both the mapping and its key), and — when the pooled
+	// entry carries a discarded heap region large enough — the heap
+	// mapping too, so post-rewind re-initialization skips PkeyAlloc and
+	// both MapAnon calls (the TLSF control rebuilds lazily on first
+	// Malloc).
 	if d.kind == ExecDomain {
-		if ps := l.takePooledStack(d.stackSize); ps != nil {
+		if ps := l.takePooledStack(d.stackSize, d.heapSize); ps != nil {
 			d.stk = ps.stk
 			d.stackBase = ps.stk.Base()
 			d.key = ps.key
+			if ps.heapBase != 0 && ps.heapSize >= d.heapSize {
+				d.heapBase = ps.heapBase
+				d.heapSize = ps.heapSize
+				return nil
+			}
+			if ps.heapBase != 0 {
+				// Pooled heap too small for this domain: release the
+				// region rather than orphaning it.
+				_ = as.Unmap(ps.heapBase, int(ps.heapSize))
+			}
 		} else {
 			key, err := as.PkeyAlloc()
 			if err != nil {
@@ -376,7 +394,13 @@ func (l *Library) mergeHeapIntoParent(t *proc.Thread, d *Domain) error {
 	return parent.heap.Merge(c, d.heap)
 }
 
-// discardHeap unmaps (and optionally scrubs) a domain's heap region.
+// discardHeap scrubs (when configured) and releases a domain's heap
+// region. For execution domains with stack reuse enabled the region is
+// kept mapped with its key and rides along with the pooled stack
+// (releaseDomain parks it): the discard semantics are identical — the
+// contents are dead, scrubbed under the same policy as unmapped heaps —
+// but the next domain init on this thread skips PkeyAlloc + MapAnon +
+// a fresh TLSF region build.
 func (l *Library) discardHeap(t *proc.Thread, d *Domain) {
 	as := l.p.AddressSpace()
 	if l.scrubOnDiscard {
@@ -385,7 +409,11 @@ func (l *Library) discardHeap(t *proc.Thread, d *Domain) {
 			_ = as.KernelWrite(d.heapBase+mem.Addr(off), zero)
 		}
 	}
-	_ = as.Unmap(d.heapBase, int(d.heapSize))
+	if d.kind == ExecDomain && l.reuseStacks && d.stk != nil {
+		d.heapKeep = true
+	} else {
+		_ = as.Unmap(d.heapBase, int(d.heapSize))
+	}
 	d.heap = nil
 	if rec := l.tel.Load(); rec != nil {
 		rec.RecordDiscard(t.ID(), int(d.udi), d.heapSize)
@@ -425,8 +453,15 @@ func (l *Library) releaseDomain(t *proc.Thread, d *Domain) {
 			}
 		}
 		if d.stk != nil {
-			if !l.returnPooledStack(&pooledStack{stk: d.stk, key: d.key, size: d.stackSize}) {
+			ps := &pooledStack{stk: d.stk, key: d.key, size: d.stackSize}
+			if d.heapKeep {
+				ps.heapBase, ps.heapSize = d.heapBase, d.heapSize
+			}
+			if !l.returnPooledStack(ps) {
 				_ = as.Unmap(d.stackBase, int(d.stackSize))
+				if d.heapKeep {
+					_ = as.Unmap(d.heapBase, int(d.heapSize))
+				}
 				_ = as.PkeyFree(d.key)
 			}
 		}

@@ -92,11 +92,17 @@ const (
 
 // pooledStack is a destroyed domain's stack kept mapped for reuse
 // (paper §IV-C: "we never unmap the stack area ... but keep it for
-// reuse").
+// reuse"). When the domain's heap was discarded (not merged), the heap
+// region rides along — heapBase/heapSize non-zero — still mapped with
+// the same protection key, so re-initializing a domain after a rewind
+// skips PkeyAlloc, both MapAnon calls, and reuses the region for a
+// fresh TLSF build.
 type pooledStack struct {
-	stk  *stack.Stack
-	key  int
-	size uint64
+	stk      *stack.Stack
+	key      int
+	size     uint64
+	heapBase mem.Addr
+	heapSize uint64
 }
 
 // threadState is the per-thread SDRaD control data (the C library keeps
@@ -496,20 +502,49 @@ func (l *Library) lookupDataDomain(udi UDI) *Domain {
 // newScope issues a unique recovery-scope identifier.
 func (l *Library) newScope() uint64 { return l.scopeCtr.Add(1) }
 
-// takePooledStack returns a reusable stack of at least size bytes, or nil.
-func (l *Library) takePooledStack(size uint64) *pooledStack {
+// takePooledStack returns a reusable stack of at least size bytes, or
+// nil. Entries whose pooled heap also fits heapSize are preferred — the
+// caller then skips the heap mapping entirely.
+func (l *Library) takePooledStack(size, heapSize uint64) *pooledStack {
 	if !l.reuseStacks {
 		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	best := -1
 	for i, ps := range l.stackPool {
-		if ps.size >= size {
-			l.stackPool = append(l.stackPool[:i], l.stackPool[i+1:]...)
-			return ps
+		if ps.size < size {
+			continue
+		}
+		if ps.heapBase != 0 && ps.heapSize >= heapSize {
+			best = i
+			break
+		}
+		if best == -1 {
+			best = i
 		}
 	}
-	return nil
+	if best == -1 {
+		return nil
+	}
+	ps := l.stackPool[best]
+	l.stackPool = append(l.stackPool[:best], l.stackPool[best+1:]...)
+	return ps
+}
+
+// HeapPooled reports whether addr falls inside a discarded heap region
+// currently parked in the stack pool. External auditors (e.g. the chaos
+// engine's residual-mapping check) use it to tell a legitimate pooled
+// heap — still mapped, scrubbed, awaiting reuse — from a leaked mapping.
+func (l *Library) HeapPooled(addr mem.Addr) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ps := range l.stackPool {
+		if ps.heapBase != 0 && addr >= ps.heapBase && addr < ps.heapBase+mem.Addr(ps.heapSize) {
+			return true
+		}
+	}
+	return false
 }
 
 // returnPooledStack parks a stack (and its protection key) for reuse.

@@ -339,3 +339,107 @@ func TestMethodAndVariantStrings(t *testing.T) {
 		t.Error("Variant.String broken")
 	}
 }
+
+func TestPipelineOrdering(t *testing.T) {
+	// A pipelined burst returns responses in request order, batched vs
+	// sequential bit-identical, across all variants.
+	allVariants(t, func(t *testing.T, v Variant) {
+		m := startMaster(t, v, 1)
+		w := m.Worker(0)
+		paths := []string{"/index.html", "/big.bin", "/missing.txt", "/empty.bin", "/index.html"}
+		var reqs [][]byte
+		for _, p := range paths {
+			reqs = append(reqs, FormatRequest(p, true))
+		}
+		seq := w.NewConn()
+		var want []string
+		for _, p := range paths {
+			want = append(want, mustGet(t, seq, p))
+		}
+		res := w.NewConn().DoPipeline(reqs)
+		if len(res) != len(paths) {
+			t.Fatalf("results = %d", len(res))
+		}
+		for i, r := range res {
+			if r.Err != nil || r.Closed {
+				t.Fatalf("res[%d]: closed=%v err=%v", i, r.Closed, r.Err)
+			}
+			if string(r.Resp) != want[i] {
+				t.Errorf("res[%d] differs from sequential: %q vs %q",
+					i, r.Resp[:min(len(r.Resp), 40)], want[i][:min(len(want[i]), 40)])
+			}
+		}
+	})
+}
+
+func TestPipelineSpansBatches(t *testing.T) {
+	m, err := NewMaster(Config{Variant: VariantSDRaD, Workers: 1, Files: testFiles, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	var reqs [][]byte
+	for i := 0; i < 11; i++ {
+		reqs = append(reqs, FormatRequest("/index.html", true))
+	}
+	res := m.Worker(0).NewConn().DoPipeline(reqs)
+	if len(res) != 11 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for i, r := range res {
+		if r.Err != nil || r.Closed || !strings.HasPrefix(string(r.Resp), "HTTP/1.1 200") {
+			t.Fatalf("res[%d]: %q closed=%v err=%v", i, r.Resp[:min(len(r.Resp), 30)], r.Closed, r.Err)
+		}
+	}
+}
+
+func TestPipelineAttackMidBatchRewindsOnce(t *testing.T) {
+	// The parser trap mid-batch rewinds once and discards the whole
+	// batch: every request of the burst reports closed, the worker
+	// survives, and other connections keep working.
+	m := startMaster(t, VariantSDRaD, 1)
+	w := m.Worker(0)
+	good := w.NewConn()
+	mustGet(t, good, "/index.html")
+
+	evil := w.NewConn()
+	res := evil.DoPipeline([][]byte{
+		FormatRequest("/index.html", true),
+		FormatRequest(attackURI(), true),
+		FormatRequest("/big.bin", true),
+	})
+	for i, r := range res {
+		if !r.Closed {
+			t.Errorf("batch item %d not closed after rewind", i)
+		}
+	}
+	if got := w.Rewinds(); got != 1 {
+		t.Errorf("rewinds = %d, want 1 for the whole batch", got)
+	}
+	if crashed, cause := w.Crashed(); crashed {
+		t.Fatalf("worker crashed: %v", cause)
+	}
+	mustGet(t, good, "/big.bin")
+}
+
+func TestPipelineConnectionCloseMidBatch(t *testing.T) {
+	// A Connection: close response closes the conn for the requests
+	// pipelined behind it, like the sequential flow.
+	allVariants(t, func(t *testing.T, v Variant) {
+		m := startMaster(t, v, 1)
+		res := m.Worker(0).NewConn().DoPipeline([][]byte{
+			FormatRequest("/index.html", true),
+			FormatRequest("/index.html", false),
+			FormatRequest("/index.html", true),
+		})
+		if res[0].Closed || res[0].Err != nil {
+			t.Fatalf("res[0]: closed=%v err=%v", res[0].Closed, res[0].Err)
+		}
+		if !res[1].Closed || res[1].Err != nil {
+			t.Errorf("res[1]: closed=%v err=%v, want server-side close", res[1].Closed, res[1].Err)
+		}
+		if !res[2].Closed || !errors.Is(res[2].Err, ErrConnClosed) {
+			t.Errorf("res[2]: closed=%v err=%v, want closed conn", res[2].Closed, res[2].Err)
+		}
+	})
+}

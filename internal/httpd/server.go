@@ -66,6 +66,10 @@ type Config struct {
 	// MaxConns sizes the worker heap for concurrent connections
 	// (default 128).
 	MaxConns int
+	// MaxBatch caps how many pipelined requests of one connection the
+	// hardened worker handles inside a single guard scope (default 16);
+	// longer pipelines are split client-side by Conn.DoPipeline.
+	MaxBatch int
 	// VerifyClientCerts enables X.509 client-certificate checking of the
 	// X-Client-Cert request header — the paper's §V-C integration, where
 	// NGINX is compiled against the isolated OpenSSL verification API.
@@ -97,6 +101,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxConns == 0 {
 		c.MaxConns = 128
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -204,6 +211,11 @@ type event struct {
 	conn *Conn
 	req  []byte
 	resp chan result
+	// reqs/respN carry a pipelined batch: all requests are handled in one
+	// guard scope on the hardened build, and respN receives one result per
+	// request, in order.
+	reqs  [][]byte
+	respN chan []result
 	// inspect, when non-nil, makes the event a control event: the worker
 	// runs the closure on its own thread between requests (chaos-audit
 	// hook); conn and req are ignored.
@@ -407,6 +419,10 @@ func (w *Worker) run(t *proc.Thread) error {
 		case <-w.p.Done():
 			return nil
 		case ev := <-w.ch:
+			if ev.reqs != nil {
+				ev.respN <- w.handleBatch(t, ev)
+				continue
+			}
 			ev.resp <- w.handleEvent(t, ev)
 		}
 	}
@@ -431,6 +447,55 @@ func (c *Conn) Do(req []byte) (resp []byte, closed bool, err error) {
 	case <-c.w.p.Done():
 		return nil, true, ErrWorkerDown
 	}
+}
+
+// PipelineResult is one request's outcome from DoPipeline.
+type PipelineResult struct {
+	Resp   []byte
+	Closed bool
+	Err    error
+}
+
+// DoPipeline sends reqs back-to-back on the connection and returns one
+// result per request, in order. The hardened worker parses up to
+// Config.MaxBatch pipelined requests inside a single guard scope; longer
+// pipelines are split into MaxBatch-sized chunks client-side. Requests
+// behind a server-side close report Closed, as if issued after it.
+func (c *Conn) DoPipeline(reqs [][]byte) []PipelineResult {
+	w := c.w
+	out := make([]PipelineResult, 0, len(reqs))
+	down := func() []PipelineResult {
+		for len(out) < len(reqs) {
+			out = append(out, PipelineResult{Closed: true, Err: ErrWorkerDown})
+		}
+		return out
+	}
+	maxB := w.cfg.MaxBatch
+	var evs []*event
+	for off := 0; off < len(reqs); off += maxB {
+		end := off + maxB
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		ev := &event{conn: c, reqs: reqs[off:end], respN: make(chan []result, 1)}
+		select {
+		case w.ch <- ev:
+			evs = append(evs, ev)
+		case <-w.p.Done():
+			return down()
+		}
+	}
+	for _, ev := range evs {
+		select {
+		case rs := <-ev.respN:
+			for _, r := range rs {
+				out = append(out, PipelineResult{Resp: r.data, Closed: r.closed, Err: r.err})
+			}
+		case <-w.p.Done():
+			return down()
+		}
+	}
+	return out
 }
 
 // Inspect runs fn on the worker's event-loop thread between requests. The
@@ -484,11 +549,32 @@ func (w *Worker) handleEvent(t *proc.Thread, ev *event) result {
 	if ev.inspect != nil {
 		return result{err: ev.inspect(t)}
 	}
-	conn := ev.conn
+	return w.handleRequest(t, ev.conn, ev.req)
+}
+
+// handleBatch serves a pipelined batch of requests from one connection.
+// The hardened build parses the whole batch inside a single guard scope
+// (one context save, one recovery point) with the per-phase Enter/Exit
+// transitions per request; a rewind anywhere in the batch discards the
+// whole batch and closes the connection. Baselines have no guard cost to
+// amortize and run the requests back to back.
+func (w *Worker) handleBatch(t *proc.Thread, ev *event) []result {
+	results := make([]result, len(ev.reqs))
+	if w.cfg.Variant != VariantSDRaD {
+		for i, req := range ev.reqs {
+			results[i] = w.handleRequest(t, ev.conn, req)
+		}
+		return results
+	}
+	return w.runHardenedBatch(t, ev.conn, ev.reqs, results)
+}
+
+// handleRequest is the sequential per-request flow.
+func (w *Worker) handleRequest(t *proc.Thread, conn *Conn, reqBytes []byte) result {
 	if conn.closed {
 		return result{closed: true, err: ErrConnClosed}
 	}
-	if len(ev.req) > w.cfg.ConnBufSize {
+	if len(reqBytes) > w.cfg.ConnBufSize {
 		return result{err: ErrTooLarge}
 	}
 	w.reqs.Add(1)
@@ -498,19 +584,19 @@ func (w *Worker) handleEvent(t *proc.Thread, ev *event) result {
 			return result{err: err}
 		}
 	}
-	c.Write(conn.rbuf, ev.req)
+	c.Write(conn.rbuf, reqBytes)
 
 	var req Request
 	var perr error
 	if w.cfg.Variant == VariantSDRaD {
-		res := w.parseHardened(t, conn, len(ev.req), &req)
+		res := w.parseHardened(t, conn, len(reqBytes), &req)
 		if res != nil {
 			return *res
 		}
 		perr = w.lastParseErr
 		w.lastParseErr = nil
 	} else {
-		env := &parserEnv{c: c, buf: conn.rbuf, blen: len(ev.req), pool: w.pool}
+		env := &parserEnv{c: c, buf: conn.rbuf, blen: len(reqBytes), pool: w.pool}
 		hdrOff, err := parseRequestLine(env, &req)
 		if err == nil {
 			err = parseHeaders(env, &req, hdrOff)
@@ -648,6 +734,138 @@ func (w *Worker) parseHardened(t *proc.Thread, conn *Conn, rlen int, req *Reques
 		return &result{closed: true}
 	}
 	return &result{err: gerr}
+}
+
+// runHardenedBatch parses every request of a pipelined batch inside ONE
+// guard scope: the per-request phase transitions (Enter/Exit around the
+// request line and the headers) still happen, but the context save and
+// the recovery point are established once for the batch. An abnormal
+// exit anywhere rewinds once, discards the whole in-flight batch, and
+// closes the connection — the batch analog of the paper's single-event
+// rewind semantics.
+func (w *Worker) runHardenedBatch(t *proc.Thread, conn *Conn, reqs [][]byte, results []result) []result {
+	lib := w.lib
+	c := t.CPU()
+	n := len(reqs)
+	done := make([]bool, n)
+	perrs := make([]error, n)
+	parsed := make([]Request, n)
+	live := 0
+	for i, req := range reqs {
+		if conn.closed {
+			done[i] = true
+			results[i] = result{closed: true, err: ErrConnClosed}
+			continue
+		}
+		if len(req) > w.cfg.ConnBufSize {
+			done[i] = true
+			results[i] = result{err: ErrTooLarge}
+			continue
+		}
+		w.reqs.Add(1)
+		if !conn.ready {
+			if err := w.allocConnBuffers(t, conn); err != nil {
+				done[i] = true
+				results[i] = result{err: err}
+				continue
+			}
+		}
+		live++
+	}
+	if live == 0 {
+		return results
+	}
+	gerr := lib.Guard(t, parserUDI, func() error {
+		if !w.domainReady {
+			if err := lib.DProtect(t, parserUDI, poolUDI, mem.ProtRW); err != nil {
+				return err
+			}
+			buf, err := lib.Malloc(t, parserUDI, uint64(w.cfg.ConnBufSize))
+			if err != nil {
+				return err
+			}
+			w.parseBuf = buf
+			w.domainReady = true
+		}
+		for i, req := range reqs {
+			if done[i] {
+				continue
+			}
+			// Stage through the connection read buffer (a pipelined
+			// connection reuses it per request) and copy into the domain.
+			c.Write(conn.rbuf, req)
+			lib.Copy(t, w.parseBuf, conn.rbuf, len(req))
+			env := &parserEnv{c: c, buf: w.parseBuf, blen: len(req), pool: w.pool}
+			if err := lib.Enter(t, parserUDI); err != nil {
+				return err
+			}
+			hdrOff, perr := parseRequestLine(env, &parsed[i])
+			if err := lib.Exit(t); err != nil {
+				return err
+			}
+			if perr == nil {
+				if err := lib.Enter(t, parserUDI); err != nil {
+					return err
+				}
+				perr = parseHeaders(env, &parsed[i], hdrOff)
+				if err := lib.Exit(t); err != nil {
+					return err
+				}
+			}
+			w.pool.Reset(c)
+			perrs[i] = perr
+		}
+		return nil
+	}, core.Accessible())
+	if gerr != nil {
+		var abn *core.AbnormalExit
+		if errors.As(gerr, &abn) {
+			// Rewind: one discard for the whole batch, the connection with
+			// a request in flight closes.
+			w.domainReady = false
+			w.pool.Reset(c)
+			w.rewinds.Add(1)
+			if !conn.closed {
+				conn.closed = true
+				w.freeConnBuffers(t, conn)
+			}
+			for i := range reqs {
+				if !done[i] {
+					results[i] = result{closed: true}
+				}
+			}
+			return results
+		}
+		for i := range reqs {
+			if !done[i] {
+				results[i] = result{err: gerr}
+			}
+		}
+		return results
+	}
+	// Respond in batch order. A response that closes the connection
+	// (Connection: close, or a certificate-verifier rewind) closes it for
+	// the requests behind it, exactly as in the sequential flow.
+	for i := range reqs {
+		if done[i] {
+			continue
+		}
+		if conn.closed {
+			results[i] = result{closed: true, err: ErrConnClosed}
+			continue
+		}
+		status := ""
+		if perrs[i] == nil && w.cfg.VerifyClientCerts {
+			var closed bool
+			status, closed = w.checkClientCert(t, conn, &parsed[i])
+			if closed {
+				results[i] = result{closed: true}
+				continue
+			}
+		}
+		results[i] = w.respond(t, conn, &parsed[i], perrs[i], status)
+	}
+	return results
 }
 
 // respond builds the HTTP response in the connection write buffer.

@@ -87,3 +87,31 @@ func TestRunCountsErrorsOnDeadWorker(t *testing.T) {
 		t.Errorf("errors = %d, want one per connection", res.Errors)
 	}
 }
+
+func TestRunPipelined(t *testing.T) {
+	m, err := httpd.NewMaster(httpd.Config{
+		Variant: httpd.VariantSDRaD,
+		Workers: 1,
+		Files:   map[string]int{"/f.bin": 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	res := Run(m, Config{Path: "/f.bin", Connections: 4, Requests: 403, Pipeline: 8})
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	// The budget is fully consumed even when it is not a multiple of the
+	// pipeline depth.
+	if res.Requests != 403 {
+		t.Errorf("requests = %d, want 403", res.Requests)
+	}
+	if res.BytesRead < 403*512 {
+		t.Errorf("bytes read = %d", res.BytesRead)
+	}
+	if res.P50 <= 0 || res.P50 > res.P95 || res.P95 > res.P99 {
+		t.Errorf("percentiles: p50=%v p95=%v p99=%v", res.P50, res.P95, res.P99)
+	}
+}

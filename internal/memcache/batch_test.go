@@ -1,0 +1,294 @@
+package memcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"sdrad/internal/proc"
+	"sdrad/internal/telemetry"
+)
+
+// startTelServer builds a server with a telemetry recorder attached, so
+// tests can count forensics reports per rewind.
+func startTelServer(t testing.TB, variant Variant, workers int) (*Server, *telemetry.Recorder) {
+	t.Helper()
+	rec := telemetry.New(telemetry.Options{})
+	s, err := NewServer(Config{
+		Variant:    variant,
+		Workers:    workers,
+		HashPower:  10,
+		CacheBytes: 4 << 20,
+		Telemetry:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s, rec
+}
+
+func TestPipelineOrderingAndReadYourWrites(t *testing.T) {
+	// A pipeline's responses come back in request order, and a get later
+	// in the batch observes a set earlier in the same batch (in the
+	// hardened build that read goes through the deferred-op overlay).
+	allVariants(t, func(t *testing.T, v Variant) {
+		s := startServer(t, v, 1)
+		c := s.NewConn()
+		res := c.DoPipeline([][]byte{
+			FormatSet("p", []byte("v1"), 0),
+			FormatGet("p"),
+			FormatSet("p", []byte("v2"), 0),
+			FormatGet("p"),
+			FormatGet("absent"),
+		})
+		if len(res) != 5 {
+			t.Fatalf("results = %d", len(res))
+		}
+		for i, r := range res {
+			if r.Err != nil || r.Closed {
+				t.Fatalf("res[%d]: closed=%v err=%v", i, r.Closed, r.Err)
+			}
+		}
+		if string(res[0].Resp) != "STORED\r\n" || string(res[2].Resp) != "STORED\r\n" {
+			t.Errorf("set resps = %q %q", res[0].Resp, res[2].Resp)
+		}
+		if val, _, ok := ParseGetValue(res[1].Resp); !ok || string(val) != "v1" {
+			t.Errorf("read-your-write 1 = %q", res[1].Resp)
+		}
+		if val, _, ok := ParseGetValue(res[3].Resp); !ok || string(val) != "v2" {
+			t.Errorf("read-your-write 2 = %q", res[3].Resp)
+		}
+		if string(res[4].Resp) != "END\r\n" {
+			t.Errorf("miss = %q", res[4].Resp)
+		}
+	})
+}
+
+func TestPipelineSpansMultipleBatches(t *testing.T) {
+	// Pipelines longer than MaxBatch are chunked client-side; ordering
+	// and results must be seamless across the chunk boundary.
+	allVariants(t, func(t *testing.T, v Variant) {
+		s := startServer(t, v, 1)
+		c := s.NewConn()
+		n := 3*s.MaxBatch() + 5
+		var reqs [][]byte
+		for i := 0; i < n; i++ {
+			reqs = append(reqs, FormatSet(fmt.Sprintf("span-%03d", i), []byte(fmt.Sprintf("val-%03d", i)), 0))
+		}
+		for i := 0; i < n; i++ {
+			reqs = append(reqs, FormatGet(fmt.Sprintf("span-%03d", i)))
+		}
+		res := c.DoPipeline(reqs)
+		if len(res) != 2*n {
+			t.Fatalf("results = %d, want %d", len(res), 2*n)
+		}
+		for i := 0; i < n; i++ {
+			if r := res[i]; r.Err != nil || string(r.Resp) != "STORED\r\n" {
+				t.Fatalf("set %d: %q err=%v", i, r.Resp, r.Err)
+			}
+			val, _, ok := ParseGetValue(res[n+i].Resp)
+			if !ok || string(val) != fmt.Sprintf("val-%03d", i) {
+				t.Fatalf("get %d = %q", i, res[n+i].Resp)
+			}
+		}
+	})
+}
+
+func TestPipelineBatchedVsUnbatchedBitIdentical(t *testing.T) {
+	// The same request sequence must produce byte-identical responses
+	// whether issued one Do at a time or as one pipeline.
+	allVariants(t, func(t *testing.T, v Variant) {
+		mkReqs := func() [][]byte {
+			return [][]byte{
+				FormatSet("a", []byte("alpha"), 3),
+				FormatGet("a"),
+				FormatSet("a", []byte("beta"), 4),
+				FormatGet("a"),
+				FormatDelete("a"),
+				FormatGet("a"),
+				FormatDelete("a"),
+				[]byte("bogus nonsense\r\n"),
+				FormatSet("b", []byte("gamma"), 0),
+				FormatGet("b"),
+			}
+		}
+		s1 := startServer(t, v, 1)
+		c1 := s1.NewConn()
+		var unbatched [][]byte
+		for _, req := range mkReqs() {
+			resp, closed, err := c1.Do(req)
+			if err != nil || closed {
+				t.Fatalf("Do(%q): closed=%v err=%v", req, closed, err)
+			}
+			unbatched = append(unbatched, resp)
+		}
+		s2 := startServer(t, v, 1)
+		res := s2.NewConn().DoPipeline(mkReqs())
+		for i, r := range res {
+			if r.Err != nil || r.Closed {
+				t.Fatalf("pipeline res[%d]: closed=%v err=%v", i, r.Closed, r.Err)
+			}
+			if !bytes.Equal(r.Resp, unbatched[i]) {
+				t.Errorf("res[%d]: batched %q, unbatched %q", i, r.Resp, unbatched[i])
+			}
+		}
+	})
+}
+
+func TestPipelineQuitMidBatch(t *testing.T) {
+	// quit mid-pipeline: the batch up to the quit applies (normal exit,
+	// deferred ops land), the quit closes the connection, and requests
+	// behind it report closed — exactly the unbatched semantics.
+	allVariants(t, func(t *testing.T, v Variant) {
+		s := startServer(t, v, 1)
+		c := s.NewConn()
+		res := c.DoPipeline([][]byte{
+			FormatSet("q", []byte("kept"), 0),
+			[]byte("quit\r\n"),
+			FormatGet("q"),
+		})
+		if res[0].Err != nil || res[0].Closed || string(res[0].Resp) != "STORED\r\n" {
+			t.Fatalf("set before quit: %q closed=%v err=%v", res[0].Resp, res[0].Closed, res[0].Err)
+		}
+		if !res[1].Closed {
+			t.Error("quit did not close the connection")
+		}
+		if !res[2].Closed || !errors.Is(res[2].Err, ErrConnClosed) {
+			t.Errorf("request behind quit: closed=%v err=%v", res[2].Closed, res[2].Err)
+		}
+		// The set before the quit was applied.
+		c2 := s.NewConn()
+		val, _, ok := ParseGetValue(mustDo(t, c2, FormatGet("q")))
+		if !ok || string(val) != "kept" {
+			t.Errorf("set before quit lost: %q %v", val, ok)
+		}
+	})
+}
+
+func TestPipelineFaultMidBatchDiscardsWholeBatch(t *testing.T) {
+	// Paper semantics under batching: a trap anywhere in the batch rewinds
+	// ONCE, the entire in-flight batch is discarded (earlier items' writes
+	// never reach the database), exactly the batch's connections close,
+	// and forensics synthesizes exactly one report.
+	s, rec := startTelServer(t, VariantSDRaD, 1)
+	good := s.NewConn()
+	mustDo(t, good, FormatSet("persist", []byte("survives"), 0))
+
+	evil := s.NewConn()
+	res := evil.DoPipeline([][]byte{
+		FormatSet("early", []byte("never-lands"), 0),
+		FormatBSet("atk", 16<<20, []byte("payload")),
+		FormatSet("late", []byte("never-runs"), 0),
+	})
+	for i, r := range res {
+		if !r.Closed {
+			t.Errorf("batch item %d not reported closed after rewind", i)
+		}
+	}
+	if got := s.Rewinds(); got != 1 {
+		t.Errorf("rewinds = %d, want 1 for the whole batch", got)
+	}
+	if crashed, cause := s.Crashed(); crashed {
+		t.Fatalf("hardened server crashed: %v", cause)
+	}
+	reports := rec.Forensics().Reports()
+	if len(reports) != 1 {
+		t.Fatalf("forensics reports = %d, want exactly 1", len(reports))
+	}
+	rep := reports[0]
+	if rep.FailedUDI != int(eventUDI) {
+		t.Errorf("report failed UDI = %d, want %d", rep.FailedUDI, int(eventUDI))
+	}
+	if rep.SiCode == 0 || rep.SignalName == "" {
+		t.Errorf("report missing fault identity: %+v", rep)
+	}
+
+	// The whole batch was discarded: neither the set before the trap nor
+	// the one behind it is visible.
+	c := s.NewConn()
+	if _, _, ok := ParseGetValue(mustDo(t, c, FormatGet("early"))); ok {
+		t.Error("set earlier in the faulting batch leaked into the database")
+	}
+	if _, _, ok := ParseGetValue(mustDo(t, c, FormatGet("late"))); ok {
+		t.Error("set behind the trap leaked into the database")
+	}
+	// Connections outside the batch are untouched; their data is intact.
+	val, _, ok := ParseGetValue(mustDo(t, good, FormatGet("persist")))
+	if !ok || string(val) != "survives" {
+		t.Errorf("bystander data after batch rewind = %q %v", val, ok)
+	}
+	// Storage invariants hold after the rewind.
+	if err := good.Inspect(func(th *proc.Thread) error {
+		return s.Storage().AuditShards(th.CPU())
+	}); err != nil {
+		t.Errorf("shard audit after batch rewind: %v", err)
+	}
+}
+
+func TestBatchedVsUnbatchedFaultIdentical(t *testing.T) {
+	// The fault a mid-batch attack produces must be the same fault the
+	// unbatched flow produces: same signal, same si_code, same failing
+	// domain, one forensics report each. (Fault addresses differ — the
+	// batch stages buffers at different offsets — and are not compared.)
+	s1, rec1 := startTelServer(t, VariantSDRaD, 1)
+	evil1 := s1.NewConn()
+	_, closed, err := evil1.Do(FormatBSet("atk", 16<<20, []byte("payload")))
+	if err != nil || !closed {
+		t.Fatalf("unbatched attack: closed=%v err=%v", closed, err)
+	}
+
+	s2, rec2 := startTelServer(t, VariantSDRaD, 1)
+	evil2 := s2.NewConn()
+	res := evil2.DoPipeline([][]byte{
+		FormatSet("x", []byte("1"), 0),
+		FormatBSet("atk", 16<<20, []byte("payload")),
+		FormatSet("y", []byte("2"), 0),
+	})
+	if !res[1].Closed {
+		t.Fatal("batched attack not absorbed")
+	}
+
+	r1, r2 := rec1.Forensics().Reports(), rec2.Forensics().Reports()
+	if len(r1) != 1 || len(r2) != 1 {
+		t.Fatalf("forensics reports = %d unbatched, %d batched; want 1 and 1", len(r1), len(r2))
+	}
+	a, b := r1[0], r2[0]
+	if a.Signal != b.Signal || a.SignalName != b.SignalName {
+		t.Errorf("signal: unbatched %d(%s), batched %d(%s)", a.Signal, a.SignalName, b.Signal, b.SignalName)
+	}
+	if a.SiCode != b.SiCode || a.SiCodeName != b.SiCodeName {
+		t.Errorf("si_code: unbatched %d(%s), batched %d(%s)", a.SiCode, a.SiCodeName, b.SiCode, b.SiCodeName)
+	}
+	if a.FailedUDI != b.FailedUDI {
+		t.Errorf("failed UDI: unbatched %d, batched %d", a.FailedUDI, b.FailedUDI)
+	}
+	if len(a.DomainStack) != len(b.DomainStack) {
+		t.Errorf("domain stack depth: unbatched %v, batched %v", a.DomainStack, b.DomainStack)
+	}
+}
+
+func TestPipelineFaultSparesOtherBatchlessConns(t *testing.T) {
+	// Two connections pipeline into the same worker; the batch that traps
+	// closes only its own connections. A connection whose event was parked
+	// (not drained into the faulting batch) survives.
+	s := startServer(t, VariantSDRaD, 1)
+	evil := s.NewConn()
+	res := evil.DoPipeline([][]byte{
+		FormatSet("e1", []byte("x"), 0),
+		FormatBSet("atk", 16<<20, []byte("payload")),
+	})
+	if !res[0].Closed || !res[1].Closed {
+		t.Fatalf("attack batch results: %+v", res)
+	}
+	// A fresh connection on the same (only) worker keeps working.
+	c := s.NewConn()
+	mustDo(t, c, FormatSet("after", []byte("ok"), 0))
+	if val, _, ok := ParseGetValue(mustDo(t, c, FormatGet("after"))); !ok || string(val) != "ok" {
+		t.Errorf("post-attack set/get = %q %v", val, ok)
+	}
+	if got := s.Rewinds(); got != 1 {
+		t.Errorf("rewinds = %d", got)
+	}
+}

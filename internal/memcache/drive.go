@@ -81,6 +81,9 @@ type pendingOp struct {
 type deferredOps struct {
 	st      *Storage
 	pending []pendingOp
+	// groups is apply-time scratch: per-shard op groups, reused across
+	// applies so the steady state allocates nothing.
+	groups [][]BatchOp
 }
 
 func (d *deferredOps) Get(c *mem.CPU, key []byte) ([]byte, uint32, bool) {
@@ -201,21 +204,53 @@ func (d *deferredOps) Stats() StorageStats { return d.st.Stats() }
 
 // apply flushes the deferred mutations to the shared database. Called
 // after a normal domain exit, with root-domain rights.
+//
+// Ops are grouped per storage shard so one batch takes each shard lock
+// at most once; per-key order is preserved (a key always maps to one
+// shard, and the group keeps shard-local order). A flush is a global
+// barrier: the groups accumulated before it are applied, then every
+// shard is flushed, then grouping restarts. The first store error
+// aborts the apply, as in the sequential flow.
 func (d *deferredOps) apply(c *mem.CPU) error {
+	if len(d.pending) == 0 {
+		return nil
+	}
+	nsh := d.st.Shards()
+	if len(d.groups) < nsh {
+		d.groups = make([][]BatchOp, nsh)
+	}
+	flushGroups := func() error {
+		for si := 0; si < nsh; si++ {
+			g := d.groups[si]
+			if len(g) == 0 {
+				continue
+			}
+			err := d.st.ApplyShardBatch(c, si, g)
+			d.groups[si] = g[:0]
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for _, op := range d.pending {
 		switch op.kind {
 		case pendingSet:
-			if err := d.st.Set(c, op.key, op.value, op.flags); err != nil {
+			si := d.st.ShardFor(op.key)
+			d.groups[si] = append(d.groups[si], BatchOp{Key: op.key, Value: op.value, Flags: op.flags})
+		case pendingDelete:
+			si := d.st.ShardFor(op.key)
+			d.groups[si] = append(d.groups[si], BatchOp{Delete: true, Key: op.key})
+		case pendingFlush:
+			if err := flushGroups(); err != nil {
 				return err
 			}
-		case pendingDelete:
-			d.st.Delete(c, op.key)
-		case pendingFlush:
 			d.st.FlushAll(c)
 		}
 	}
+	err := flushGroups()
 	d.pending = d.pending[:0]
-	return nil
+	return err
 }
 
 // dmEnv is the environment drive_machine runs in: the request/response

@@ -3,6 +3,7 @@ package memcache
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 
 	"sdrad/internal/core"
@@ -63,8 +64,19 @@ type Config struct {
 	// ConnBufSize is the per-connection read/write buffer size
 	// (default 16 KiB).
 	ConnBufSize int
+	// Shards is the number of lock-striped storage shards (rounded up
+	// to a power of two, default 8, max MaxShards). 1 restores the old
+	// single-mutex cache.
+	Shards int
+	// MaxBatch is the maximum number of pipelined client events one
+	// guard scope handles — one domain switch, one scratch arena, one
+	// deferred-op apply for the whole batch (default 16; 1 disables
+	// batching).
+	MaxBatch int
 	// DomainHeapSize is the hardened build's per-event-domain heap
-	// (default 192 KiB: two connection-buffer copies plus scratch).
+	// (default: MaxBatch connection-buffer copy pairs plus 160 KiB
+	// scratch; 192 KiB at MaxBatch=1, matching the pre-batching
+	// default).
 	DomainHeapSize uint64
 	// Seed fixes process randomness.
 	Seed int64
@@ -90,8 +102,20 @@ func (c *Config) setDefaults() {
 	if c.ConnBufSize == 0 {
 		c.ConnBufSize = 16 * 1024
 	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.Shards > MaxShards {
+		c.Shards = MaxShards
+	}
+	for c.Shards&(c.Shards-1) != 0 {
+		c.Shards++
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
 	if c.DomainHeapSize == 0 {
-		c.DomainHeapSize = 192 * 1024
+		c.DomainHeapSize = uint64(c.MaxBatch)*2*uint64(c.ConnBufSize) + 160*1024
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -114,6 +138,7 @@ type Server struct {
 
 	connAllocator connAlloc // baseline variants' malloc for conn buffers
 	workers       []*worker
+	telBatch      *telemetry.Histogram // events per guard scope, nil without telemetry
 	rr            atomic.Int64
 	connIDs       atomic.Int64
 	rewinds       atomic.Int64
@@ -133,20 +158,66 @@ type worker struct {
 	reqs atomic.Int64
 
 	// Hardened-build per-worker domain state (owned by the worker
-	// goroutine).
+	// goroutine). slots are per-batch-position connection-buffer copies
+	// inside the event domain; a rewind invalidates them along with the
+	// domain.
 	domainReady bool
-	rbufCopy    mem.Addr
-	wbufCopy    mem.Addr
+	slots       []connSlot
+
+	// Reused per-batch scratch (owned by the worker goroutine).
+	items   []batchItem
+	states  []evState
+	results []result
+	one     [1]batchItem
+	oneRes  [1]result
+	dops    deferredOps
+}
+
+// connSlot is one pair of connection-buffer deep copies in the event
+// domain; batch position i uses slot i.
+type connSlot struct {
+	rbuf mem.Addr
+	wbuf mem.Addr
+}
+
+// batchItem is one request of one event, flattened into the worker's
+// current batch (a pipelined event contributes one item per request).
+type batchItem struct {
+	ev  *event
+	req []byte
+}
+
+// evState is the per-item outcome scratch runHardenedBatch threads
+// through the guard scope.
+type evState struct {
+	done    bool // result decided before the guard ran (preflight failure)
+	slot    int
+	wlen    int
+	closeit bool
+	derr    error
+	data    []byte
 }
 
 type event struct {
 	conn *Conn
 	req  []byte
 	resp chan result
+	// reqs/respN replace req/resp for pipelined events (DoPipeline):
+	// every request of one event is handled in the same guard scope.
+	reqs  [][]byte
+	respN chan []result
 	// inspect, when non-nil, makes the event a control event: the worker
 	// runs the closure on its own thread between requests (chaos-audit
 	// hook); conn and req are ignored.
 	inspect func(t *proc.Thread) error
+}
+
+// nreq is the number of requests the event contributes to a batch.
+func (ev *event) nreq() int {
+	if ev.reqs != nil {
+		return len(ev.reqs)
+	}
+	return 1
 }
 
 type result struct {
@@ -198,13 +269,16 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("memcache: provisioning: %w", err)
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		w := &worker{idx: i, s: s, ch: make(chan *event)}
+		// The channel is buffered so a pipelining client can enqueue a
+		// full batch before the worker drains it.
+		w := &worker{idx: i, s: s, ch: make(chan *event, cfg.MaxBatch)}
 		w.handle = s.p.Spawn(fmt.Sprintf("worker-%d", i), w.run)
 		s.workers = append(s.workers, w)
 	}
 	if cfg.Telemetry != nil {
+		reg := cfg.Telemetry.Registry()
 		workers := s.workers
-		cfg.Telemetry.Registry().CounterFunc("sdrad_memcache_requests_total",
+		reg.CounterFunc("sdrad_memcache_requests_total",
 			"Memcached protocol commands processed.",
 			func() int64 {
 				var n int64
@@ -213,6 +287,13 @@ func NewServer(cfg Config) (*Server, error) {
 				}
 				return n
 			})
+		s.telBatch = reg.Histogram("sdrad_memcache_batch_size",
+			"Client events handled per guard scope by the batched event loop.")
+		occ := reg.GaugeVec("sdrad_memcache_shard_items",
+			"Live items per storage shard.", "shard")
+		for i := 0; i < s.st.Shards(); i++ {
+			s.st.setOccupancyGauge(i, occ.With(strconv.Itoa(i)))
+		}
 	}
 	return s, nil
 }
@@ -235,7 +316,7 @@ func (s *Server) provision(t *proc.Thread) error {
 			return err
 		}
 		arena := newBumpArena(block, s.cfg.CacheBytes)
-		st, err := NewStorage(c, s.cfg.HashPower, arena.alloc)
+		st, err := NewStorage(c, s.cfg.HashPower, s.cfg.Shards, arena.alloc)
 		if err != nil {
 			return err
 		}
@@ -282,7 +363,7 @@ func (s *Server) provisionBaselineStorage(c *mem.CPU) error {
 		return err
 	}
 	arena := newBumpArena(block, s.cfg.CacheBytes)
-	st, err := NewStorage(c, s.cfg.HashPower, arena.alloc)
+	st, err := NewStorage(c, s.cfg.HashPower, s.cfg.Shards, arena.alloc)
 	if err != nil {
 		return err
 	}
@@ -304,26 +385,118 @@ func (w *worker) run(t *proc.Thread) error {
 			return err
 		}
 	}
+	maxBatch := s.cfg.MaxBatch
+	// pending holds an event drained from the channel that could not
+	// join the current batch (inspect event, or the batch was full); it
+	// leads the next round so event order is preserved.
+	var pending *event
 	for {
-		select {
-		case <-s.p.Done():
-			return nil
-		case ev := <-w.ch:
-			ev.resp <- s.handleEvent(t, w, ev)
+		var ev *event
+		if pending != nil {
+			ev, pending = pending, nil
+		} else {
+			select {
+			case <-s.p.Done():
+				return nil
+			case ev = <-w.ch:
+			}
 		}
+		if ev.inspect != nil {
+			ev.resp <- result{err: ev.inspect(t)}
+			continue
+		}
+		// Drain up to maxBatch pending requests into one batch. Inspect
+		// events and overflowing events park in pending and wait for the
+		// next round.
+		w.items = appendItems(w.items[:0], ev)
+	drain:
+		for len(w.items) < maxBatch {
+			select {
+			case ev2 := <-w.ch:
+				if ev2.inspect != nil || len(w.items)+ev2.nreq() > maxBatch {
+					pending = ev2
+					break drain
+				}
+				w.items = appendItems(w.items, ev2)
+			default:
+				break drain
+			}
+		}
+		deliver(w.items, s.dispatchBatch(t, w, w.items))
 	}
 }
 
-// handleEvent processes one client event on the worker thread.
+// appendItems flattens an event's requests into the batch.
+func appendItems(items []batchItem, ev *event) []batchItem {
+	if ev.reqs != nil {
+		for _, r := range ev.reqs {
+			items = append(items, batchItem{ev: ev, req: r})
+		}
+		return items
+	}
+	return append(items, batchItem{ev: ev, req: ev.req})
+}
+
+// deliver routes per-item results back to the issuing clients. One
+// event's items are contiguous in the batch (appendItems never splits
+// an event), so a pipelined event's results are a contiguous run.
+func deliver(items []batchItem, results []result) {
+	i := 0
+	for i < len(items) {
+		ev := items[i].ev
+		if ev.respN != nil {
+			n := len(ev.reqs)
+			out := make([]result, n)
+			copy(out, results[i:i+n])
+			ev.respN <- out
+			i += n
+			continue
+		}
+		ev.resp <- results[i]
+		i++
+	}
+}
+
+// handleEvent processes one client event on the worker thread (the
+// unbatched path: inline harness, and control events).
 func (s *Server) handleEvent(t *proc.Thread, w *worker, ev *event) result {
 	if ev.inspect != nil {
 		return result{err: ev.inspect(t)}
 	}
-	conn := ev.conn
+	if s.cfg.Variant != VariantSDRaD {
+		return s.handleOne(t, w, ev.conn, ev.req)
+	}
+	w.one[0] = batchItem{ev: ev, req: ev.req}
+	return s.runHardenedBatch(t, w, w.one[:1], w.oneRes[:1])[0]
+}
+
+// dispatchBatch handles a drained batch of client events, returning one
+// result per item. The hardened build handles the whole batch inside a
+// single guard scope; baselines handle items one by one (they have no
+// per-event domain cost to amortize).
+func (s *Server) dispatchBatch(t *proc.Thread, w *worker, items []batchItem) []result {
+	// Safe to reuse across batches: deliver either sends a result by
+	// value or copies a pipelined run out before returning.
+	if cap(w.results) < len(items) {
+		w.results = make([]result, len(items))
+	}
+	results := w.results[:len(items)]
+	if s.cfg.Variant != VariantSDRaD {
+		for i := range items {
+			results[i] = s.handleOne(t, w, items[i].ev.conn, items[i].req)
+		}
+		return results
+	}
+	return s.runHardenedBatch(t, w, items, results)
+}
+
+// handleOne is the per-request baseline flow: preflight checks, stage
+// the request in the connection read buffer, run drive_machine.
+func (s *Server) handleOne(t *proc.Thread, w *worker, conn *Conn, req []byte) result {
 	if conn.closed {
 		return result{closed: true, err: ErrConnClosed}
 	}
-	if len(ev.req) > s.cfg.ConnBufSize {
+	if len(req) > s.cfg.ConnBufSize {
 		return result{err: ErrRequestTooLarge}
 	}
 	w.reqs.Add(1)
@@ -334,12 +507,8 @@ func (s *Server) handleEvent(t *proc.Thread, w *worker, ev *event) result {
 		}
 	}
 	// Network bytes land in the connection's read buffer (root memory).
-	c.Write(conn.rbuf, ev.req)
-
-	if s.cfg.Variant != VariantSDRaD {
-		return s.handleBaseline(t, conn, len(ev.req))
-	}
-	return s.handleHardened(t, w, conn, len(ev.req))
+	c.Write(conn.rbuf, req)
+	return s.handleBaseline(t, conn, len(req))
 }
 
 // handleBaseline runs drive_machine directly on the connection buffer. A
@@ -395,25 +564,71 @@ func (s *Server) freeConnBuffers(t *proc.Thread, conn *Conn) {
 	conn.ready = false
 }
 
-// handleHardened is the paper's Figure 3 flow: the event is handled in
-// the worker's nested domain on a deep copy of the connection buffer;
-// database mutations are deferred to normal domain exit; an abnormal exit
-// discards the domain and closes only this connection.
-func (s *Server) handleHardened(t *proc.Thread, w *worker, conn *Conn, rlen int) result {
+// runHardenedBatch is the paper's Figure 3 flow, amortized over a batch:
+// every live item of the batch is handled in the worker's nested domain
+// on a deep copy of its connection buffer, inside ONE guard scope — one
+// context save, one Enter/Exit domain-switch round, one deferred-op
+// apply. Database mutations stay deferred to normal domain exit (later
+// items of the batch read their predecessors' writes through the
+// deferred overlay, preserving sequential semantics); an abnormal exit
+// anywhere in the batch rewinds once, discards the whole in-flight
+// batch, and closes exactly the connections that had a request in it.
+func (s *Server) runHardenedBatch(t *proc.Thread, w *worker, items []batchItem, results []result) []result {
 	c := t.CPU()
 	bufSize := uint64(s.cfg.ConnBufSize)
-	dops := &deferredOps{st: s.st}
-	var wlen int
-	var closeit bool
+	// Worker-owned scratch: a rewound batch may leave stale pending ops
+	// behind, so the reset here is also what keeps a discarded batch's
+	// mutations from leaking into the next one.
+	dops := &w.dops
+	dops.st = s.st
+	dops.pending = dops.pending[:0]
+	if cap(w.states) < len(items) {
+		w.states = make([]evState, len(items))
+	}
+	states := w.states[:len(items)]
+	live := 0
+	for i := range items {
+		states[i] = evState{}
+		conn := items[i].ev.conn
+		if conn.closed {
+			states[i].done = true
+			results[i] = result{closed: true, err: ErrConnClosed}
+			continue
+		}
+		if len(items[i].req) > s.cfg.ConnBufSize {
+			states[i].done = true
+			results[i] = result{err: ErrRequestTooLarge}
+			continue
+		}
+		w.reqs.Add(1)
+		if !conn.ready {
+			if err := s.allocConnBuffers(t, conn); err != nil {
+				states[i].done = true
+				results[i] = result{err: err}
+				continue
+			}
+		}
+		live++
+	}
+	if live == 0 {
+		return results
+	}
+	if s.telBatch != nil {
+		s.telBatch.Observe(int64(live))
+	}
 
 	gerr := s.lib.Guard(t, eventUDI, func() error {
 		if !w.domainReady {
 			// The domain may have just been re-created (a rewind discards
-			// it); re-establish its grant on the shared database and its
-			// buffer copies.
+			// it); re-establish its grant on the shared database. The
+			// buffer-copy slots were discarded with the old heap.
 			if err := s.lib.DProtect(t, eventUDI, storageUDI, mem.ProtRW); err != nil {
 				return err
 			}
+			w.slots = w.slots[:0]
+			w.domainReady = true
+		}
+		for len(w.slots) < live {
 			rb, err := s.lib.Malloc(t, eventUDI, bufSize)
 			if err != nil {
 				return err
@@ -422,68 +637,147 @@ func (s *Server) handleHardened(t *proc.Thread, w *worker, conn *Conn, rlen int)
 			if err != nil {
 				return err
 			}
-			w.rbufCopy, w.wbufCopy = rb, wb
-			w.domainReady = true
+			w.slots = append(w.slots, connSlot{rbuf: rb, wbuf: wb})
 		}
-		// ④ deep copy of the connection buffer into the domain.
-		s.lib.Copy(t, w.rbufCopy, conn.rbuf, rlen)
-		// ⑤ enter the domain, ⑥ drive_machine on the copy.
+		// ④ deep copies: each request is staged through its connection's
+		// read buffer (network bytes land in root memory) and copied into
+		// the domain slot for its batch position — per item, so a
+		// pipelined connection can reuse its read buffer.
+		slot := 0
+		for i := range items {
+			if states[i].done {
+				continue
+			}
+			conn := items[i].ev.conn
+			c.Write(conn.rbuf, items[i].req)
+			s.lib.Copy(t, w.slots[slot].rbuf, conn.rbuf, len(items[i].req))
+			states[i].slot = slot
+			slot++
+		}
+		// ⑤ enter the domain once, ⑥ drive_machine per item on its copy.
 		if err := s.lib.Enter(t, eventUDI); err != nil {
 			return err
 		}
-		var scratch []mem.Addr
-		env := &dmEnv{
-			c:    c,
-			rbuf: w.rbufCopy,
-			rlen: rlen,
-			wbuf: w.wbufCopy,
-			wcap: s.cfg.ConnBufSize,
-			allocScratch: func(size uint64) (mem.Addr, error) {
-				p, err := s.lib.Malloc(t, eventUDI, size)
-				if err == nil {
-					scratch = append(scratch, p)
-				}
-				return p, err
-			},
-			ops: dops,
+		for i := range items {
+			if states[i].done {
+				continue
+			}
+			// A quit earlier in the batch closes the connection for the
+			// items behind it, exactly as if they had arrived after the
+			// close in the unbatched flow.
+			if closedEarlierInBatch(items, states, i) {
+				states[i].done = true
+				results[i] = result{closed: true, err: ErrConnClosed}
+				continue
+			}
+			var scratch []mem.Addr
+			env := &dmEnv{
+				c:    c,
+				rbuf: w.slots[states[i].slot].rbuf,
+				rlen: len(items[i].req),
+				wbuf: w.slots[states[i].slot].wbuf,
+				wcap: s.cfg.ConnBufSize,
+				allocScratch: func(size uint64) (mem.Addr, error) {
+					p, err := s.lib.Malloc(t, eventUDI, size)
+					if err == nil {
+						scratch = append(scratch, p)
+					}
+					return p, err
+				},
+				ops: dops,
+			}
+			mark := len(dops.pending)
+			var derr error
+			states[i].wlen, states[i].closeit, derr = driveMachine(env)
+			for _, p := range scratch {
+				_ = s.lib.Free(t, eventUDI, p)
+			}
+			if derr != nil {
+				// Internal failure for this item only: its deferred ops
+				// are rolled back, the rest of the batch proceeds — the
+				// same isolation the unbatched flow gives (the erroring
+				// event applied nothing).
+				dops.pending = dops.pending[:mark]
+				states[i].derr = derr
+			}
 		}
-		var derr error
-		wlen, closeit, derr = driveMachine(env)
-		for _, p := range scratch {
-			_ = s.lib.Free(t, eventUDI, p)
-		}
-		// ⑦ exit back to the root domain.
+		// ⑦ exit back to the root domain once.
 		if err := s.lib.Exit(t); err != nil {
 			return err
 		}
-		if derr != nil {
-			return derr
+		// ⑧ copy responses back to the real connection buffers, in batch
+		// order (a pipelined connection reuses its write buffer, so the
+		// bytes are captured per item), and ⑨ apply the deferred database
+		// updates for the whole batch, grouped per storage shard.
+		for i := range items {
+			if states[i].done || states[i].derr != nil {
+				continue
+			}
+			conn := items[i].ev.conn
+			s.lib.Copy(t, conn.wbuf, w.slots[states[i].slot].wbuf, states[i].wlen)
+			states[i].data = c.ReadBytes(conn.wbuf, states[i].wlen)
 		}
-		// ⑧ copy response back to the real connection buffer and
-		// ⑨ apply the deferred database updates.
-		s.lib.Copy(t, conn.wbuf, w.wbufCopy, wlen)
 		return dops.apply(c)
 	}, core.Accessible(), core.HeapSize(s.cfg.DomainHeapSize))
 	if gerr != nil {
 		var abn *core.AbnormalExit
 		if errors.As(gerr, &abn) {
-			// ⑫-⑭ rewind happened: the domain and the copied buffers are
-			// gone; close the offending connection and keep serving.
+			// ⑫-⑭ rewind happened: the domain, its buffer copies, and the
+			// whole in-flight batch (including its un-applied deferred
+			// ops) are gone; close every connection with a request in the
+			// batch and keep serving.
 			w.domainReady = false
+			w.slots = w.slots[:0]
+			s.rewinds.Add(1)
+			for i := range items {
+				if states[i].done {
+					continue
+				}
+				conn := items[i].ev.conn
+				if !conn.closed {
+					conn.closed = true
+					s.freeConnBuffers(t, conn)
+					s.closedByAtk.Add(1)
+				}
+				results[i] = result{closed: true}
+			}
+			return results
+		}
+		for i := range items {
+			if !states[i].done {
+				results[i] = result{err: gerr}
+			}
+		}
+		return results
+	}
+	for i := range items {
+		if states[i].done {
+			continue
+		}
+		if states[i].derr != nil {
+			results[i] = result{err: states[i].derr}
+			continue
+		}
+		conn := items[i].ev.conn
+		if states[i].closeit && !conn.closed {
 			conn.closed = true
 			s.freeConnBuffers(t, conn)
-			s.rewinds.Add(1)
-			s.closedByAtk.Add(1)
-			return result{closed: true}
 		}
-		return result{err: gerr}
+		results[i] = result{data: states[i].data, closed: states[i].closeit}
 	}
-	resp := c.ReadBytes(conn.wbuf, wlen)
-	conn.closed = closeit
-	if closeit {
-		s.freeConnBuffers(t, conn)
+	return results
+}
+
+// closedEarlierInBatch reports whether an earlier live item of the
+// current batch closed item i's connection (quit command).
+func closedEarlierInBatch(items []batchItem, states []evState, i int) bool {
+	for j := 0; j < i; j++ {
+		if !states[j].done && states[j].derr == nil && states[j].closeit &&
+			items[j].ev.conn == items[i].ev.conn {
+			return true
+		}
 	}
-	return result{data: resp, closed: closeit}
+	return false
 }
 
 // allocConnBuffers provisions a connection's buffers in root memory.
@@ -576,6 +870,61 @@ func (c *Conn) Do(req []byte) (resp []byte, closed bool, err error) {
 	}
 }
 
+// PipelineResult is one request's outcome from DoPipeline.
+type PipelineResult struct {
+	Resp   []byte
+	Closed bool
+	Err    error
+}
+
+// DoPipeline sends reqs back-to-back on the connection and returns one
+// result per request, in order. The server handles up to MaxBatch
+// pipelined requests of one connection inside a single guard scope —
+// one domain switch round, one scratch arena, one deferred-op apply —
+// which is where the batched hardened build earns its throughput
+// (longer pipelines are split into MaxBatch-sized chunks client-side).
+// Requests behind a server-side close (quit, or attack recovery) report
+// Closed with ErrConnClosed, exactly as if they were issued after it.
+func (c *Conn) DoPipeline(reqs [][]byte) []PipelineResult {
+	s := c.w.s
+	out := make([]PipelineResult, 0, len(reqs))
+	down := func() []PipelineResult {
+		for len(out) < len(reqs) {
+			out = append(out, PipelineResult{Closed: true, Err: ErrServerDown})
+		}
+		return out
+	}
+	maxB := s.cfg.MaxBatch
+	var evs []*event
+	for off := 0; off < len(reqs); off += maxB {
+		end := off + maxB
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		ev := &event{conn: c, reqs: reqs[off:end], respN: make(chan []result, 1)}
+		select {
+		case c.w.ch <- ev:
+			evs = append(evs, ev)
+		case <-s.p.Done():
+			return down()
+		}
+	}
+	for _, ev := range evs {
+		select {
+		case rs := <-ev.respN:
+			for _, r := range rs {
+				out = append(out, PipelineResult{Resp: r.data, Closed: r.closed, Err: r.err})
+			}
+		case <-s.p.Done():
+			return down()
+		}
+	}
+	return out
+}
+
+// MaxBatch returns the server's configured guard-scope batch limit.
+func (s *Server) MaxBatch() int { return s.cfg.MaxBatch }
+
 // Inspect runs fn on the worker thread that owns this connection, like a
 // request but with the worker's thread handed to the closure. The chaos
 // engine uses it to run invariant audits and arm fault injectors on the
@@ -623,6 +972,10 @@ func (s *Server) MappedBytes() int64 {
 
 // StorageStats returns cache statistics.
 func (s *Server) StorageStats() StorageStats { return s.st.Stats() }
+
+// Storage exposes the shared database, for invariant audits (run it on
+// the owning worker thread via Conn.Inspect).
+func (s *Server) Storage() *Storage { return s.st }
 
 // Process exposes the simulated process (tests, benchmarks).
 func (s *Server) Process() *proc.Process { return s.p }

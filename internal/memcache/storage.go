@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"sdrad/internal/mem"
+	"sdrad/internal/telemetry"
 )
 
 // Item header layout (all fields little-endian), followed by key bytes
@@ -71,6 +72,10 @@ var (
 // MaxKeyLen matches Memcached's 250-byte key limit.
 const MaxKeyLen = 250
 
+// MaxShards bounds the shard count (and with it the per-shard bucket
+// array fragmentation).
+const MaxShards = 256
+
 // slabClass is one chunk-size class with its free list and LRU.
 type slabClass struct {
 	chunkSize uint64
@@ -87,12 +92,12 @@ type slabClass struct {
 // baselines, an SDRaD data domain for the hardened build.
 type pageAlloc func(size uint64) (mem.Addr, error)
 
-// Storage is the shared cache state: hash table + slabs + LRU. It is
-// shared by all workers and guarded by a single mutex, like Memcached's
-// cache_lock. In the SDRaD variant the mutex conceptually lives in its
-// own shared data domain (paper §V-A); the Go mutex here is that domain's
-// lock word.
-type Storage struct {
+// shard is one lock-striped slice of the cache: its own hash chains,
+// slab classes, LRUs, CAS counter, and statistics, guarded by its own
+// mutex. Keys hash-partition across shards, so two workers mutating
+// different shards never contend — the sharded analog of Memcached's
+// item_locks stripes replacing the old global cache_lock.
+type shard struct {
 	mu sync.Mutex
 
 	buckets  mem.Addr
@@ -100,7 +105,9 @@ type Storage struct {
 	classes  []slabClass
 	alloc    pageAlloc
 
-	// casCounter issues CAS unique ids (guarded by mu).
+	// casCounter issues CAS unique ids (guarded by mu). Per-shard
+	// counters stay correct because a key always maps to one shard, so
+	// the per-key CAS sequence remains strictly monotonic.
 	casCounter uint64
 
 	// Live statistics (guarded by mu).
@@ -110,35 +117,94 @@ type Storage struct {
 	sets      int
 	gets      int
 	hits      int
+
+	// occ, when set, mirrors items into a telemetry gauge (shard
+	// occupancy exposition).
+	occ *telemetry.Gauge
 }
 
-// NewStorage builds the cache state: the bucket array is allocated
-// immediately; slab pages are claimed on demand.
-func NewStorage(c *mem.CPU, hashPower int, alloc pageAlloc) (*Storage, error) {
+// noteOccupancy publishes the shard's live item count to its gauge.
+func (sh *shard) noteOccupancy() {
+	if sh.occ != nil {
+		sh.occ.Set(int64(sh.items))
+	}
+}
+
+// Storage is the shared cache state: hash table + slabs + LRU, split
+// into hash-partitioned lock-striped shards. In the SDRaD variant the
+// shard mutexes conceptually live in the shared storage data domain
+// (paper §V-A); the Go mutexes here are that domain's lock words.
+type Storage struct {
+	shards []*shard
+	// shardMask is len(shards)-1; the shard count is a power of two so
+	// selection is a mask of the high hash bits (the bucket index uses
+	// the low bits — disjoint bit ranges keep the two choices
+	// independent).
+	shardMask uint64
+}
+
+// NewStorage builds the cache state: bucket arrays are allocated
+// immediately (one per shard); slab pages are claimed on demand. shards
+// must be a power of two in [1, MaxShards]; each shard receives an
+// equal slice of the 1<<hashPower total buckets.
+func NewStorage(c *mem.CPU, hashPower, shards int, alloc pageAlloc) (*Storage, error) {
 	if hashPower < 4 || hashPower > 26 {
 		return nil, fmt.Errorf("memcache: hash power %d out of range", hashPower)
 	}
-	st := &Storage{
-		nbuckets: 1 << uint(hashPower),
-		alloc:    alloc,
+	if shards < 1 || shards > MaxShards || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("memcache: shard count %d not a power of two in [1, %d]", shards, MaxShards)
 	}
-	b, err := alloc(st.nbuckets * 8)
-	if err != nil {
-		return nil, fmt.Errorf("memcache: allocating hash table: %w", err)
+	total := uint64(1) << uint(hashPower)
+	per := total / uint64(shards)
+	if per == 0 {
+		per = 1
 	}
-	st.buckets = b
-	c.Memset(b, 0, int(st.nbuckets*8))
-	for sz := uint64(smallestChunk); sz <= slabPageSize; sz = sz * growthFactorPc / 100 {
-		sz = (sz + 7) &^ 7
-		st.classes = append(st.classes, slabClass{chunkSize: sz})
+	st := &Storage{shardMask: uint64(shards) - 1}
+	for i := 0; i < shards; i++ {
+		sh := &shard{nbuckets: per, alloc: alloc}
+		b, err := alloc(per * 8)
+		if err != nil {
+			return nil, fmt.Errorf("memcache: allocating hash table shard %d: %w", i, err)
+		}
+		sh.buckets = b
+		c.Memset(b, 0, int(per*8))
+		for sz := uint64(smallestChunk); sz <= slabPageSize; sz = sz * growthFactorPc / 100 {
+			sz = (sz + 7) &^ 7
+			sh.classes = append(sh.classes, slabClass{chunkSize: sz})
+		}
+		st.shards = append(st.shards, sh)
 	}
 	return st, nil
 }
 
+// Shards returns the shard count.
+func (st *Storage) Shards() int { return len(st.shards) }
+
+// setOccupancyGauge attaches a telemetry gauge mirroring shard si's
+// live item count.
+func (st *Storage) setOccupancyGauge(si int, g *telemetry.Gauge) {
+	sh := st.shards[si]
+	sh.mu.Lock()
+	sh.occ = g
+	sh.noteOccupancy()
+	sh.mu.Unlock()
+}
+
+// ShardFor returns the shard index key maps to.
+func (st *Storage) ShardFor(key []byte) int {
+	return int((hashKey(key) >> 32) & st.shardMask)
+}
+
+// shardFor picks the shard for a hash: the high 32 bits select the
+// shard, the low bits (used by bucketAddr) select the bucket within it.
+func (st *Storage) shardFor(h uint64) *shard {
+	return st.shards[(h>>32)&st.shardMask]
+}
+
 // classFor returns the index of the smallest class fitting need bytes.
-func (st *Storage) classFor(need uint64) (int, error) {
-	for i := range st.classes {
-		if st.classes[i].chunkSize >= need {
+func (sh *shard) classFor(need uint64) (int, error) {
+	for i := range sh.classes {
+		if sh.classes[i].chunkSize >= need {
 			return i, nil
 		}
 	}
@@ -155,16 +221,16 @@ func hashKey(key []byte) uint64 {
 	return h
 }
 
-func (st *Storage) bucketAddr(h uint64) mem.Addr {
-	return st.buckets + mem.Addr((h%st.nbuckets)*8)
+func (sh *shard) bucketAddr(h uint64) mem.Addr {
+	return sh.buckets + mem.Addr((h%sh.nbuckets)*8)
 }
 
 // grabChunk returns a free chunk of class ci, claiming a new slab page or
 // evicting the class LRU tail when necessary.
-func (st *Storage) grabChunk(c *mem.CPU, ci int) (mem.Addr, error) {
-	cl := &st.classes[ci]
+func (sh *shard) grabChunk(c *mem.CPU, ci int) (mem.Addr, error) {
+	cl := &sh.classes[ci]
 	if cl.freeHead == 0 {
-		if page, err := st.alloc(slabPageSize); err == nil {
+		if page, err := sh.alloc(slabPageSize); err == nil {
 			// Carve the page into chunks, threading the free list.
 			n := slabPageSize / cl.chunkSize
 			for i := uint64(0); i < n; i++ {
@@ -180,8 +246,8 @@ func (st *Storage) grabChunk(c *mem.CPU, ci int) (mem.Addr, error) {
 				return 0, ErrStoreFull
 			}
 			victim := cl.lruTail
-			st.unlinkItem(c, victim)
-			st.evictions++
+			sh.unlinkItem(c, victim)
+			sh.evictions++
 		}
 	}
 	chunk := cl.freeHead
@@ -191,8 +257,8 @@ func (st *Storage) grabChunk(c *mem.CPU, ci int) (mem.Addr, error) {
 }
 
 // releaseChunk returns a chunk to its class free list.
-func (st *Storage) releaseChunk(c *mem.CPU, ci int, chunk mem.Addr) {
-	cl := &st.classes[ci]
+func (sh *shard) releaseChunk(c *mem.CPU, ci int, chunk mem.Addr) {
+	cl := &sh.classes[ci]
 	c.WriteAddr(chunk, cl.freeHead)
 	cl.freeHead = chunk
 	cl.used--
@@ -230,19 +296,19 @@ func itemValueAddr(c *mem.CPU, it mem.Addr) (mem.Addr, int) {
 }
 
 // lruBump moves an item to the head of its class LRU.
-func (st *Storage) lruBump(c *mem.CPU, it mem.Addr) {
+func (sh *shard) lruBump(c *mem.CPU, it mem.Addr) {
 	ci := int(c.ReadU64(it + itemOffClass))
-	cl := &st.classes[ci]
+	cl := &sh.classes[ci]
 	if cl.lruHead == it {
 		return
 	}
-	st.lruUnlink(c, it)
-	st.lruPush(c, it)
+	sh.lruUnlink(c, it)
+	sh.lruPush(c, it)
 }
 
-func (st *Storage) lruPush(c *mem.CPU, it mem.Addr) {
+func (sh *shard) lruPush(c *mem.CPU, it mem.Addr) {
 	ci := int(c.ReadU64(it + itemOffClass))
-	cl := &st.classes[ci]
+	cl := &sh.classes[ci]
 	c.WriteAddr(it+itemOffLRUN, cl.lruHead)
 	c.WriteAddr(it+itemOffLRUP, 0)
 	if cl.lruHead != 0 {
@@ -254,9 +320,9 @@ func (st *Storage) lruPush(c *mem.CPU, it mem.Addr) {
 	}
 }
 
-func (st *Storage) lruUnlink(c *mem.CPU, it mem.Addr) {
+func (sh *shard) lruUnlink(c *mem.CPU, it mem.Addr) {
 	ci := int(c.ReadU64(it + itemOffClass))
-	cl := &st.classes[ci]
+	cl := &sh.classes[ci]
 	next := c.ReadAddr(it + itemOffLRUN)
 	prev := c.ReadAddr(it + itemOffLRUP)
 	if prev != 0 {
@@ -272,9 +338,9 @@ func (st *Storage) lruUnlink(c *mem.CPU, it mem.Addr) {
 }
 
 // hashUnlink removes an item from its hash chain.
-func (st *Storage) hashUnlink(c *mem.CPU, it mem.Addr) {
+func (sh *shard) hashUnlink(c *mem.CPU, it mem.Addr) {
 	key := itemKey(c, it)
-	ba := st.bucketAddr(hashKey(key))
+	ba := sh.bucketAddr(hashKey(key))
 	cur := c.ReadAddr(ba)
 	if cur == it {
 		c.WriteAddr(ba, c.ReadAddr(it+itemOffNext))
@@ -291,21 +357,22 @@ func (st *Storage) hashUnlink(c *mem.CPU, it mem.Addr) {
 }
 
 // unlinkItem fully removes an item (hash chain + LRU) and frees its chunk.
-func (st *Storage) unlinkItem(c *mem.CPU, it mem.Addr) {
-	st.hashUnlink(c, it)
-	st.lruUnlink(c, it)
+func (sh *shard) unlinkItem(c *mem.CPU, it mem.Addr) {
+	sh.hashUnlink(c, it)
+	sh.lruUnlink(c, it)
 	vlen := c.ReadU64(it + itemOffValLen)
 	klen := c.ReadU64(it + itemOffKeyLen)
 	ci := int(c.ReadU64(it + itemOffClass))
-	st.releaseChunk(c, ci, it)
-	st.items--
-	st.bytes -= itemHeader + klen + vlen
+	sh.releaseChunk(c, ci, it)
+	sh.items--
+	sh.bytes -= itemHeader + klen + vlen
+	sh.noteOccupancy()
 }
 
-// Lookup finds an item by key, bumping its LRU position. The caller must
-// hold the storage lock.
-func (st *Storage) lookupLocked(c *mem.CPU, key []byte) mem.Addr {
-	ba := st.bucketAddr(hashKey(key))
+// lookupLocked finds an item by key within the shard. The caller must
+// hold the shard lock.
+func (sh *shard) lookupLocked(c *mem.CPU, key []byte) mem.Addr {
+	ba := sh.bucketAddr(hashKey(key))
 	it := c.ReadAddr(ba)
 	for it != 0 {
 		if itemKeyEqual(c, it, key) {
@@ -318,35 +385,40 @@ func (st *Storage) lookupLocked(c *mem.CPU, key []byte) mem.Addr {
 
 // Get copies out the value and flags for key, or ok=false.
 func (st *Storage) Get(c *mem.CPU, key []byte) (value []byte, flags uint32, ok bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.gets++
-	it := st.lookupLocked(c, key)
+	sh := st.shardFor(hashKey(key))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.getLocked(c, key)
+}
+
+func (sh *shard) getLocked(c *mem.CPU, key []byte) (value []byte, flags uint32, ok bool) {
+	sh.gets++
+	it := sh.lookupLocked(c, key)
 	if it == 0 {
 		return nil, 0, false
 	}
-	st.hits++
-	st.lruBump(c, it)
+	sh.hits++
+	sh.lruBump(c, it)
 	va, vlen := itemValueAddr(c, it)
 	return c.ReadBytes(va, vlen), uint32(c.ReadU64(it + itemOffFlags)), true
 }
 
 // storeLocked writes a fresh item for key=value, unlinking any existing
-// item first. Caller holds the lock. Returns the new CAS id.
-func (st *Storage) storeLocked(c *mem.CPU, key, value []byte, flags uint32) (uint64, error) {
+// item first. Caller holds the shard lock. Returns the new CAS id.
+func (sh *shard) storeLocked(c *mem.CPU, key, value []byte, flags uint32) (uint64, error) {
 	need := uint64(itemHeader + len(key) + len(value))
-	ci, err := st.classFor(need)
+	ci, err := sh.classFor(need)
 	if err != nil {
 		return 0, err
 	}
-	if old := st.lookupLocked(c, key); old != 0 {
-		st.unlinkItem(c, old)
+	if old := sh.lookupLocked(c, key); old != 0 {
+		sh.unlinkItem(c, old)
 	}
-	it, err := st.grabChunk(c, ci)
+	it, err := sh.grabChunk(c, ci)
 	if err != nil {
 		return 0, err
 	}
-	st.casCounter++
+	sh.casCounter++
 	c.WriteAddr(it+itemOffNext, 0)
 	c.WriteAddr(it+itemOffLRUN, 0)
 	c.WriteAddr(it+itemOffLRUP, 0)
@@ -354,17 +426,24 @@ func (st *Storage) storeLocked(c *mem.CPU, key, value []byte, flags uint32) (uin
 	c.WriteU64(it+itemOffValLen, uint64(len(value)))
 	c.WriteU64(it+itemOffFlags, uint64(flags))
 	c.WriteU64(it+itemOffClass, uint64(ci))
-	c.WriteU64(it+itemOffCAS, st.casCounter)
+	c.WriteU64(it+itemOffCAS, sh.casCounter)
 	c.Write(it+itemHeader, key)
 	c.Write(it+itemHeader+mem.Addr(len(key)), value)
 	// Link: hash chain head + LRU head.
-	ba := st.bucketAddr(hashKey(key))
+	ba := sh.bucketAddr(hashKey(key))
 	c.WriteAddr(it+itemOffNext, c.ReadAddr(ba))
 	c.WriteAddr(ba, it)
-	st.lruPush(c, it)
-	st.items++
-	st.bytes += need
-	return st.casCounter, nil
+	sh.lruPush(c, it)
+	sh.items++
+	sh.bytes += need
+	sh.noteOccupancy()
+	return sh.casCounter, nil
+}
+
+func (sh *shard) setLocked(c *mem.CPU, key, value []byte, flags uint32) error {
+	sh.sets++
+	_, err := sh.storeLocked(c, key, value, flags)
+	return err
 }
 
 // Set stores key=value, replacing any existing item.
@@ -372,11 +451,10 @@ func (st *Storage) Set(c *mem.CPU, key, value []byte, flags uint32) error {
 	if len(key) > MaxKeyLen {
 		return ErrKeyTooLong
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.sets++
-	_, err := st.storeLocked(c, key, value, flags)
-	return err
+	sh := st.shardFor(hashKey(key))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.setLocked(c, key, value, flags)
 }
 
 // StoreOutcome reports conditional-store results.
@@ -400,13 +478,14 @@ func (st *Storage) Add(c *mem.CPU, key, value []byte, flags uint32) (StoreOutcom
 	if len(key) > MaxKeyLen {
 		return NotStored, ErrKeyTooLong
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.sets++
-	if st.lookupLocked(c, key) != 0 {
+	sh := st.shardFor(hashKey(key))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sets++
+	if sh.lookupLocked(c, key) != 0 {
 		return NotStored, nil
 	}
-	if _, err := st.storeLocked(c, key, value, flags); err != nil {
+	if _, err := sh.storeLocked(c, key, value, flags); err != nil {
 		return NotStored, err
 	}
 	return Stored, nil
@@ -417,13 +496,14 @@ func (st *Storage) Replace(c *mem.CPU, key, value []byte, flags uint32) (StoreOu
 	if len(key) > MaxKeyLen {
 		return NotStored, ErrKeyTooLong
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.sets++
-	if st.lookupLocked(c, key) == 0 {
+	sh := st.shardFor(hashKey(key))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sets++
+	if sh.lookupLocked(c, key) == 0 {
 		return NotStored, nil
 	}
-	if _, err := st.storeLocked(c, key, value, flags); err != nil {
+	if _, err := sh.storeLocked(c, key, value, flags); err != nil {
 		return NotStored, err
 	}
 	return Stored, nil
@@ -431,10 +511,11 @@ func (st *Storage) Replace(c *mem.CPU, key, value []byte, flags uint32) (StoreOu
 
 // Concat appends (or prepends) data to an existing value.
 func (st *Storage) Concat(c *mem.CPU, key, data []byte, prepend bool) (StoreOutcome, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.sets++
-	it := st.lookupLocked(c, key)
+	sh := st.shardFor(hashKey(key))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sets++
+	it := sh.lookupLocked(c, key)
 	if it == 0 {
 		return NotStored, nil
 	}
@@ -447,7 +528,7 @@ func (st *Storage) Concat(c *mem.CPU, key, data []byte, prepend bool) (StoreOutc
 	} else {
 		merged = append(append([]byte{}, old...), data...)
 	}
-	if _, err := st.storeLocked(c, key, merged, flags); err != nil {
+	if _, err := sh.storeLocked(c, key, merged, flags); err != nil {
 		return NotStored, err
 	}
 	return Stored, nil
@@ -455,17 +536,18 @@ func (st *Storage) Concat(c *mem.CPU, key, data []byte, prepend bool) (StoreOutc
 
 // CAS stores only if the item's CAS id still matches casid.
 func (st *Storage) CAS(c *mem.CPU, key, value []byte, flags uint32, casid uint64) (StoreOutcome, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.sets++
-	it := st.lookupLocked(c, key)
+	sh := st.shardFor(hashKey(key))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sets++
+	it := sh.lookupLocked(c, key)
 	if it == 0 {
 		return NotFoundOutcome, nil
 	}
 	if c.ReadU64(it+itemOffCAS) != casid {
 		return CASMismatch, nil
 	}
-	if _, err := st.storeLocked(c, key, value, flags); err != nil {
+	if _, err := sh.storeLocked(c, key, value, flags); err != nil {
 		return NotStored, err
 	}
 	return Stored, nil
@@ -473,56 +555,105 @@ func (st *Storage) CAS(c *mem.CPU, key, value []byte, flags uint32, casid uint64
 
 // GetWithCAS is Get plus the item's CAS id (memcached gets).
 func (st *Storage) GetWithCAS(c *mem.CPU, key []byte) (value []byte, flags uint32, casid uint64, ok bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.gets++
-	it := st.lookupLocked(c, key)
+	sh := st.shardFor(hashKey(key))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.gets++
+	it := sh.lookupLocked(c, key)
 	if it == 0 {
 		return nil, 0, 0, false
 	}
-	st.hits++
-	st.lruBump(c, it)
+	sh.hits++
+	sh.lruBump(c, it)
 	va, vlen := itemValueAddr(c, it)
 	return c.ReadBytes(va, vlen), uint32(c.ReadU64(it + itemOffFlags)), c.ReadU64(it + itemOffCAS), true
 }
 
 // Touch bumps an item's LRU position (expiry is not simulated).
 func (st *Storage) Touch(c *mem.CPU, key []byte) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	it := st.lookupLocked(c, key)
+	sh := st.shardFor(hashKey(key))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it := sh.lookupLocked(c, key)
 	if it == 0 {
 		return false
 	}
-	st.lruBump(c, it)
+	sh.lruBump(c, it)
 	return true
 }
 
-// FlushAll discards every item.
+// FlushAll discards every item, shard by shard. Shards are flushed in
+// order under their own locks — there is no cross-shard invariant that
+// needs an all-shards critical section.
 func (st *Storage) FlushAll(c *mem.CPU) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	for ci := range st.classes {
-		cl := &st.classes[ci]
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		sh.flushLocked(c)
+		sh.mu.Unlock()
+	}
+}
+
+func (sh *shard) flushLocked(c *mem.CPU) {
+	for ci := range sh.classes {
+		cl := &sh.classes[ci]
 		for cl.lruTail != 0 {
-			st.unlinkItem(c, cl.lruTail)
+			sh.unlinkItem(c, cl.lruTail)
 		}
 	}
 }
 
 // Delete removes key, reporting whether it existed.
 func (st *Storage) Delete(c *mem.CPU, key []byte) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	it := st.lookupLocked(c, key)
+	sh := st.shardFor(hashKey(key))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.deleteLocked(c, key)
+}
+
+func (sh *shard) deleteLocked(c *mem.CPU, key []byte) bool {
+	it := sh.lookupLocked(c, key)
 	if it == 0 {
 		return false
 	}
-	st.unlinkItem(c, it)
+	sh.unlinkItem(c, it)
 	return true
 }
 
-// StorageStats is a snapshot of cache statistics.
+// BatchOp is one deferred mutation applied by ApplyShardBatch. Ops for
+// one shard are grouped at apply time so a whole batch takes each shard
+// lock at most once.
+type BatchOp struct {
+	// Delete removes Key; otherwise the op stores Key=Value with Flags.
+	Delete bool
+	Key    []byte
+	Value  []byte
+	Flags  uint32
+}
+
+// ApplyShardBatch applies ops — all of which must map to shard si —
+// under a single acquisition of that shard's lock, preserving op order.
+// The first store error aborts the remainder (matching the sequential
+// semantics of applying the ops one by one) and is returned.
+func (st *Storage) ApplyShardBatch(c *mem.CPU, si int, ops []BatchOp) error {
+	sh := st.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, op := range ops {
+		if op.Delete {
+			sh.deleteLocked(c, op.Key)
+			continue
+		}
+		if len(op.Key) > MaxKeyLen {
+			return ErrKeyTooLong
+		}
+		if err := sh.setLocked(c, op.Key, op.Value, op.Flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StorageStats is a snapshot of cache statistics, summed across shards.
 type StorageStats struct {
 	Items     int
 	Bytes     uint64
@@ -532,16 +663,40 @@ type StorageStats struct {
 	Hits      int
 }
 
-// Stats returns a snapshot of the cache statistics.
+// Stats returns a snapshot of the cache statistics (summed over shards;
+// each shard is snapshotted under its own lock, so the total is a
+// consistent per-shard composition, not a global atomic snapshot —
+// exactly the fidelity Memcached's own threadlocal stats offer).
 func (st *Storage) Stats() StorageStats {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return StorageStats{
-		Items:     st.items,
-		Bytes:     st.bytes,
-		Evictions: st.evictions,
-		Sets:      st.sets,
-		Gets:      st.gets,
-		Hits:      st.hits,
+	var out StorageStats
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		out.Items += sh.items
+		out.Bytes += sh.bytes
+		out.Evictions += sh.evictions
+		out.Sets += sh.sets
+		out.Gets += sh.gets
+		out.Hits += sh.hits
+		sh.mu.Unlock()
 	}
+	return out
+}
+
+// ShardStats returns the per-shard Items/Bytes breakdown, for the shard
+// occupancy telemetry gauges.
+func (st *Storage) ShardStats() []StorageStats {
+	out := make([]StorageStats, len(st.shards))
+	for i, sh := range st.shards {
+		sh.mu.Lock()
+		out[i] = StorageStats{
+			Items:     sh.items,
+			Bytes:     sh.bytes,
+			Evictions: sh.evictions,
+			Sets:      sh.sets,
+			Gets:      sh.gets,
+			Hits:      sh.hits,
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }

@@ -8,8 +8,14 @@ import (
 	"sdrad/internal/mem"
 )
 
-// newStorage builds a Storage over a fixed arena.
+// newStorage builds a single-shard Storage over a fixed arena (the LRU
+// ordering tests need one global LRU).
 func newStorage(t testing.TB, hashPower int, arenaBytes uint64) (*Storage, *mem.CPU) {
+	return newShardedStorage(t, hashPower, 1, arenaBytes)
+}
+
+// newShardedStorage builds a Storage with an explicit shard count.
+func newShardedStorage(t testing.TB, hashPower, shards int, arenaBytes uint64) (*Storage, *mem.CPU) {
 	t.Helper()
 	as := mem.NewAddressSpace()
 	cpu := as.NewCPU()
@@ -18,7 +24,7 @@ func newStorage(t testing.TB, hashPower int, arenaBytes uint64) (*Storage, *mem.
 		t.Fatal(err)
 	}
 	arena := newBumpArena(base, arenaBytes)
-	st, err := NewStorage(cpu, hashPower, arena.alloc)
+	st, err := NewStorage(cpu, hashPower, shards, arena.alloc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,15 +236,188 @@ func TestNewStorageValidation(t *testing.T) {
 	cpu := as.NewCPU()
 	base, _ := as.MapAnon(1<<20, mem.ProtRW, 0)
 	arena := newBumpArena(base, 1<<20)
-	if _, err := NewStorage(cpu, 2, arena.alloc); err == nil {
+	if _, err := NewStorage(cpu, 2, 1, arena.alloc); err == nil {
 		t.Error("tiny hash power accepted")
 	}
-	if _, err := NewStorage(cpu, 30, arena.alloc); err == nil {
+	if _, err := NewStorage(cpu, 30, 1, arena.alloc); err == nil {
 		t.Error("huge hash power accepted")
+	}
+	// Shard count must be a power of two within range.
+	if _, err := NewStorage(cpu, 10, 3, arena.alloc); err == nil {
+		t.Error("non-power-of-two shard count accepted")
+	}
+	if _, err := NewStorage(cpu, 10, 0, arena.alloc); err == nil {
+		t.Error("zero shard count accepted")
+	}
+	if _, err := NewStorage(cpu, 10, MaxShards*2, arena.alloc); err == nil {
+		t.Error("oversized shard count accepted")
 	}
 	// Arena too small for the bucket array.
 	tiny := newBumpArena(base, 8)
-	if _, err := NewStorage(cpu, 10, tiny.alloc); err == nil {
+	if _, err := NewStorage(cpu, 10, 1, tiny.alloc); err == nil {
 		t.Error("arena exhaustion not reported")
+	}
+}
+
+func TestShardedStorageDistribution(t *testing.T) {
+	// Keys must spread across shards, every op must land on the shard
+	// ShardFor names, and the summed stats must equal the global view.
+	st, cpu := newShardedStorage(t, 12, 8, 8<<20)
+	if st.Shards() != 8 {
+		t.Fatalf("shards = %d", st.Shards())
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("dist-key-%05d", i))
+		if err := st.Set(cpu, key, []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := st.ShardStats()
+	occupied, items, sets := 0, 0, 0
+	for _, s := range per {
+		if s.Items > 0 {
+			occupied++
+		}
+		items += s.Items
+		sets += s.Sets
+	}
+	if occupied < 2 {
+		t.Errorf("only %d of 8 shards occupied: hash is not partitioning", occupied)
+	}
+	tot := st.Stats()
+	if items != tot.Items || items != n {
+		t.Errorf("shard items sum %d, total %d, want %d", items, tot.Items, n)
+	}
+	if sets != tot.Sets || sets != n {
+		t.Errorf("shard sets sum %d, total %d, want %d", sets, tot.Sets, n)
+	}
+	// Every key readable back, and its shard's stats move on a get.
+	for i := 0; i < n; i += 97 {
+		key := []byte(fmt.Sprintf("dist-key-%05d", i))
+		si := st.ShardFor(key)
+		before := st.ShardStats()[si]
+		if _, _, ok := st.Get(cpu, key); !ok {
+			t.Fatalf("key %d missing", i)
+		}
+		after := st.ShardStats()[si]
+		if after.Gets != before.Gets+1 || after.Hits != before.Hits+1 {
+			t.Fatalf("get of key %d did not land on shard %d", i, si)
+		}
+	}
+}
+
+func TestShardedCASIndependence(t *testing.T) {
+	// CAS counters are per shard: a CAS id issued on one shard stays
+	// valid regardless of store traffic on the others.
+	st, cpu := newShardedStorage(t, 10, 4, 4<<20)
+	key := []byte("cas-key")
+	if err := st.Set(cpu, key, []byte("v0"), 0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, casid, ok := st.GetWithCAS(cpu, key)
+	if !ok {
+		t.Fatal("gets miss")
+	}
+	si := st.ShardFor(key)
+	// Hammer the other shards with sets.
+	stored := 0
+	for i := 0; stored < 200; i++ {
+		k := []byte(fmt.Sprintf("other-%05d", i))
+		if st.ShardFor(k) == si {
+			continue
+		}
+		if err := st.Set(cpu, k, []byte("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+		stored++
+	}
+	if out, err := st.CAS(cpu, key, []byte("v1"), 0, casid); err != nil || out != Stored {
+		t.Fatalf("cas after cross-shard traffic = %v %v", out, err)
+	}
+	if out, _ := st.CAS(cpu, key, []byte("v2"), 0, casid); out != CASMismatch {
+		t.Fatalf("stale cas = %v", out)
+	}
+}
+
+func TestShardedFlushAll(t *testing.T) {
+	st, cpu := newShardedStorage(t, 10, 4, 4<<20)
+	for i := 0; i < 300; i++ {
+		if err := st.Set(cpu, []byte(fmt.Sprintf("f-%04d", i)), []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.FlushAll(cpu)
+	if got := st.Stats().Items; got != 0 {
+		t.Fatalf("items after flush = %d", got)
+	}
+	for _, s := range st.ShardStats() {
+		if s.Items != 0 || s.Bytes != 0 {
+			t.Fatalf("shard not flushed: %+v", s)
+		}
+	}
+	// Storage still usable after flush.
+	if err := st.Set(cpu, []byte("post"), []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st.Get(cpu, []byte("post")); !ok {
+		t.Fatal("set after flush missing")
+	}
+}
+
+func TestApplyShardBatch(t *testing.T) {
+	st, cpu := newShardedStorage(t, 10, 4, 4<<20)
+	// Collect keys that all map to one shard, then apply an ordered batch:
+	// set a=1, set b=2, set a=3 (overwrite), delete b.
+	var keys [][]byte
+	for i := 0; len(keys) < 2; i++ {
+		k := []byte(fmt.Sprintf("batch-%04d", i))
+		if st.ShardFor(k) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	a, b := keys[0], keys[1]
+	ops := []BatchOp{
+		{Key: a, Value: []byte("1"), Flags: 7},
+		{Key: b, Value: []byte("2")},
+		{Key: a, Value: []byte("3"), Flags: 9},
+		{Delete: true, Key: b},
+	}
+	if err := st.ApplyShardBatch(cpu, 0, ops); err != nil {
+		t.Fatal(err)
+	}
+	v, flags, ok := st.Get(cpu, a)
+	if !ok || string(v) != "3" || flags != 9 {
+		t.Fatalf("a = %q %d %v, want later write to win", v, flags, ok)
+	}
+	if _, _, ok := st.Get(cpu, b); ok {
+		t.Fatal("deleted key survived batch")
+	}
+	// Deleting a missing key inside a batch is a no-op, not an error.
+	if err := st.ApplyShardBatch(cpu, 0, []BatchOp{{Delete: true, Key: b}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AuditShards(cpu); err != nil {
+		t.Fatalf("shard audit after batch: %v", err)
+	}
+}
+
+func TestAuditShardsAfterChurn(t *testing.T) {
+	st, cpu := newShardedStorage(t, 10, 8, 4<<20)
+	for i := 0; i < 1500; i++ {
+		k := []byte(fmt.Sprintf("churn-%05d", i%400))
+		switch i % 5 {
+		case 0, 1, 2:
+			if err := st.Set(cpu, k, []byte(fmt.Sprintf("val-%d", i)), 0); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			st.Get(cpu, k)
+		case 4:
+			st.Delete(cpu, k)
+		}
+	}
+	if err := st.AuditShards(cpu); err != nil {
+		t.Fatalf("shard audit after churn: %v", err)
 	}
 }

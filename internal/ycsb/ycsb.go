@@ -233,6 +233,29 @@ func (r *Runner) KeyChooser() func(rng *rand.Rand) int {
 // applied).
 func (r *Runner) Config() Config { return r.cfg }
 
+// Op is one planned transaction-phase operation: a read or an update of
+// the record at Index.
+type Op struct {
+	Read  bool
+	Index int
+}
+
+// OpPlanner returns a batch-granular KeyChooser: each call fills ops
+// with operations following the configured read proportion and key
+// distribution. Executors that pipeline several operations per network
+// round plan a whole burst up front, then issue it as one unit. Like
+// KeyChooser, the planner may be shared across threads as long as each
+// thread passes its own rng.
+func (r *Runner) OpPlanner() func(rng *rand.Rand, ops []Op) {
+	g := r.newGenerator()
+	p := r.cfg.ReadProportion
+	return func(rng *rand.Rand, ops []Op) {
+		for i := range ops {
+			ops[i] = Op{Read: rng.Float64() < p, Index: int(g.next(rng))}
+		}
+	}
+}
+
 // generator produces record indices in [0, Records).
 type generator struct {
 	uniform bool
