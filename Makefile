@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check chaos-smoke bench-smoke throughput-gate ci
+.PHONY: build test race vet fmt-check chaos-smoke bench-smoke throughput-gate policy-gate recovery-bench ci
 
 build:
 	$(GO) build ./...
@@ -35,4 +35,15 @@ bench-smoke:
 throughput-gate:
 	$(GO) run ./cmd/sdrad-bench -throughput -throughput-baseline BENCH_throughput.json
 
-ci: build vet fmt-check test race chaos-smoke
+# The fixed-seed escalation-ladder campaign plus the recovery-cost gate,
+# as the policy-gate CI job runs them.
+policy-gate:
+	$(GO) run ./cmd/sdrad-chaos -campaigns policy -seed 12648430 -ops 32
+	$(GO) run ./cmd/sdrad-bench -quick -recovery-baseline BENCH_recovery.json
+
+# Re-measure rewind-vs-restart recovery cost and rewrite the committed
+# baseline (run on a quiet machine, then commit BENCH_recovery.json).
+recovery-bench:
+	$(GO) run ./cmd/sdrad-bench -quick -recovery-json BENCH_recovery.json
+
+ci: build vet fmt-check test race chaos-smoke policy-gate

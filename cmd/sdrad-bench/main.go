@@ -36,6 +36,8 @@ func run(args []string) error {
 	telGuard := fs.Bool("telemetry-guard", false, "exit non-zero when an enabled telemetry recorder costs more than 2% YCSB run-phase throughput")
 	tputJSON := fs.String("throughput-json", "", "write the scaling-curve throughput report as JSON to this path")
 	tputBaseline := fs.String("throughput-baseline", "", "compare the throughput report against this JSON baseline; exit non-zero on >25% speed-adjusted drop")
+	recJSON := fs.String("recovery-json", "", "write the recovery-cost report as JSON to this path")
+	recBaseline := fs.String("recovery-baseline", "", "gate the recovery report against this JSON baseline; exit non-zero when rewind is not clearly cheaper than restart or its cost regressed")
 	selected := make(map[string]*bool, len(bench.Experiments))
 	for _, name := range bench.Experiments {
 		selected[name] = fs.Bool(name, false, "run the "+name+" experiment")
@@ -67,6 +69,9 @@ func run(args []string) error {
 	if (*tputJSON != "" || *tputBaseline != "") && !*selected["throughput"] {
 		toRun = append(toRun, "throughput")
 	}
+	if (*recJSON != "" || *recBaseline != "") && !*selected["recovery"] {
+		toRun = append(toRun, "recovery")
+	}
 	if len(toRun) == 0 {
 		toRun = bench.Experiments
 	}
@@ -82,6 +87,12 @@ func run(args []string) error {
 		if name == "throughput" && (*tputJSON != "" || *tputBaseline != "") {
 			if err := runThroughput(scale, *tputJSON, *tputBaseline); err != nil {
 				return fmt.Errorf("throughput: %w", err)
+			}
+			continue
+		}
+		if name == "recovery" && (*recJSON != "" || *recBaseline != "") {
+			if err := runRecovery(scale, *recJSON, *recBaseline); err != nil {
+				return fmt.Errorf("recovery: %w", err)
 			}
 			continue
 		}
@@ -149,6 +160,33 @@ func runThroughput(scale bench.Scale, jsonPath, baselinePath string) error {
 			return err
 		}
 		fmt.Printf("throughput within 25%% of baseline %s\n", baselinePath)
+	}
+	return nil
+}
+
+// runRecovery runs the recovery-cost experiment with its JSON side
+// outputs, mirroring runThroughput.
+func runRecovery(scale bench.Scale, jsonPath, baselinePath string) error {
+	rep, table, err := bench.RunRecovery(scale)
+	if err != nil {
+		return err
+	}
+	table.Fprint(os.Stdout)
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("recovery report written to %s\n", jsonPath)
+	}
+	if baselinePath != "" {
+		base, err := bench.LoadRecoveryBaseline(baselinePath)
+		if err != nil {
+			return err
+		}
+		if err := rep.CheckAgainst(base); err != nil {
+			return err
+		}
+		fmt.Printf("recovery-via-rewind still cheaper than restart; cost within tolerance of baseline %s\n", baselinePath)
 	}
 	return nil
 }

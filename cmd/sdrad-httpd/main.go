@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"sdrad/internal/httpd"
+	"sdrad/internal/policy"
 	"sdrad/internal/telemetry"
 )
 
@@ -39,6 +40,7 @@ func run(args []string) error {
 	variantName := fs.String("variant", "sdrad", "build variant: vanilla, tlsf, or sdrad")
 	maxBatch := fs.Int("max-batch", 16, "max pipelined requests parsed per guard scope")
 	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /flightrecorder on this address (empty = telemetry off)")
+	usePolicy := fs.Bool("policy", false, "attach the resilience-policy engine: repeated parser rewinds escalate to backoff, then quarantine (503 + Retry-After), then load shedding")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +59,10 @@ func run(args []string) error {
 	if *telAddr != "" {
 		rec = telemetry.New(telemetry.Options{})
 	}
+	var eng *policy.Engine
+	if *usePolicy {
+		eng = policy.New(policy.Config{})
+	}
 	m, err := httpd.NewMaster(httpd.Config{
 		Variant:  variant,
 		Workers:  *workers,
@@ -66,6 +72,7 @@ func run(args []string) error {
 			"/big.bin":    128 * 1024,
 		},
 		Telemetry: rec,
+		Policy:    eng,
 	})
 	if err != nil {
 		return err
@@ -76,6 +83,11 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("sdrad-httpd (%s, %d workers) listening on %s\n", variant, *workers, ln.Addr())
+	if eng != nil {
+		pc := eng.Config()
+		fmt.Printf("policy: backoff at %d, quarantine at %d, shed at %d rewinds per %s window\n",
+			pc.BackoffThreshold, pc.QuarantineThreshold, pc.ShedThreshold, pc.Window)
+	}
 	if rec != nil {
 		bound, err := rec.Serve(*telAddr)
 		if err != nil {

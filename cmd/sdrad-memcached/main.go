@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"sdrad/internal/memcache"
+	"sdrad/internal/policy"
 	"sdrad/internal/telemetry"
 )
 
@@ -42,6 +43,7 @@ func run(args []string) error {
 	shards := fs.Int("shards", 8, "lock-striped storage shards (power of two)")
 	maxBatch := fs.Int("max-batch", 16, "max pipelined requests handled per guard scope")
 	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /flightrecorder on this address (empty = telemetry off)")
+	usePolicy := fs.Bool("policy", false, "attach the resilience-policy engine: repeated rewinds of the event domain escalate to backoff, then quarantine (gets served as misses, mutations refused), then load shedding")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +62,10 @@ func run(args []string) error {
 	if *telAddr != "" {
 		rec = telemetry.New(telemetry.Options{})
 	}
+	var eng *policy.Engine
+	if *usePolicy {
+		eng = policy.New(policy.Config{})
+	}
 	s, err := memcache.NewServer(memcache.Config{
 		Variant:    variant,
 		Workers:    *workers,
@@ -67,6 +73,7 @@ func run(args []string) error {
 		Shards:     *shards,
 		MaxBatch:   *maxBatch,
 		Telemetry:  rec,
+		Policy:     eng,
 	})
 	if err != nil {
 		return err
@@ -77,6 +84,11 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("sdrad-memcached (%s, %d workers) listening on %s\n", variant, *workers, ln.Addr())
+	if eng != nil {
+		pc := eng.Config()
+		fmt.Printf("policy: backoff at %d, quarantine at %d, shed at %d rewinds per %s window\n",
+			pc.BackoffThreshold, pc.QuarantineThreshold, pc.ShedThreshold, pc.Window)
+	}
 	if rec != nil {
 		bound, err := rec.Serve(*telAddr)
 		if err != nil {
@@ -90,6 +102,6 @@ func run(args []string) error {
 		fmt.Printf("rewinds before crash: %d\n", s.Rewinds())
 		return cause
 	}
-	fmt.Printf("server stopped (rewinds absorbed: %d)\n", s.Rewinds())
+	fmt.Printf("server stopped (rewinds absorbed: %d, degraded responses: %d)\n", s.Rewinds(), s.Degraded())
 	return serveErr
 }

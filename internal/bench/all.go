@@ -10,7 +10,7 @@ var Experiments = []string{
 	"fig4", "rewind-memcached", "mem-memcached",
 	"fig5", "scaling-nginx", "rewind-nginx", "mem-nginx",
 	"openssl", "rewind-openssl",
-	"switchcost", "ablations", "substrate", "throughput",
+	"switchcost", "ablations", "substrate", "throughput", "recovery",
 }
 
 // Run executes one named experiment at the given scale and prints its
@@ -74,6 +74,10 @@ func Run(w io.Writer, name string, sc Scale) error {
 	case "throughput":
 		var t *Table
 		_, t, err = RunThroughput(sc, nil, nil)
+		tables = append(tables, t)
+	case "recovery":
+		var t *Table
+		_, t, err = RunRecovery(sc)
 		tables = append(tables, t)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", name, Experiments)

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sdrad/internal/policy"
 	"sdrad/internal/telemetry"
 )
 
@@ -44,6 +45,10 @@ type Config struct {
 	// that every absorbed rewind leaves exactly one forensics report whose
 	// si_code matches the injected fault.
 	Telemetry *telemetry.Recorder
+	// PolicySink, when non-nil, receives the resilience-policy engine's
+	// per-UDI state snapshot at the end of each phase of the policy
+	// campaign (cmd/sdrad-chaos's -policy-dump).
+	PolicySink func(phase string, snaps []policy.DomainSnapshot)
 }
 
 // recorder returns the campaign's telemetry recorder, building a private
@@ -153,6 +158,7 @@ var campaigns = []Campaign{
 	{Name: "batch", Desc: "pipelined memcached batches: bset overflow mid-batch, whole-batch discard, shard invariant audits", run: runBatch},
 	{Name: "httpd", Desc: "httpd workload: URI traversal, malicious client certs, mutated requests, injected PKU faults", run: runHTTPD},
 	{Name: "crypto", Desc: "cryptolib wrappers: injected faults inside EncryptUpdate, malicious certificate verification", run: runCrypto},
+	{Name: "policy", Desc: "resilience-policy ladder: hammer one UDI through backoff/quarantine/shed while siblings keep serving, then the memcached degraded path", run: runPolicyCampaign},
 }
 
 // Campaigns lists the registered campaigns.

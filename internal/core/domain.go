@@ -171,6 +171,20 @@ func (l *Library) InitDomain(t *proc.Thread, udi UDI, opts ...InitOption) error 
 	if udi == RootUDI {
 		return ErrRootOperation
 	}
+	// Resilience-policy admission: a nested execution domain that was
+	// quarantined (or is in a backoff hold-off) after repeated rewinds
+	// may not be re-created until the policy readmits it. Data domains
+	// are exempt — they never fault on their own and hold shared state
+	// the degraded paths still need.
+	if l.policy != nil && !cfg.data {
+		if dec := l.policy.Admit(int(udi)); !dec.Allowed() {
+			return &QuarantineError{
+				UDI:          udi,
+				State:        dec.State.String(),
+				RetryAfterNs: dec.RetryAfterNs,
+			}
+		}
+	}
 	ts := l.state(t)
 	l.monitorEnter(t)
 	defer l.monitorExit(t)

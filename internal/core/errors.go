@@ -67,7 +67,37 @@ var (
 	ErrHeapExhausted = errors.New("sdrad: domain heap exhausted")
 	// ErrTooManyDomains: no protection keys left for a new domain.
 	ErrTooManyDomains = errors.New("sdrad: protection keys exhausted")
+	// ErrDomainQuarantined: the resilience-policy engine refused to
+	// re-initialize the domain (backoff hold-off, quarantine cool-down,
+	// or load shedding). Match with errors.Is; retrieve the hold-off
+	// with errors.As on *QuarantineError.
+	ErrDomainQuarantined = errors.New("sdrad: domain re-initialization denied by resilience policy")
 )
+
+// QuarantineError carries the policy decision behind a denied domain
+// re-initialization. It unwraps to ErrDomainQuarantined.
+type QuarantineError struct {
+	// UDI is the denied domain.
+	UDI UDI
+	// State names the ladder state ("backoff", "quarantined",
+	// "shedding").
+	State string
+	// RetryAfterNs is how long admission stays denied; 0 means the
+	// denial is permanent (shedding).
+	RetryAfterNs int64
+}
+
+// Error implements error.
+func (e *QuarantineError) Error() string {
+	if e.RetryAfterNs > 0 {
+		return fmt.Sprintf("sdrad: domain %d re-initialization denied (%s, retry after %dns)",
+			e.UDI, e.State, e.RetryAfterNs)
+	}
+	return fmt.Sprintf("sdrad: domain %d re-initialization denied (%s)", e.UDI, e.State)
+}
+
+// Unwrap makes errors.Is(err, ErrDomainQuarantined) match.
+func (e *QuarantineError) Unwrap() error { return ErrDomainQuarantined }
 
 // AbnormalExit reports that a guarded domain suffered an abnormal domain
 // exit: a run-time defense detected an attack, the domain's memory was

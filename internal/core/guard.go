@@ -194,6 +194,21 @@ func (l *Library) handleTrap(t *proc.Thread, ts *threadState, info sig.Info, cau
 	seq := l.stats.Rewinds.Add(1)
 	l.monitorExit(t)
 
+	// Resilience-policy consultation (Unlimited Lives): the engine
+	// records the rewind in the failing UDI's sliding window and decides
+	// whether this component keeps its immediate-re-init privilege,
+	// enters backoff, is quarantined, or sheds load. The decision is
+	// part of the rewind's post-mortem.
+	if l.policy != nil {
+		dec := l.policy.OnRewind(int(failing.udi))
+		if rec != nil {
+			rep.PolicyState = dec.State.String()
+			rep.PolicyAction = dec.Action.String()
+			rep.PolicyWindowCount = dec.WindowCount
+			rep.PolicyRetryAfterNs = dec.RetryAfterNs
+			rec.RecordPolicy(t.ID(), int(failing.udi), int(dec.State), int(dec.Action), uint64(dec.WindowCount))
+		}
+	}
 	if rec != nil {
 		rep.Seq = seq
 		rep.RewindCount = seq

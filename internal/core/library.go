@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"sdrad/internal/mem"
+	"sdrad/internal/policy"
 	"sdrad/internal/proc"
 	"sdrad/internal/sig"
 	"sdrad/internal/stack"
@@ -52,6 +53,10 @@ type Library struct {
 	rewindLimit      int64
 	onRewind         func(RewindEvent)
 	allocFault       func(udi UDI, size uint64) error
+	// policy is the optional resilience-policy engine ("Unlimited
+	// Lives"): consulted after every rewind and before every nested
+	// exec-domain (re-)initialization. Nil disables all policy checks.
+	policy *policy.Engine
 
 	// pkruToken authorizes the monitor's PKRU writes on locked CPUs.
 	pkruToken uint64
@@ -220,6 +225,17 @@ func WithRewindLimit(limit int) SetupOption {
 	return func(l *Library) { l.rewindLimit = int64(limit) }
 }
 
+// WithPolicy attaches a resilience-policy engine: the monitor consults
+// it after every absorbed rewind (the decision lands in the rewind's
+// forensics report) and before re-initializing a nested execution
+// domain — a quarantined or shedding domain's re-init fails with
+// ErrDomainQuarantined, and the application routes to its degraded
+// path. When a telemetry recorder is also attached, Setup wires the
+// engine's gauges and escalation counters into its registry.
+func WithPolicy(e *policy.Engine) SetupOption {
+	return func(l *Library) { l.policy = e }
+}
+
 // Setup initializes SDRaD for a process: it allocates the root and
 // monitor protection keys, maps the monitor data domain, installs the
 // SIGSEGV handler, and registers the thread constructor that gives every
@@ -273,6 +289,7 @@ func Setup(p *proc.Process, opts ...SetupOption) (*Library, error) {
 
 	if rec := l.tel.Load(); rec != nil {
 		l.attachTelemetry(rec)
+		l.policy.AttachTelemetry(rec) // nil-engine safe
 	}
 
 	p.RegisterThreadConstructor(func(t *proc.Thread) error {
@@ -380,6 +397,11 @@ func (l *Library) MonitorBase() mem.Addr { return l.monitorBase }
 
 // Stats returns the live monitor counters.
 func (l *Library) Stats() *Stats { return &l.stats }
+
+// Policy returns the attached resilience-policy engine, or nil. The
+// result is safe to use either way: a nil *policy.Engine allows
+// everything.
+func (l *Library) Policy() *policy.Engine { return l.policy }
 
 // Current returns the UDI of the domain the thread is executing in.
 func (l *Library) Current(t *proc.Thread) UDI {

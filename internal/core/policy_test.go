@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"sdrad/internal/policy"
+	"sdrad/internal/proc"
+	"sdrad/internal/telemetry"
+)
+
+// policyLib builds a library with telemetry and a tight-threshold policy
+// engine on a manual clock, so escalation is a pure function of the
+// fault schedule.
+func policyLib(t *testing.T) (*proc.Process, *Library, *policy.Engine, *policy.ManualClock, *telemetry.Recorder) {
+	t.Helper()
+	clk := &policy.ManualClock{}
+	eng := policy.New(policy.Config{
+		Window:              time.Second,
+		BackoffThreshold:    2,
+		QuarantineThreshold: 4,
+		ShedThreshold:       6,
+		BackoffBase:         10 * time.Millisecond,
+		BackoffMax:          40 * time.Millisecond,
+		Cooldown:            100 * time.Millisecond,
+		Clock:               clk.Now,
+	})
+	rec := telemetry.New(telemetry.Options{TransitionSampleShift: -1})
+	p, l := newLib(t, WithTelemetry(rec), WithPolicy(eng))
+	return p, l, eng, clk, rec
+}
+
+// TestPolicyConsultedOnRewind: the monitor consults the engine after
+// every absorbed rewind, stamps the decision into the forensics report,
+// and emits a policy flight event attributed to the victim thread.
+func TestPolicyConsultedOnRewind(t *testing.T) {
+	p, l, eng, _, rec := policyLib(t)
+	run(t, p, func(th *proc.Thread) error {
+		var abn *AbnormalExit
+		if err := faultGuard(t, l, th, 0xDEAD0000, true); !errors.As(err, &abn) {
+			t.Fatalf("first fault: err = %v, want AbnormalExit", err)
+		}
+		rep, ok := rec.Forensics().Last()
+		if !ok {
+			t.Fatal("no forensics report")
+		}
+		if rep.PolicyState != "healthy" || rep.PolicyAction != "rewind" || rep.PolicyWindowCount != 1 {
+			t.Errorf("report policy fields = %q/%q/%d, want healthy/rewind/1",
+				rep.PolicyState, rep.PolicyAction, rep.PolicyWindowCount)
+		}
+		// Second fault crosses the backoff threshold (2-in-window).
+		if err := faultGuard(t, l, th, 0xDEAD0000, true); !errors.As(err, &abn) {
+			t.Fatalf("second fault: err = %v, want AbnormalExit", err)
+		}
+		rep, _ = rec.Forensics().Last()
+		if rep.PolicyState != "backoff" || rep.PolicyAction != "backoff" || rep.PolicyWindowCount != 2 {
+			t.Errorf("escalated report = %q/%q/%d, want backoff/backoff/2",
+				rep.PolicyState, rep.PolicyAction, rep.PolicyWindowCount)
+		}
+		if rep.PolicyRetryAfterNs != int64(10*time.Millisecond) {
+			t.Errorf("retry-after = %d, want 10ms", rep.PolicyRetryAfterNs)
+		}
+		// The flight recorder saw one policy event per rewind, with the
+		// victim thread attached.
+		var policyEvents int
+		for _, ev := range rec.Flight().Snapshot() {
+			if ev.Kind == "policy" {
+				policyEvents++
+				if ev.Thread != th.ID() || ev.UDI != 1 {
+					t.Errorf("policy event tid/udi = %d/%d, want %d/1", ev.Thread, ev.UDI, th.ID())
+				}
+			}
+		}
+		if policyEvents != 2 {
+			t.Errorf("policy flight events = %d, want 2", policyEvents)
+		}
+		if snaps := eng.Snapshot(); len(snaps) != 1 || snaps[0].TotalRewinds != 2 {
+			t.Errorf("engine snapshot = %+v, want one domain with 2 rewinds", snaps)
+		}
+		return nil
+	})
+}
+
+// TestPolicyDeniesReInit: once the domain is in a hold-off, the next
+// Guard is refused at InitDomain with a QuarantineError, and admission
+// reopens after the hold-off expires on the engine clock.
+func TestPolicyDeniesReInit(t *testing.T) {
+	p, l, _, clk, _ := policyLib(t)
+	run(t, p, func(th *proc.Thread) error {
+		for i := 0; i < 2; i++ {
+			var abn *AbnormalExit
+			if err := faultGuard(t, l, th, 0xDEAD0000, true); !errors.As(err, &abn) {
+				t.Fatalf("fault %d: err = %v, want AbnormalExit", i, err)
+			}
+		}
+		// Backoff hold-off (10ms) is running: re-init denied.
+		err := faultGuard(t, l, th, 0xDEAD0000, false)
+		if !errors.Is(err, ErrDomainQuarantined) {
+			t.Fatalf("held-off guard err = %v, want ErrDomainQuarantined", err)
+		}
+		var qe *QuarantineError
+		if !errors.As(err, &qe) {
+			t.Fatalf("err %v does not unwrap to *QuarantineError", err)
+		}
+		if qe.UDI != 1 || qe.State != "backoff" {
+			t.Errorf("quarantine error = %+v, want UDI 1 backoff", qe)
+		}
+		if qe.RetryAfterNs <= 0 || qe.RetryAfterNs > int64(10*time.Millisecond) {
+			t.Errorf("retry-after = %d, want (0, 10ms]", qe.RetryAfterNs)
+		}
+		// Denial leaves no domain state behind: after the hold-off the
+		// same Guard succeeds.
+		clk.Advance(20 * time.Millisecond)
+		if err := faultGuard(t, l, th, 0xDEAD0000, false); err != nil {
+			t.Fatalf("readmitted guard err = %v, want nil", err)
+		}
+		return nil
+	})
+}
+
+// TestPolicyExemptsDataDomains: data domains hold state, not execution —
+// they never rewind, so admission control does not apply.
+func TestPolicyExemptsDataDomains(t *testing.T) {
+	p, l, eng, _, _ := policyLib(t)
+	run(t, p, func(th *proc.Thread) error {
+		// Drive UDI 2's execution-domain record into backoff via the
+		// shared engine (the engine keys by UDI, not domain kind).
+		eng.OnRewind(2)
+		eng.OnRewind(2)
+		if dec := eng.Admit(2); dec.Allowed() {
+			t.Fatal("expected UDI 2 to be in a hold-off")
+		}
+		if err := l.InitDomain(th, 2, AsData()); err != nil {
+			t.Fatalf("data-domain init err = %v, want nil (policy exempt)", err)
+		}
+		return nil
+	})
+}
+
+// TestPolicyDisabledBitIdentical: with no engine configured the policy
+// hook must be invisible — the same fault schedule produces
+// bit-identical forensics (timestamps excepted) and stats whether the
+// library was built without WithPolicy or with WithPolicy(nil).
+func TestPolicyDisabledBitIdentical(t *testing.T) {
+	type outcome struct {
+		reports []telemetry.RewindReport
+		rewinds int64
+		errs    []string
+	}
+	runSchedule := func(opts ...SetupOption) outcome {
+		rec := telemetry.New(telemetry.Options{TransitionSampleShift: -1})
+		p, l := newLib(t, append([]SetupOption{WithTelemetry(rec)}, opts...)...)
+		var out outcome
+		run(t, p, func(th *proc.Thread) error {
+			// Mixed schedule: faults, clean rounds, a fault in a second
+			// domain.
+			schedule := []struct {
+				udi   UDI
+				fault bool
+			}{{1, true}, {1, false}, {1, true}, {1, true}, {1, false}}
+			for _, s := range schedule {
+				err := faultGuard(t, l, th, 0xDEAD0000, s.fault)
+				if err != nil {
+					out.errs = append(out.errs, err.Error())
+				} else {
+					out.errs = append(out.errs, "")
+				}
+				_ = s.udi
+			}
+			return nil
+		})
+		out.rewinds = l.Stats().Rewinds.Load()
+		out.reports = rec.Forensics().Reports()
+		for i := range out.reports {
+			out.reports[i].TimeNs = 0 // wall-clock, not schedule-determined
+		}
+		return out
+	}
+
+	base := runSchedule()
+	nilPolicy := runSchedule(WithPolicy(nil))
+	if !reflect.DeepEqual(base, nilPolicy) {
+		t.Errorf("WithPolicy(nil) diverged from no-policy baseline:\nbase: %+v\nnil:  %+v", base, nilPolicy)
+	}
+	for _, rep := range base.reports {
+		if rep.PolicyState != "" || rep.PolicyAction != "" {
+			t.Errorf("policy fields set without a policy: %+v", rep)
+		}
+	}
+	if base.rewinds != 3 {
+		t.Errorf("baseline rewinds = %d, want 3", base.rewinds)
+	}
+}

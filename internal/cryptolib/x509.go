@@ -217,6 +217,10 @@ func (v *Verifier) Verify(t *proc.Thread, cert []byte) (VerifyResult, error) {
 			v.ready = false
 			v.rewinds++
 		}
+		// Fail closed: every guard failure — including a re-init denied
+		// by the resilience policy (core.ErrDomainQuarantined) — returns
+		// a zero VerifyResult, so a quarantined verifier can never be
+		// coerced into vouching for a certificate it did not check.
 		return VerifyResult{}, gerr
 	}
 	return res, verr

@@ -12,6 +12,7 @@ import (
 	"sdrad/internal/cryptolib"
 	"sdrad/internal/galloc"
 	"sdrad/internal/mem"
+	"sdrad/internal/policy"
 	"sdrad/internal/proc"
 	"sdrad/internal/stack"
 	"sdrad/internal/telemetry"
@@ -81,6 +82,13 @@ type Config struct {
 	// Telemetry optionally attaches a recorder shared by all worker
 	// processes; each worker's monitor and address space feed it.
 	Telemetry *telemetry.Recorder
+	// Policy optionally attaches a resilience-policy engine, shared by
+	// all workers of the master (a UDI names a software component — the
+	// parser — so quarantining it covers every worker's instance).
+	// While the parser domain is quarantined the worker answers 503
+	// with a Retry-After header instead of re-creating the domain; a
+	// shedding parser closes its connections.
+	Policy *policy.Engine
 }
 
 func (c *Config) setDefaults() {
@@ -179,11 +187,13 @@ type Worker struct {
 	p   *proc.Process
 	lib *core.Library // hardened build only
 
-	ch      chan *event
-	alloc   connAllocator
-	files   map[string]fileEntry
-	rewinds atomic.Int64
-	handle  *proc.Handle
+	ch       chan *event
+	alloc    connAllocator
+	files    map[string]fileEntry
+	rewinds  atomic.Int64
+	degraded atomic.Int64 // 503s served while the parser was quarantined
+	shed     atomic.Int64 // connections closed by load shedding
+	handle   *proc.Handle
 	// reqs is this worker's native request count; each worker mirrors
 	// its own counter into the registry via CounterFunc (callbacks on
 	// one name sum), so the request path never touches a counter shared
@@ -269,6 +279,9 @@ func newWorker(cfg Config, idx int) (*Worker, error) {
 		opts := []core.SetupOption{core.WithRootHeapSize(heapBudget(cfg))}
 		if cfg.Telemetry != nil {
 			opts = append(opts, core.WithTelemetry(cfg.Telemetry))
+		}
+		if cfg.Policy != nil {
+			opts = append(opts, core.WithPolicy(cfg.Policy))
 		}
 		lib, err := core.Setup(w.p, opts...)
 		if err != nil {
@@ -533,6 +546,13 @@ func (w *Worker) Crashed() (bool, error) {
 // Rewinds reports recovered parser attacks.
 func (w *Worker) Rewinds() int64 { return w.rewinds.Load() }
 
+// Degraded reports 503 responses served while the parser domain was
+// quarantined.
+func (w *Worker) Degraded() int64 { return w.degraded.Load() }
+
+// Shed reports connections closed by load shedding.
+func (w *Worker) Shed() int64 { return w.shed.Load() }
+
 // MappedBytes is the worker's resident-set-size analog.
 func (w *Worker) MappedBytes() int64 {
 	return w.p.AddressSpace().Stats().MappedBytes.Load()
@@ -578,6 +598,14 @@ func (w *Worker) handleRequest(t *proc.Thread, conn *Conn, reqBytes []byte) resu
 		return result{err: ErrTooLarge}
 	}
 	w.reqs.Add(1)
+	// Resilience-policy admission: a quarantined parser is not
+	// re-created; the request is answered 503 with Retry-After (or the
+	// connection shed) without touching the guard scope.
+	if w.cfg.Variant == VariantSDRaD {
+		if dec := w.lib.Policy().Admit(int(parserUDI)); !dec.Allowed() {
+			return w.respondDegraded(t, conn, dec.State, dec.RetryAfterNs)
+		}
+	}
 	c := t.CPU()
 	if !conn.ready {
 		if err := w.allocConnBuffers(t, conn); err != nil {
@@ -733,7 +761,25 @@ func (w *Worker) parseHardened(t *proc.Thread, conn *Conn, rlen int, req *Reques
 		w.freeConnBuffers(t, conn)
 		return &result{closed: true}
 	}
+	var qe *core.QuarantineError
+	if errors.As(gerr, &qe) {
+		// The shared policy engine escalated between the admission
+		// pre-check and the lazy re-init inside the guard (a sibling
+		// worker's rewinds): same degraded answer, connection stays open.
+		w.domainReady = false
+		r := w.respondDegraded(t, conn, quarantineState(qe), qe.RetryAfterNs)
+		return &r
+	}
 	return &result{err: gerr}
+}
+
+// quarantineState maps a monitor-side denial back onto the policy ladder
+// state that drives the degraded response.
+func quarantineState(qe *core.QuarantineError) policy.State {
+	if qe.State == policy.StateShedding.String() {
+		return policy.StateShedding
+	}
+	return policy.StateQuarantined
 }
 
 // runHardenedBatch parses every request of a pipelined batch inside ONE
@@ -773,6 +819,21 @@ func (w *Worker) runHardenedBatch(t *proc.Thread, conn *Conn, reqs [][]byte, res
 		live++
 	}
 	if live == 0 {
+		return results
+	}
+	// Resilience-policy admission for the whole batch (one guard scope,
+	// one decision): every live request gets the degraded response.
+	if dec := lib.Policy().Admit(int(parserUDI)); !dec.Allowed() {
+		for i := range reqs {
+			if done[i] {
+				continue
+			}
+			if conn.closed {
+				results[i] = result{closed: true, err: ErrConnClosed}
+				continue
+			}
+			results[i] = w.respondDegraded(t, conn, dec.State, dec.RetryAfterNs)
+		}
 		return results
 	}
 	gerr := lib.Guard(t, parserUDI, func() error {
@@ -836,6 +897,24 @@ func (w *Worker) runHardenedBatch(t *proc.Thread, conn *Conn, reqs [][]byte, res
 			}
 			return results
 		}
+		var qe *core.QuarantineError
+		if errors.As(gerr, &qe) {
+			// Re-init denied mid-flight by the shared engine: answer the
+			// whole batch degraded, exactly one decision, no discard.
+			w.domainReady = false
+			st := quarantineState(qe)
+			for i := range reqs {
+				if done[i] {
+					continue
+				}
+				if conn.closed {
+					results[i] = result{closed: true, err: ErrConnClosed}
+					continue
+				}
+				results[i] = w.respondDegraded(t, conn, st, qe.RetryAfterNs)
+			}
+			return results
+		}
 		for i := range reqs {
 			if !done[i] {
 				results[i] = result{err: gerr}
@@ -866,6 +945,33 @@ func (w *Worker) runHardenedBatch(t *proc.Thread, conn *Conn, reqs [][]byte, res
 		results[i] = w.respond(t, conn, &parsed[i], perrs[i], status)
 	}
 	return results
+}
+
+// respondDegraded is the worker's resilience-policy response: while the
+// parser domain is quarantined or backing off the worker answers 503
+// Service Unavailable with a Retry-After header covering the remaining
+// hold-off (NGINX's standard overload answer), keeping the connection
+// open; once the policy escalates to shedding the connection is closed
+// outright. The response is synthesized host-side — the degraded path
+// deliberately touches no simulated domain memory.
+func (w *Worker) respondDegraded(t *proc.Thread, conn *Conn, state policy.State, retryAfterNs int64) result {
+	if state == policy.StateShedding {
+		if !conn.closed {
+			conn.closed = true
+			w.freeConnBuffers(t, conn)
+			w.shed.Add(1)
+		}
+		return result{closed: true}
+	}
+	w.degraded.Add(1)
+	secs := (retryAfterNs + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	resp := fmt.Sprintf("HTTP/1.1 503 Service Unavailable\r\n"+
+		"Server: sdrad-httpd/1.23\r\nRetry-After: %d\r\nContent-Length: 0\r\n"+
+		"Connection: keep-alive\r\n\r\n", secs)
+	return result{data: []byte(resp)}
 }
 
 // respond builds the HTTP response in the connection write buffer.

@@ -6,9 +6,12 @@ import (
 	"strconv"
 	"sync/atomic"
 
+	"bytes"
+
 	"sdrad/internal/core"
 	"sdrad/internal/galloc"
 	"sdrad/internal/mem"
+	"sdrad/internal/policy"
 	"sdrad/internal/proc"
 	"sdrad/internal/telemetry"
 	"sdrad/internal/tlsf"
@@ -84,6 +87,12 @@ type Config struct {
 	// it through the reference monitor, the vanilla build through the
 	// address space only (fault events and MMU counters).
 	Telemetry *telemetry.Recorder
+	// Policy optionally attaches a resilience-policy engine to the
+	// hardened build (ignored by baselines). When the event domain is
+	// quarantined the server serves gets as misses and refuses mutations
+	// with SERVER_ERROR instead of re-creating the domain; a shedding
+	// domain's connections are closed outright.
+	Policy *policy.Engine
 }
 
 func (c *Config) setDefaults() {
@@ -143,6 +152,8 @@ type Server struct {
 	connIDs       atomic.Int64
 	rewinds       atomic.Int64
 	closedByAtk   atomic.Int64
+	degraded      atomic.Int64 // requests answered on the quarantine path
+	shed          atomic.Int64 // connections closed by load shedding
 }
 
 type worker struct {
@@ -256,6 +267,9 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		if cfg.Telemetry != nil {
 			opts = append(opts, core.WithTelemetry(cfg.Telemetry))
+		}
+		if cfg.Policy != nil {
+			opts = append(opts, core.WithPolicy(cfg.Policy))
 		}
 		lib, err := core.Setup(s.p, opts...)
 		if err != nil {
@@ -613,6 +627,13 @@ func (s *Server) runHardenedBatch(t *proc.Thread, w *worker, items []batchItem, 
 	if live == 0 {
 		return results
 	}
+	// Resilience-policy admission: while the event domain is quarantined
+	// (or held off in backoff) the batch is served on the degraded path
+	// — no domain re-creation, no guard scope. The Admit call is also
+	// what readmits the domain once its cool-down expires.
+	if dec := s.lib.Policy().Admit(int(eventUDI)); !dec.Allowed() {
+		return s.serveDegraded(t, items, states, results, dec)
+	}
 	if s.telBatch != nil {
 		s.telBatch.Observe(int64(live))
 	}
@@ -743,6 +764,30 @@ func (s *Server) runHardenedBatch(t *proc.Thread, w *worker, items []batchItem, 
 			}
 			return results
 		}
+		if errors.Is(gerr, core.ErrDomainQuarantined) {
+			// The policy refused to re-create the event domain between
+			// the Admit above and the Guard (quarantine raced in, e.g. a
+			// concurrent rewind crossed the threshold). Close only this
+			// batch's connections; the domain, its slots, and the
+			// deferred ops never existed, and NO forensics report is
+			// synthesized here — the rewind that triggered the
+			// quarantine already produced exactly one.
+			w.domainReady = false
+			w.slots = w.slots[:0]
+			for i := range items {
+				if states[i].done {
+					continue
+				}
+				conn := items[i].ev.conn
+				if !conn.closed {
+					conn.closed = true
+					s.freeConnBuffers(t, conn)
+					s.closedByAtk.Add(1)
+				}
+				results[i] = result{closed: true, err: gerr}
+			}
+			return results
+		}
 		for i := range items {
 			if !states[i].done {
 				results[i] = result{err: gerr}
@@ -767,6 +812,55 @@ func (s *Server) runHardenedBatch(t *proc.Thread, w *worker, items []batchItem, 
 	}
 	return results
 }
+
+// serveDegraded answers a batch while the event domain is quarantined:
+// gets are served as misses straight from root memory (the cached data
+// died with the discarded domain state's trust anyway — a miss is the
+// safe answer), quits close cleanly, and mutations are refused with
+// SERVER_ERROR so clients back off. A shedding domain drops its
+// connections outright. Nothing here touches the guard scope or the
+// shared database, which is the point: the degraded path costs no
+// domain re-creation.
+func (s *Server) serveDegraded(t *proc.Thread, items []batchItem, states []evState, results []result, dec policy.Decision) []result {
+	shedding := dec.State == policy.StateShedding
+	for i := range items {
+		if states[i].done {
+			continue
+		}
+		conn := items[i].ev.conn
+		if shedding {
+			if !conn.closed {
+				conn.closed = true
+				s.freeConnBuffers(t, conn)
+				s.shed.Add(1)
+			}
+			results[i] = result{closed: true, err: ErrConnClosed}
+			continue
+		}
+		s.degraded.Add(1)
+		req := items[i].req
+		switch {
+		case bytes.HasPrefix(req, []byte("get ")), bytes.HasPrefix(req, []byte("gets ")):
+			results[i] = result{data: []byte("END\r\n")}
+		case bytes.HasPrefix(req, []byte("quit")):
+			if !conn.closed {
+				conn.closed = true
+				s.freeConnBuffers(t, conn)
+			}
+			results[i] = result{closed: true}
+		default:
+			results[i] = result{data: []byte("SERVER_ERROR event domain quarantined\r\n")}
+		}
+	}
+	return results
+}
+
+// Degraded reports how many requests were answered on the quarantine
+// degraded path.
+func (s *Server) Degraded() int64 { return s.degraded.Load() }
+
+// Shed reports how many connections were closed by load shedding.
+func (s *Server) Shed() int64 { return s.shed.Load() }
 
 // closedEarlierInBatch reports whether an earlier live item of the
 // current batch closed item i's connection (quit command).

@@ -49,6 +49,16 @@ type RewindReport struct {
 	// unlimited), per the Unlimited Lives rate-limiting argument.
 	RewindCount int64 `json:"rewind_count"`
 	RewindLimit int64 `json:"rewind_limit"`
+
+	// Policy decision taken for this rewind, when a resilience-policy
+	// engine is attached: the ladder state after the decision, the
+	// action, and the sliding-window rewind count at decision time.
+	PolicyState       string `json:"policy_state,omitempty"`
+	PolicyAction      string `json:"policy_action,omitempty"`
+	PolicyWindowCount int    `json:"policy_window_count,omitempty"`
+	// PolicyRetryAfterNs is the re-init hold-off the decision imposed
+	// (backoff or quarantine), 0 otherwise.
+	PolicyRetryAfterNs int64 `json:"policy_retry_after_ns,omitempty"`
 }
 
 // ForensicsStore retains the last N rewind reports and counts all of

@@ -45,6 +45,11 @@ const (
 	EvCrash
 	EvThreadStart
 	EvThreadExit
+	// EvPolicy records a resilience-policy decision (escalation or
+	// readmission); code carries the ladder state, pkey the action, aux
+	// the sliding-window rewind count. Appended last so earlier kinds
+	// keep their values in persisted dumps.
+	EvPolicy
 )
 
 func (k EventKind) String() string {
@@ -71,6 +76,8 @@ func (k EventKind) String() string {
 		return "thread-start"
 	case EvThreadExit:
 		return "thread-exit"
+	case EvPolicy:
+		return "policy"
 	default:
 		return "unknown"
 	}
@@ -298,6 +305,17 @@ func (r *Recorder) RecordThreadExit(tid int) {
 		return
 	}
 	r.flight.record(r.Clock(), EvThreadExit, tid, -1, 0, 0, 0, 0)
+}
+
+// RecordPolicy records a resilience-policy decision: state and action
+// are the policy package's State/Action values (kept as ints so this
+// package stays dependency-free), aux is the sliding-window rewind
+// count at decision time.
+func (r *Recorder) RecordPolicy(tid, udi, state, action int, aux uint64) {
+	if !r.enabled.Load() {
+		return
+	}
+	r.flight.record(r.Clock(), EvPolicy, tid, udi, state, action, 0, aux)
 }
 
 // RecordRewind stores the post-mortem report of one absorbed rewind and
