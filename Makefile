@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check chaos-smoke bench-smoke throughput-gate policy-gate recovery-bench ci
+.PHONY: build test race vet fmt-check chaos-smoke bench-smoke throughput-gate parity-gate parity-bench policy-gate recovery-bench ci
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,19 @@ bench-smoke:
 throughput-gate:
 	$(GO) run ./cmd/sdrad-bench -throughput -throughput-baseline BENCH_throughput.json
 
+# The check-elision parity gate: assert the committed baseline holds the
+# headline cell (sdrad w8 d16) at >= 0.97x vanilla. Deterministic — it
+# reads BENCH_throughput.json, runs nothing — so machine noise cannot
+# flake it; a recording below the floor simply may not be committed.
+parity-gate:
+	$(GO) run ./cmd/sdrad-bench -parity-baseline BENCH_throughput.json
+
+# Re-measure the paired parity grid live (~2 minutes on a quiet machine;
+# the headline ratio is also re-recorded by `-throughput`, which is what
+# updates the gated baseline).
+parity-bench:
+	$(GO) run ./cmd/sdrad-bench -parity
+
 # The fixed-seed escalation-ladder campaign plus the recovery-cost gate,
 # as the policy-gate CI job runs them.
 policy-gate:
@@ -46,4 +59,4 @@ policy-gate:
 recovery-bench:
 	$(GO) run ./cmd/sdrad-bench -quick -recovery-json BENCH_recovery.json
 
-ci: build vet fmt-check test race chaos-smoke policy-gate
+ci: build vet fmt-check test race chaos-smoke parity-gate policy-gate

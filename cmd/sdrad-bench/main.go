@@ -38,6 +38,10 @@ func run(args []string) error {
 	tputBaseline := fs.String("throughput-baseline", "", "compare the throughput report against this JSON baseline; exit non-zero on >25% speed-adjusted drop")
 	recJSON := fs.String("recovery-json", "", "write the recovery-cost report as JSON to this path")
 	recBaseline := fs.String("recovery-baseline", "", "gate the recovery report against this JSON baseline; exit non-zero when rewind is not clearly cheaper than restart or its cost regressed")
+	parity := fs.Bool("parity", false, "measure the sdrad/vanilla parity ratio table with paired back-to-back runs")
+	parityJSON := fs.String("parity-json", "", "write the parity report as JSON to this path (implies -parity)")
+	parityFloor := fs.Float64("parity-floor", 0, "with -parity, exit non-zero when the live headline-cell ratio falls below this floor")
+	parityBaseline := fs.String("parity-baseline", "", "assert the committed throughput baseline's headline cell holds sdrad >= 0.97x vanilla (deterministic; no benchmark run needed)")
 	selected := make(map[string]*bool, len(bench.Experiments))
 	for _, name := range bench.Experiments {
 		selected[name] = fs.Bool(name, false, "run the "+name+" experiment")
@@ -72,11 +76,27 @@ func run(args []string) error {
 	if (*recJSON != "" || *recBaseline != "") && !*selected["recovery"] {
 		toRun = append(toRun, "recovery")
 	}
-	if len(toRun) == 0 {
+	parityMode := *parityBaseline != "" || *parity || *parityJSON != ""
+	if len(toRun) == 0 && !parityMode {
 		toRun = bench.Experiments
 	}
 	fmt.Printf("SDRaD-Go evaluation (scale: %s)\n", scaleName)
 	fmt.Printf("Reproducing: Gülmez et al., \"Rewind & Discard\", DSN 2023\n\n")
+	// Parity flags form their own mode: the deterministic baseline-ratio
+	// assertion and/or the live paired-ratio table run instead of the
+	// experiment list (combine with experiment flags to run both).
+	if parityMode {
+		if *parityBaseline != "" {
+			if err := checkParityBaseline(*parityBaseline); err != nil {
+				return err
+			}
+		}
+		if *parity || *parityJSON != "" {
+			if err := runParity(scale, *parityJSON, *parityFloor); err != nil {
+				return fmt.Errorf("parity: %w", err)
+			}
+		}
+	}
 	for _, name := range toRun {
 		if name == "substrate" && (*subJSON != "" || *subBaseline != "" || *telGuard) {
 			if err := runSubstrate(scale, *subJSON, *subBaseline, *telGuard); err != nil {
@@ -160,6 +180,49 @@ func runThroughput(scale bench.Scale, jsonPath, baselinePath string) error {
 			return err
 		}
 		fmt.Printf("throughput within 25%% of baseline %s\n", baselinePath)
+	}
+	return nil
+}
+
+// checkParityBaseline asserts the committed throughput baseline's
+// headline cell (sdrad w8 d16) holds the parity floor. It runs no
+// benchmark — the check divides two recorded numbers — so it is exact
+// and immune to runner noise: the gate moves only when someone commits
+// a recording that fails it.
+func checkParityBaseline(path string) error {
+	base, err := bench.LoadThroughputBaseline(path)
+	if err != nil {
+		return err
+	}
+	if err := base.CheckParityFloor(bench.ParityHeadlineWorkers, bench.ParityHeadlineDepth, bench.ParityFloor); err != nil {
+		return err
+	}
+	ratio, _ := base.ParityRatio(bench.ParityHeadlineWorkers, bench.ParityHeadlineDepth)
+	fmt.Printf("parity: committed baseline %s holds sdrad w%d d%d at %.3fx vanilla (floor %.2fx)\n",
+		path, bench.ParityHeadlineWorkers, bench.ParityHeadlineDepth, ratio, bench.ParityFloor)
+	return nil
+}
+
+// runParity measures the paired sdrad/vanilla ratio table, optionally
+// writing the JSON report and gating the live headline ratio against a
+// caller-chosen floor (loose by design: live CI runs wear the runner's
+// noise; the strict floor lives on the committed baseline).
+func runParity(scale bench.Scale, jsonPath string, liveFloor float64) error {
+	rep, table, err := bench.RunParity(scale, nil, nil, liveFloor)
+	if table != nil {
+		table.Fprint(os.Stdout)
+	}
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("parity report written to %s\n", jsonPath)
+	}
+	if liveFloor > 0 {
+		fmt.Printf("live parity headline ratio clears the %.2fx floor\n", liveFloor)
 	}
 	return nil
 }

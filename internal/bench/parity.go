@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"sdrad/internal/memcache"
+)
+
+// Parity measurement: how close the hardened server runs to vanilla.
+//
+// The throughput grid (RunThroughput) answers "did a change slow the
+// server down"; the parity harness answers the paper's Figure-4 question
+// — "what does the isolation itself cost" — as a per-cell sdrad/vanilla
+// ratio. Ratios are far more noise-sensitive than absolute cells on a
+// shared single-core runner: two medians measured minutes apart can
+// differ by 20% from scheduler drift alone. So parity runs the two
+// variants back-to-back inside each round, alternating which goes first,
+// and reports the MEDIAN OF PAIRED RATIOS rather than the ratio of two
+// independent medians. Pairing cancels the slow drift (thermal, page
+// cache, background load) that dominates this machine's variance; only
+// the seconds-scale jitter within a round survives into the spread.
+
+// ParityReport captures the paired ratio per cell.
+type ParityReport struct {
+	Schema        string  `json:"schema"`
+	CalibrationNs float64 `json:"calibration_ns"`
+	Rounds        int     `json:"rounds"`
+	Records       int     `json:"records"`
+	Operations    int     `json:"operations"`
+	// Ratio maps "w8_d16"-style cell names to the median paired
+	// sdrad/vanilla throughput ratio (1.0 = parity).
+	Ratio map[string]float64 `json:"ratio"`
+	// Vanilla/SDRaD record the per-cell median absolute throughputs of
+	// the same paired runs (informational).
+	Vanilla map[string]float64 `json:"vanilla"`
+	SDRaD   map[string]float64 `json:"sdrad"`
+}
+
+// paritySchema versions the JSON layout.
+const paritySchema = "sdrad-parity-bench/v1"
+
+// ParityFloor is the ratio the committed baseline's headline cell
+// (workers=8, depth=16 — the deepest batching the server amortizes) must
+// clear: within 3% of vanilla. It is asserted against the checked-in
+// BENCH_throughput.json, which makes the CI gate deterministic — the
+// recorded numbers either clear the floor or the recording may not be
+// committed.
+const ParityFloor = 0.97
+
+// ParityHeadlineWorkers/Depth name the gated cell.
+const (
+	ParityHeadlineWorkers = 8
+	ParityHeadlineDepth   = 16
+)
+
+// parityCell names one ratio cell ("w8_d16").
+func parityCell(workers, depth int) string {
+	return fmt.Sprintf("w%d_d%d", workers, depth)
+}
+
+// ParityRatio returns the sdrad/vanilla throughput ratio of one cell of a
+// throughput report, or false when the cell is missing. When the report
+// recorded a median paired ratio for the cell (RunThroughput has since the
+// paired-harness unification), that estimator is returned; dividing the
+// two median cells is the fallback for pre-parity baselines.
+func (r *ThroughputReport) ParityRatio(workers, depth int) (float64, bool) {
+	if ratio, ok := r.ParityRatios[parityCell(workers, depth)]; ok && ratio > 0 {
+		return ratio, true
+	}
+	van := r.RunTput[throughputCell(memcache.VariantVanilla, workers, depth)]
+	sd := r.RunTput[throughputCell(memcache.VariantSDRaD, workers, depth)]
+	if van <= 0 || sd <= 0 {
+		return 0, false
+	}
+	return sd / van, true
+}
+
+// CheckParityFloor asserts that the report's (workers, depth) cell holds
+// an sdrad/vanilla ratio of at least floor. Run against the committed
+// baseline it is exact and deterministic; run against a live report it
+// gates with whatever slack the caller chose for the machine's noise.
+func (r *ThroughputReport) CheckParityFloor(workers, depth int, floor float64) error {
+	ratio, ok := r.ParityRatio(workers, depth)
+	if !ok {
+		return fmt.Errorf("bench: parity: report has no w%d d%d cells", workers, depth)
+	}
+	if ratio < floor {
+		return fmt.Errorf("bench: parity: sdrad w%d d%d runs at %.3fx vanilla, floor is %.2fx",
+			workers, depth, ratio, floor)
+	}
+	return nil
+}
+
+// medianOf returns the median of a copy of xs.
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// pairedCell measures one cell as `rounds` back-to-back (vanilla, sdrad)
+// pairs, alternating which variant runs first so warm-up favors neither,
+// and returns the median ratio plus the median absolute throughputs.
+func pairedCell(workers, depth, rounds int, sc Scale, ops int) (ratio, van, sd float64, err error) {
+	ratios := make([]float64, 0, rounds)
+	vans := make([]float64, 0, rounds)
+	sds := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		var v, s float64
+		if r%2 == 0 {
+			if v, err = channelYCSB(memcache.VariantVanilla, workers, depth, sc, ops); err == nil {
+				s, err = channelYCSB(memcache.VariantSDRaD, workers, depth, sc, ops)
+			}
+		} else {
+			if s, err = channelYCSB(memcache.VariantSDRaD, workers, depth, sc, ops); err == nil {
+				v, err = channelYCSB(memcache.VariantVanilla, workers, depth, sc, ops)
+			}
+		}
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		ratios = append(ratios, s/v)
+		vans = append(vans, v)
+		sds = append(sds, s)
+	}
+	return medianOf(ratios), medianOf(vans), medianOf(sds), nil
+}
+
+// RunParity measures the sdrad/vanilla parity ratio across the worker ×
+// depth grid with paired runs, returning the machine-readable report and
+// a printable table. liveFloor > 0 additionally gates the measured
+// headline-cell ratio (a loose tripwire for live CI runs; the strict
+// ParityFloor belongs to the committed baseline, which is noise-free).
+func RunParity(sc Scale, workerCounts, depths []int, liveFloor float64) (*ParityReport, *Table, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 8}
+	}
+	if len(depths) == 0 {
+		depths = []int{1, 16}
+	}
+	ops := sc.MemcachedOps
+	rounds := 5
+	if sc.MemcachedOps <= Quick.MemcachedOps {
+		rounds = 3
+	} else {
+		ops *= 2
+	}
+	rep := &ParityReport{
+		Schema:     paritySchema,
+		Rounds:     rounds,
+		Records:    sc.MemcachedRecords,
+		Operations: ops,
+		Ratio:      make(map[string]float64, len(workerCounts)*len(depths)),
+		Vanilla:    make(map[string]float64, len(workerCounts)*len(depths)),
+		SDRaD:      make(map[string]float64, len(workerCounts)*len(depths)),
+	}
+	t := &Table{
+		ID:     "Parity",
+		Title:  "Memcached sdrad/vanilla parity (median of paired back-to-back ratios)",
+		Header: []string{"workers", "depth", "vanilla", "sdrad", "ratio"},
+		Notes: []string{
+			fmt.Sprintf("each cell: %d rounds of back-to-back (vanilla, sdrad) runs, order alternating", rounds),
+			"ratio = median over rounds of (sdrad tput / vanilla tput of the SAME round)",
+			fmt.Sprintf("committed-baseline gate: BENCH_throughput.json w%d d%d ratio >= %.2f",
+				ParityHeadlineWorkers, ParityHeadlineDepth, ParityFloor),
+		},
+	}
+	for _, workers := range workerCounts {
+		for _, depth := range depths {
+			ratio, van, sd, err := pairedCell(workers, depth, rounds, sc, ops)
+			if err != nil {
+				return nil, nil, fmt.Errorf("parity w%d/d%d: %w", workers, depth, err)
+			}
+			cell := parityCell(workers, depth)
+			rep.Ratio[cell] = ratio
+			rep.Vanilla[cell] = van
+			rep.SDRaD[cell] = sd
+			t.AddRow(
+				fmt.Sprintf("%d", workers),
+				fmt.Sprintf("%d", depth),
+				fmtTput(van),
+				fmtTput(sd),
+				fmt.Sprintf("%.3fx", ratio),
+			)
+		}
+	}
+	rep.CalibrationNs = calibrationNs()
+	if liveFloor > 0 {
+		cell := parityCell(ParityHeadlineWorkers, ParityHeadlineDepth)
+		if ratio, ok := rep.Ratio[cell]; ok && ratio < liveFloor {
+			return rep, t, fmt.Errorf("bench: parity: live w%d d%d ratio %.3fx below live floor %.2fx",
+				ParityHeadlineWorkers, ParityHeadlineDepth, ratio, liveFloor)
+		}
+	}
+	return rep, t, nil
+}
+
+// WriteJSON writes the parity report to path.
+func (r *ParityReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

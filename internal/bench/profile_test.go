@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"os"
+	"runtime/pprof"
+	"testing"
+
+	"sdrad/internal/memcache"
+)
+
+// TestProfileParityCell is a profiling hook, not a regression test: set
+// SDRAD_PROFILE to an output path (and optionally SDRAD_PROFILE_VARIANT
+// to "vanilla") to capture a CPU profile of the headline parity cell.
+//
+//	SDRAD_PROFILE=/tmp/sdrad.pb go test ./internal/bench -run ProfileParityCell -count=1
+//	go tool pprof -top /tmp/sdrad.pb
+func TestProfileParityCell(t *testing.T) {
+	path := os.Getenv("SDRAD_PROFILE")
+	if path == "" {
+		t.Skip("set SDRAD_PROFILE=<path> to capture a profile")
+	}
+	variant := memcache.VariantSDRaD
+	if os.Getenv("SDRAD_PROFILE_VARIANT") == "vanilla" {
+		variant = memcache.VariantVanilla
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		t.Fatal(err)
+	}
+	defer pprof.StopCPUProfile()
+	for i := 0; i < 3; i++ {
+		if _, err := channelYCSB(variant, ParityHeadlineWorkers, ParityHeadlineDepth, Quick, 50*Quick.MemcachedOps); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

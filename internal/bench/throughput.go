@@ -7,7 +7,6 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -33,6 +32,11 @@ type ThroughputReport struct {
 	// RunTput maps "sdrad_w8_d16"-style cell names to run-phase ops/s.
 	// Gated by CheckAgainst at throughputTolerancePct.
 	RunTput map[string]float64 `json:"run_tput"`
+	// ParityRatios maps "w8_d16"-style cell names to the MEDIAN PAIRED
+	// sdrad/vanilla ratio of the same runs (see parity.go for why the
+	// paired estimator, not the ratio of the two medians above, is the
+	// statistic the parity gate trusts). Absent in pre-parity baselines.
+	ParityRatios map[string]float64 `json:"parity_ratios,omitempty"`
 }
 
 // throughputSchema versions the JSON layout.
@@ -191,20 +195,6 @@ func eachConn(s *memcache.Server, workers, total int, body func(w, lo, hi int, c
 	return nil
 }
 
-// medianChannelYCSB repeats a cell and reports the median throughput.
-func medianChannelYCSB(variant memcache.Variant, workers, depth, repeats int, sc Scale, ops int) (float64, error) {
-	tputs := make([]float64, 0, repeats)
-	for i := 0; i < repeats; i++ {
-		tput, err := channelYCSB(variant, workers, depth, sc, ops)
-		if err != nil {
-			return 0, err
-		}
-		tputs = append(tputs, tput)
-	}
-	sort.Float64s(tputs)
-	return tputs[len(tputs)/2], nil
-}
-
 // RunThroughput measures the Memcached scaling curve — vanilla and sdrad
 // throughput across worker counts and pipeline depths — returning the
 // machine-readable report and a printable table.
@@ -216,7 +206,7 @@ func RunThroughput(sc Scale, workerCounts, depths []int) (*ThroughputReport, *Ta
 		depths = []int{1, 4, 16}
 	}
 	ops := sc.MemcachedOps
-	repeats := 3
+	repeats := 5
 	if sc.MemcachedOps <= Quick.MemcachedOps {
 		repeats = 1
 	} else {
@@ -225,39 +215,42 @@ func RunThroughput(sc Scale, workerCounts, depths []int) (*ThroughputReport, *Ta
 		ops *= 2
 	}
 	rep := &ThroughputReport{
-		Schema:     throughputSchema,
-		Records:    sc.MemcachedRecords,
-		Operations: ops,
-		RunTput:    make(map[string]float64, 2*len(workerCounts)*len(depths)),
+		Schema:       throughputSchema,
+		Records:      sc.MemcachedRecords,
+		Operations:   ops,
+		RunTput:      make(map[string]float64, 2*len(workerCounts)*len(depths)),
+		ParityRatios: make(map[string]float64, len(workerCounts)*len(depths)),
 	}
 	t := &Table{
 		ID:     "Scaling",
 		Title:  "Memcached YCSB channel-path throughput by workers and pipeline depth",
-		Header: []string{"workers", "depth", "vanilla", "sdrad", "sdrad vs vanilla"},
+		Header: []string{"workers", "depth", "vanilla", "sdrad", "paired ratio"},
 		Notes: []string{
 			fmt.Sprintf("workload: %d records x 1KiB, %d ops, 95/5 read/update, Zipfian, via Conn.Do/DoPipeline", sc.MemcachedRecords, ops),
 			"depth>1 sends one pipelined burst per round: the hardened build handles it in ONE guard scope",
+			"paired ratio = median over rounds of (sdrad tput / vanilla tput of the SAME round)",
 			"gated in CI against BENCH_throughput.json (>25% speed-adjusted throughput drop fails)",
 		},
 	}
 	for _, workers := range workerCounts {
 		for _, depth := range depths {
-			van, err := medianChannelYCSB(memcache.VariantVanilla, workers, depth, repeats, sc, ops)
+			// Each cell is measured with the paired harness from parity.go:
+			// back-to-back (vanilla, sdrad) rounds with alternating order,
+			// so the recorded ratio reflects variant cost rather than the
+			// scheduler drift between two blocks of repeats minutes apart.
+			ratio, van, sd, err := pairedCell(workers, depth, repeats, sc, ops)
 			if err != nil {
-				return nil, nil, fmt.Errorf("throughput vanilla/w%d/d%d: %w", workers, depth, err)
-			}
-			sd, err := medianChannelYCSB(memcache.VariantSDRaD, workers, depth, repeats, sc, ops)
-			if err != nil {
-				return nil, nil, fmt.Errorf("throughput sdrad/w%d/d%d: %w", workers, depth, err)
+				return nil, nil, fmt.Errorf("throughput w%d/d%d: %w", workers, depth, err)
 			}
 			rep.RunTput[throughputCell(memcache.VariantVanilla, workers, depth)] = van
 			rep.RunTput[throughputCell(memcache.VariantSDRaD, workers, depth)] = sd
+			rep.ParityRatios[parityCell(workers, depth)] = ratio
 			t.AddRow(
 				fmt.Sprintf("%d", workers),
 				fmt.Sprintf("%d", depth),
 				fmtTput(van),
 				fmtTput(sd),
-				fmtPct(sd, van),
+				fmt.Sprintf("%.3fx", ratio),
 			)
 		}
 	}

@@ -154,6 +154,7 @@ var campaigns = []Campaign{
 	{Name: "canary", Desc: "stack-canary corruption detected on frame pop and domain exit", run: runCanary},
 	{Name: "oob", Desc: "out-of-bounds and unmapped accesses from nested domains", run: runOOB},
 	{Name: "alloc", Desc: "allocation-failure injection in the tlsf and galloc allocators", run: runAlloc},
+	{Name: "lease", Desc: "span-lease check elision: faults under leased paths keep exact si_code and byte; rewind revokes windows", run: runLease},
 	{Name: "memcache", Desc: "memcached workload: bset overflow, mutated protocol bytes, injected PKU faults and OOM", run: runMemcache},
 	{Name: "batch", Desc: "pipelined memcached batches: bset overflow mid-batch, whole-batch discard, shard invariant audits", run: runBatch},
 	{Name: "httpd", Desc: "httpd workload: URI traversal, malicious client certs, mutated requests, injected PKU faults", run: runHTTPD},

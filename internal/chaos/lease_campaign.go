@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"fmt"
+
+	"sdrad/internal/core"
+	"sdrad/internal/mem"
+	"sdrad/internal/sig"
+)
+
+// runLease attacks the span-lease check-elision fast path (internal/mem
+// lease.go): domain code that touches memory through verified native
+// windows instead of checked accessors. The property under test is that
+// eliding the per-access check changes NOTHING about fault semantics:
+//
+//   - arming an injector instantly tears down every window, so the access
+//     falls back checked and the injected fault fires with the same
+//     si_code at the same first faulting byte a lease-free build reports,
+//     producing exactly one forensics report;
+//   - an access outside the leased span refuses (rather than faulting or
+//     silently eliding), and the checked fallback raises the genuine
+//     out-of-bounds fault at the exact byte;
+//   - an absorbed rewind revokes the victim domain's windows;
+//   - epoch revocation mid-workload is absorbed by one renewal walk, with
+//     no rewind and no forensics noise.
+func runLease(cfg Config, r *Report) error {
+	const victimUDI = core.UDI(5)
+	return runCoreCampaign(cfg, r, func(env *coreEnv) error {
+		t, lib, c := env.t, env.lib, env.t.CPU()
+		vectors := []string{"inject-under-lease", "oob-past-lease", "epoch-renew", "benign"}
+		for i := 0; i < cfg.Ops; i++ {
+			vector := vectors[env.rng.Intn(len(vectors))]
+			countdown := 1 + env.rng.Intn(3)
+			offset := mem.Addr(8 * env.rng.Intn(64))
+			preSeq := env.as.FaultSeq()
+			preRewinds := lib.Stats().Rewinds.Load()
+			preForensics := env.a.forensicsPre()
+
+			var heapBase mem.Addr
+			var heapSize uint64
+			var lease *mem.Lease
+			var wantAddr mem.Addr
+			gerr := lib.Guard(t, victimUDI, func() error {
+				buf, err := lib.Malloc(t, victimUDI, 64)
+				if err != nil {
+					return err
+				}
+				rep := lib.Audit(t)
+				env.r.Audits++
+				for _, f := range rep.Findings {
+					env.r.failf("op=%02d %s: pre-attack audit: %s", i, vector, f)
+				}
+				heapBase, heapSize = victimRegion(rep, victimUDI)
+				if err := lib.Enter(t, victimUDI); err != nil {
+					return err
+				}
+				// The leased fast path: a verified write window over the
+				// domain buffer, used the way the hardened servers use their
+				// slot leases.
+				lease = c.SpanLease(buf, 64, mem.AccessWrite)
+				w, ok := lease.Window()
+				if !ok {
+					return fmt.Errorf("chaos: in-domain lease refused")
+				}
+				for j := range w {
+					w[j] = byte(i)
+				}
+				// The window is the real backing: the checked accessor must
+				// agree with what went through the lease.
+				if got := c.ReadU8(buf + 7); got != byte(i) {
+					env.r.failf("op=%02d %s: leased write invisible to checked read: %#x", i, vector, got)
+				}
+				switch vector {
+				case "inject-under-lease":
+					armCountdown(c, countdown, mem.CodePkuErr, lib.RootKey())
+					// Arming must revoke the window immediately — one elided
+					// access here would dodge the injected fault.
+					if lease.Valid() {
+						env.r.failf("op=%02d %s: lease valid with injector armed", i, vector)
+					}
+					if _, ok := lease.Bytes(buf, 8); ok {
+						env.r.failf("op=%02d %s: leased access elided the armed injector", i, vector)
+					}
+					// The fallback path: checked writes, on which the
+					// countdown fires at an exact, predictable byte.
+					wantAddr = buf + mem.Addr(8*(countdown-1))
+					for j := 0; j < 4; j++ {
+						c.WriteU64(buf+mem.Addr(8*j), uint64(i))
+					}
+					return errNoFault
+				case "oob-past-lease":
+					// Past the end of the window: the lease must refuse, and
+					// the checked fallback raises the genuine fault at the
+					// exact first faulting byte.
+					wantAddr = heapBase + mem.Addr(heapSize) + offset
+					if _, ok := lease.Bytes(wantAddr, 8); ok {
+						env.r.failf("op=%02d %s: lease served bytes outside its span", i, vector)
+					}
+					c.WriteU64(wantAddr, 0xdead)
+					return errNoFault
+				case "epoch-renew":
+					// A policy-change revocation mid-workload: one renewal
+					// walk brings the window back, nothing rewinds.
+					env.as.BumpLeaseEpoch()
+					if lease.Valid() {
+						env.r.failf("op=%02d %s: lease valid across epoch bump", i, vector)
+					}
+					w, ok := lease.Bytes(buf, 16)
+					if !ok {
+						env.r.failf("op=%02d %s: lease did not renew after epoch bump", i, vector)
+					} else {
+						w[0] = byte(i) + 1
+					}
+					return lib.Exit(t)
+				default: // benign
+					return lib.Exit(t)
+				}
+			}, core.Accessible())
+
+			label := fmt.Sprintf("op=%02d %s", i, vector)
+			switch vector {
+			case "benign", "epoch-renew":
+				if gerr != nil {
+					r.failf("%s: benign op failed: %v", label, gerr)
+				}
+				env.a.checkRewindDelta(label, preRewinds, 0)
+				env.a.checkForensics(label, preForensics, 0)
+				env.a.audit(t, label)
+				r.event("%s ok", label)
+				continue
+			case "inject-under-lease":
+				r.Injected++
+				abn := expectAbnormal(r, label, gerr, victimUDI, sig.SIGSEGV)
+				if abn != nil {
+					if abn.Code != int(mem.CodePkuErr) {
+						r.failf("%s: fault code %d, want SEGV_PKUERR", label, abn.Code)
+					}
+					if abn.Addr != uint64(wantAddr) {
+						r.failf("%s: fault at 0x%x, want exact byte 0x%x", label, abn.Addr, uint64(wantAddr))
+					}
+				}
+				if c.FaultInjectorArmed() {
+					r.failf("%s: injector still armed after firing", label)
+				}
+				env.a.checkFaultLogged(env.as, label, preSeq, mem.CodePkuErr, true)
+				env.a.checkForensicsExit(label, preForensics, abn)
+			case "oob-past-lease":
+				r.Injected++
+				abn := expectAbnormal(r, label, gerr, victimUDI, sig.SIGSEGV)
+				if abn != nil {
+					code := mem.FaultCode(abn.Code)
+					if code != mem.CodeMapErr && code != mem.CodeAccErr && code != mem.CodePkuErr {
+						r.failf("%s: unexpected fault code %d", label, abn.Code)
+					}
+					if abn.Addr != uint64(wantAddr) {
+						r.failf("%s: fault at 0x%x, want exact byte 0x%x", label, abn.Addr, uint64(wantAddr))
+					}
+					env.a.checkFaultLogged(env.as, label, preSeq, code, false)
+				}
+				env.a.checkForensicsExit(label, preForensics, abn)
+			}
+			// The rewind must have revoked the victim's window: using it
+			// after the domain was discarded would read scrubbed or
+			// repurposed memory.
+			if lease != nil && lease.Valid() {
+				r.failf("%s: lease still valid after rewind revoked the domain", label)
+			}
+			env.a.checkRewindDelta(label, preRewinds, 1)
+			env.postRewind(label, heapBase, heapSize)
+			if abnAddr := wantAddr; abnAddr != 0 {
+				r.event("%s countdown=%d addr=0x%x rewind", label, countdown, uint64(abnAddr))
+			}
+		}
+		return nil
+	})
+}

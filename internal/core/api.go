@@ -167,7 +167,7 @@ func (l *Library) DProtect(t *proc.Thread, udi, tddi UDI, prot mem.Prot) error {
 	} else {
 		d.grants[tddi] = prot
 	}
-	l.policyGen.Add(1)
+	l.bumpPolicyGen()
 	l.mu.Unlock()
 	return nil
 }
@@ -223,6 +223,9 @@ func (l *Library) Enter(t *proc.Thread, udi UDI) error {
 	ts.enterStack = append(ts.enterStack, enterRecord{prev: ts.current, entered: d, frame: frame})
 	d.entered = true
 	ts.current = d
+	// No lease invalidation: the switch only rewrote PKRU, and lease
+	// validity re-derives rights from the live PKRU on every access, so
+	// windows the new domain lacks rights for go invalid by themselves.
 	l.stats.DomainSwitches.Add(1)
 	if sampled {
 		rec.RecordEnter(t.ID(), int(udi), rec.Clock()-telT0)

@@ -227,7 +227,7 @@ func (l *Library) InitDomain(t *proc.Thread, udi UDI, opts ...InitOption) error 
 	if d.kind == DataDomain {
 		l.dataDomains[udi] = d
 	}
-	l.policyGen.Add(1)
+	l.bumpPolicyGen()
 	l.mu.Unlock()
 	if d.kind != DataDomain {
 		ts.domains[udi] = d
@@ -454,7 +454,7 @@ func (l *Library) releaseDomain(t *proc.Thread, d *Domain) {
 	if d.kind == DataDomain {
 		delete(l.dataDomains, d.udi)
 	}
-	l.policyGen.Add(1)
+	l.bumpPolicyGen()
 	l.mu.Unlock()
 	if d.kind == DataDomain {
 		_ = as.PkeyFree(d.key)

@@ -189,6 +189,10 @@ func (l *Library) handleTrap(t *proc.Thread, ts *threadState, info sig.Info, cau
 		ts.enterStack = ts.enterStack[:n-1]
 		failing.entered = false
 	}
+	// Revoke the thread's span leases before the discard frees or recycles
+	// the failing domain's memory: nothing issued inside the discarded
+	// scope may survive the rewind.
+	t.CPU().InvalidateLeases()
 	// ⑬ delete the domain, discard its memory (never merged: corrupted).
 	l.discardDomain(t, failing)
 	seq := l.stats.Rewinds.Add(1)
@@ -262,6 +266,7 @@ func (l *Library) finishRewind(t *proc.Thread, ts *threadState, d *Domain) {
 		}
 	}
 	t.SetSigMask(d.savedMask)
+	t.CPU().InvalidateLeases()
 	l.monitorExit(t)
 }
 
@@ -281,6 +286,7 @@ func (l *Library) unwindThrough(t *proc.Thread, ts *threadState, d *Domain) {
 			}
 		}
 	}
+	t.CPU().InvalidateLeases()
 	l.monitorExit(t)
 }
 
@@ -294,5 +300,6 @@ func (l *Library) forceExit(t *proc.Thread, ts *threadState, d *Domain) {
 		d.entered = false
 		d.stk.Reset()
 	}
+	t.CPU().InvalidateLeases()
 	l.monitorExit(t)
 }

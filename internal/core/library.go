@@ -73,8 +73,9 @@ type Library struct {
 
 	// policyGen versions every input of computePKRU (domain topology,
 	// init states, keys, DProtect grants). Bumped under mu at the end of
-	// each mutating critical section, so a policy cached against the
-	// current generation is always derived from current state.
+	// each mutating critical section (via bumpPolicyGen, which also
+	// revokes span leases), so a policy cached against the current
+	// generation is always derived from current state.
 	policyGen atomic.Uint64
 
 	scopeCtr atomic.Uint64
@@ -469,6 +470,15 @@ func (l *Library) wrpkru(t *proc.Thread, v uint32) {
 // the critical section, so a cache entry tagged with the current
 // generation is always current (a walk that raced a mutation reads the
 // pre-bump generation and caches a value that can never be served).
+// bumpPolicyGen advances the policy generation and, with it, the
+// address-space lease epoch: a policy change can alter PKRU derivation
+// without touching the page table, and outstanding span leases must not
+// survive it. Called at the end of each mutating critical section.
+func (l *Library) bumpPolicyGen() {
+	l.policyGen.Add(1)
+	l.p.AddressSpace().BumpLeaseEpoch()
+}
+
 func (l *Library) computePKRU(ts *threadState, d *Domain) uint32 {
 	gen := l.policyGen.Load()
 	// The tag packs the generation into 32 bits; the generation counts

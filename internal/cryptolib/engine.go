@@ -155,14 +155,21 @@ func rangesOverlap(a mem.Addr, alen int, b mem.Addr, blen int) bool {
 	return a < b+mem.Addr(blen) && b < a+mem.Addr(alen)
 }
 
-// readBlock returns the inl input bytes at in, in place (zero-copy page
-// run) when the block sits inside one page and cannot alias the output or
-// context state the call mutates before ciphering, copying otherwise.
+// readBlock returns the inl input bytes at in, in place when the block
+// cannot alias the output or context state the call mutates before
+// ciphering: a zero-copy page run when it sits inside one page, a span
+// lease window when it crosses pages. It copies otherwise, and whenever
+// the lease is refused — the checked copy faults exactly where the
+// in-place read would have.
 func readBlock(c *mem.CPU, ctx, in mem.Addr, inl int, out mem.Addr, outl int) []byte {
-	if in.PageOff()+uint64(inl) <= mem.PageSize &&
-		!rangesOverlap(in, inl, out, outl) &&
-		!rangesOverlap(in, inl, ctx, CtxSize) {
+	if rangesOverlap(in, inl, out, outl) || rangesOverlap(in, inl, ctx, CtxSize) {
+		return c.ReadBytes(in, inl)
+	}
+	if in.PageOff()+uint64(inl) <= mem.PageSize {
 		return c.ReadRun(in, inl)
+	}
+	if b, ok := c.SpanLease(in, inl, mem.AccessRead).Bytes(in, inl); ok {
+		return b
 	}
 	return c.ReadBytes(in, inl)
 }
@@ -181,10 +188,20 @@ func (e *Engine) EncryptUpdate(c *mem.CPU, ctx, out, in mem.Addr, inl int) (int,
 	outl := inl + GCMTagSize
 	pt := readBlock(c, ctx, in, inl, out, outl)
 	nonce := nextNonce(c, ctx)
-	if out.PageOff()+uint64(outl) <= mem.PageSize && !rangesOverlap(out, outl, in, inl) {
-		dst := c.WriteRun(out, outl)
-		aead.Seal(dst[:0], nonce, pt, nil)
-		return outl, nil
+	if !rangesOverlap(out, outl, in, inl) {
+		// Seal straight into the simulated frames: a single-page record
+		// through the write run, a multi-page record through a span-lease
+		// window. A refused lease falls through to the staged copy, whose
+		// checked write faults at the same first byte.
+		if out.PageOff()+uint64(outl) <= mem.PageSize {
+			dst := c.WriteRun(out, outl)
+			aead.Seal(dst[:0], nonce, pt, nil)
+			return outl, nil
+		}
+		if dst, ok := c.SpanLease(out, outl, mem.AccessWrite).Bytes(out, outl); ok {
+			aead.Seal(dst[:0], nonce, pt, nil)
+			return outl, nil
+		}
 	}
 	ct := aead.Seal(nil, nonce, pt, nil)
 	c.Write(out, ct)
@@ -206,7 +223,19 @@ func (e *Engine) DecryptUpdate(c *mem.CPU, ctx, out, in mem.Addr, inl int, nonce
 	}
 	nonce := make([]byte, 12)
 	binary.LittleEndian.PutUint64(nonce, nonceVal)
-	ct := readBlock(c, ctx, in, inl, out, inl-GCMTagSize)
+	ptl := inl - GCMTagSize
+	ct := readBlock(c, ctx, in, inl, out, ptl)
+	if ptl > 0 && !rangesOverlap(out, ptl, in, inl) {
+		// Zero-copy open: GCM verifies the tag before writing any
+		// plaintext, so opening directly into the leased output window
+		// still leaves the output untouched on a forged record.
+		if dst, ok := c.SpanLease(out, ptl, mem.AccessWrite).Bytes(out, ptl); ok {
+			if _, err := aead.Open(dst[:0], nonce, ct, nil); err != nil {
+				return 0, ErrAuth
+			}
+			return ptl, nil
+		}
+	}
 	pt, err := aead.Open(nil, nonce, ct, nil)
 	if err != nil {
 		return 0, ErrAuth

@@ -70,6 +70,32 @@ type parserEnv struct {
 	pool *Pool // request pool (data domain in the hardened build)
 }
 
+// window returns a leased native view of the whole request buffer, or
+// nil when the lease is refused (armed injector, revoked rights) — the
+// callers then stay on the checked page-run scanners with identical
+// fault semantics.
+func (env *parserEnv) window() []byte {
+	if env.blen <= 0 {
+		return nil
+	}
+	l := env.c.SpanLease(env.buf, env.blen, mem.AccessRead)
+	if b, ok := l.Bytes(env.buf, env.blen); ok {
+		return b
+	}
+	return nil
+}
+
+// poolWindow returns a leased native view of the whole request pool
+// block. The lease is write-kind (PKU write rights imply read), so the
+// normalizer can both emit segments and run its backward scan on it.
+func (env *parserEnv) poolWindow() ([]byte, bool) {
+	if env.pool == nil || env.pool.size == 0 {
+		return nil, false
+	}
+	l := env.c.SpanLease(env.pool.base, int(env.pool.size), mem.AccessWrite)
+	return l.Window()
+}
+
 // parseRequestLine is phase one of the NGINX parser: method, URI, and
 // version, including complex-URI normalization. It returns the byte
 // offset where the headers begin.
@@ -178,6 +204,17 @@ func normalizeComplexURI(env *parserEnv, uri []byte) (string, error) {
 		return "", &parseError{"request pool exhausted"}
 	}
 	c := env.c
+	// Leased fast path: the normalizer runs on a native window over the
+	// pool block. The window covers exactly [pool.base, pool.base+size),
+	// so the moment the buggy backward scan walks dp below the pool the
+	// code drops to the checked accessors — which read (or fault in)
+	// foreign memory at exactly the byte the unleased walk would have
+	// touched, keeping the CVE's observable behaviour bit-identical.
+	pw, pwok := env.poolWindow()
+	var pbase mem.Addr
+	if pwok {
+		pbase = env.pool.base
+	}
 	dp := dst // next write position
 	i := 0
 	for i < len(uri) {
@@ -200,6 +237,18 @@ func normalizeComplexURI(env *parserEnv, uri []byte) (string, error) {
 			// touch, so the walk still faults at the same address.
 			dp--
 			for {
+				if pwok && dp >= pbase {
+					// In-pool portion of the scan on the native window.
+					if k := lastIndexByte(pw[:int(dp-pbase)+1], '/'); k >= 0 {
+						dp = pbase + mem.Addr(k)
+						break
+					}
+					// Not found inside the pool: continue below it on the
+					// checked path, which walks foreign memory (and
+					// faults) exactly as the unleased scan does.
+					dp = pbase - 1
+					continue
+				}
 				run := c.ReadRunBack(dp, mem.PageSize)
 				if k := lastIndexByte(run, '/'); k >= 0 {
 					dp -= mem.Addr(len(run) - 1 - k)
@@ -208,6 +257,13 @@ func normalizeComplexURI(env *parserEnv, uri []byte) (string, error) {
 				dp -= mem.Addr(len(run))
 			}
 		default:
+			if pwok && dp >= pbase && int(dp-pbase)+1+len(seg) <= len(pw) {
+				o := int(dp - pbase)
+				pw[o] = '/'
+				copy(pw[o+1:], seg)
+				dp += mem.Addr(1 + len(seg))
+				break
+			}
 			c.WriteU8(dp, '/')
 			dp++
 			for rem := seg; len(rem) > 0; {
@@ -222,6 +278,10 @@ func normalizeComplexURI(env *parserEnv, uri []byte) (string, error) {
 	if dp <= dst {
 		return "/", nil
 	}
+	if pwok && dp >= pbase {
+		o := int(dst - pbase)
+		return string(pw[o : o+int(dp-dst)]), nil
+	}
 	return string(c.ReadBytes(dst, int(dp-dst))), nil
 }
 
@@ -233,6 +293,14 @@ func normalizeComplexURI(env *parserEnv, uri []byte) (string, error) {
 // next written.
 func readLineAt(env *parserEnv, off int) (line []byte, next int) {
 	if off >= env.blen {
+		return nil, off
+	}
+	// Leased fast path: one validity check for the whole buffer, then a
+	// plain in-window CRLF scan.
+	if b := env.window(); b != nil {
+		if i := findCRLF(b[off:]); i >= 0 {
+			return b[off : off+i], off + i + 2
+		}
 		return nil, off
 	}
 	c := env.c

@@ -103,6 +103,14 @@ type CPU struct {
 	// SetFaultInjector.
 	inject FaultInjector
 
+	// leaseGen revokes this CPU's span leases (see lease.go): bumped on
+	// every domain transition of the owning thread and whenever a fault
+	// injector is installed. leases is the SpanLease cache; leaseHand its
+	// round-robin eviction cursor.
+	leaseGen  uint64
+	leaseHand uint8
+	leases    [cpuLeaseSlots]Lease
+
 	tlb [tlbSize]tlbEntry
 }
 
@@ -127,6 +135,11 @@ func (as *AddressSpace) NewCPU() *CPU {
 // mutating thread itself always observes its own mutation.
 func (as *AddressSpace) shootdown() {
 	as.shootdowns.Add(1)
+	// Every page-table mutation also revokes outstanding span leases: the
+	// epoch bump is what downgrades a lease holder to the checked slow
+	// path after a protection change, exactly as the TLB flush does for
+	// cached translations.
+	as.leaseEpoch.Add(1)
 	as.cpuMu.Lock()
 	for _, c := range as.cpus {
 		c.needFlush.Store(true)

@@ -88,7 +88,15 @@ type FaultInjector func(addr Addr, kind AccessKind) *Fault
 // fault it is disarmed, so the trap handler and rewind path that run next
 // execute without interference. Like all CPU state it must only be touched
 // from the goroutine modeling the thread.
-func (c *CPU) SetFaultInjector(fn FaultInjector) { c.inject = fn }
+//
+// Installing an injector also invalidates the CPU's span leases and makes
+// them unrenewable while armed, so every access a campaign schedules goes
+// through the checked translation path and the injected fault fires with
+// the same si_code at the same byte it would hit without leases.
+func (c *CPU) SetFaultInjector(fn FaultInjector) {
+	c.inject = fn
+	c.InvalidateLeases()
+}
 
 // FaultInjectorArmed reports whether an injector is currently installed,
 // letting campaigns detect whether a scheduled injection actually fired.

@@ -107,8 +107,16 @@ var (
 // consistent (prot, pkey) pair.
 type page struct {
 	data []byte // len == PageSize
-	prot Prot
-	pkey uint8
+	// span is the whole backing array of the mapping this page was created
+	// in, and spanOff this page's byte offset within it. Map allocates one
+	// contiguous backing array per mapping, so two pages belong to the same
+	// mapping exactly when their spans share a first element; span leases
+	// use this to hand out multi-page native windows (see lease.go).
+	// Protection changes preserve span identity through the PTE copy.
+	span    []byte
+	spanOff uint64
+	prot    Prot
+	pkey    uint8
 }
 
 // Two-level radix page-table geometry. The root is an inline array of
@@ -171,6 +179,14 @@ type AddressSpace struct {
 	// telemetry recorder (nil = disabled, see SetTelemetry).
 	shootdowns atomic.Int64
 	tel        atomic.Pointer[telemetry.Recorder]
+
+	// leaseEpoch revokes outstanding span leases (see lease.go): bumped by
+	// every shootdown and by BumpLeaseEpoch. The grant/renewal/refusal
+	// counters record lease traffic for telemetry.
+	leaseEpoch    atomic.Uint64
+	leaseGrants   atomic.Int64
+	leaseRenewals atomic.Int64
+	leaseRefusals atomic.Int64
 
 	stats Stats
 }
@@ -354,6 +370,8 @@ func (as *AddressSpace) Map(addr Addr, length int, prot Prot, pkey int) error {
 		pg := &slab[i]
 		lo := int(i) << PageShift
 		pg.data = data[lo : lo+PageSize : lo+PageSize]
+		pg.span = data
+		pg.spanOff = uint64(lo)
 		pg.prot = prot
 		pg.pkey = uint8(pkey)
 		as.setPage(base+i, pg)
@@ -457,7 +475,7 @@ func (as *AddressSpace) protect(addr Addr, length int, prot Prot, pkey int) erro
 		// entry, which stays internally consistent; they pick up the new
 		// rights after the shootdown below, exactly like a stale TLB entry
 		// on hardware.
-		next := &page{data: old.data, prot: prot, pkey: old.pkey}
+		next := &page{data: old.data, span: old.span, spanOff: old.spanOff, prot: prot, pkey: old.pkey}
 		if pkey >= 0 && uint8(pkey) != old.pkey {
 			as.keyPages[old.pkey]--
 			as.keyPages[pkey]++

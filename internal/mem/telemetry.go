@@ -23,6 +23,18 @@ func (as *AddressSpace) SetTelemetry(rec *telemetry.Recorder) {
 	reg.CounterFunc("sdrad_tlb_shootdowns_total",
 		"TLB shootdown IPIs broadcast by page-table mutators.",
 		func() int64 { return as.shootdowns.Load() })
+	reg.CounterFunc("sdrad_lease_grants_total",
+		"Span leases granted after a full verification walk.",
+		func() int64 { return as.leaseGrants.Load() })
+	reg.CounterFunc("sdrad_lease_renewals_total",
+		"Span leases renewed via the O(1) same-epoch recheck.",
+		func() int64 { return as.leaseRenewals.Load() })
+	reg.CounterFunc("sdrad_lease_refusals_total",
+		"Span lease grant/renew refusals (callers fell back to checked accessors).",
+		func() int64 { return as.leaseRefusals.Load() })
+	reg.CounterFunc("sdrad_lease_invalidations_total",
+		"Address-space-wide lease invalidations (shootdowns + policy-generation bumps).",
+		func() int64 { return int64(as.leaseEpoch.Load()) })
 }
 
 // Telemetry returns the attached recorder, or nil.

@@ -1,6 +1,7 @@
 package memcache
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 
@@ -14,6 +15,10 @@ import (
 type storeOps interface {
 	Get(c *mem.CPU, key []byte) (value []byte, flags uint32, ok bool)
 	GetWithCAS(c *mem.CPU, key []byte) (value []byte, flags uint32, casid uint64, ok bool)
+	// AppendGet appends key's value to dst (the reply scratch) instead of
+	// allocating a fresh slice per hit — the copy-once read behind the
+	// zero-copy reply assembly.
+	AppendGet(c *mem.CPU, key, dst []byte, withCAS bool) (out []byte, flags uint32, casid uint64, ok bool)
 	Set(c *mem.CPU, key, value []byte, flags uint32) error
 	Add(c *mem.CPU, key, value []byte, flags uint32) (StoreOutcome, error)
 	Replace(c *mem.CPU, key, value []byte, flags uint32) (StoreOutcome, error)
@@ -32,6 +37,9 @@ type directOps struct{ st *Storage }
 func (d directOps) Get(c *mem.CPU, key []byte) ([]byte, uint32, bool) { return d.st.Get(c, key) }
 func (d directOps) GetWithCAS(c *mem.CPU, key []byte) ([]byte, uint32, uint64, bool) {
 	return d.st.GetWithCAS(c, key)
+}
+func (d directOps) AppendGet(c *mem.CPU, key, dst []byte, withCAS bool) ([]byte, uint32, uint64, bool) {
+	return d.st.AppendGet(c, key, dst, withCAS)
 }
 func (d directOps) Set(c *mem.CPU, key, value []byte, flags uint32) error {
 	return d.st.Set(c, key, value, flags)
@@ -101,6 +109,30 @@ func (d *deferredOps) Get(c *mem.CPU, key []byte) ([]byte, uint32, bool) {
 		}
 	}
 	return d.st.Get(c, key)
+}
+
+func (d *deferredOps) AppendGet(c *mem.CPU, key, dst []byte, withCAS bool) ([]byte, uint32, uint64, bool) {
+	// Read-your-writes overlay first, mirroring Get; only the CAS id (not
+	// assigned until apply time) is taken from the shared DB view.
+	for i := len(d.pending) - 1; i >= 0; i-- {
+		op := d.pending[i]
+		if op.kind == pendingFlush {
+			return dst, 0, 0, false
+		}
+		if string(op.key) == string(key) {
+			if op.kind == pendingDelete {
+				return dst, 0, 0, false
+			}
+			var casid uint64
+			if withCAS {
+				if _, _, id, inDB := d.st.GetWithCAS(c, key); inDB {
+					casid = id
+				}
+			}
+			return append(dst, op.value...), op.flags, casid, true
+		}
+	}
+	return d.st.AppendGet(c, key, dst, withCAS)
 }
 
 func (d *deferredOps) GetWithCAS(c *mem.CPU, key []byte) ([]byte, uint32, uint64, bool) {
@@ -269,6 +301,106 @@ type dmEnv struct {
 	ops          storeOps
 	// noreply suppresses the response (set by the "noreply" suffix).
 	noreply bool
+	// rl/wl are optional span leases over the full read/write buffers.
+	// When valid they give readLine, the store-body read, and the reply
+	// writer native windows; when nil or invalidated (domain switch,
+	// rewind, armed injector) every access falls back to the checked
+	// accessors with identical fault semantics.
+	rl *mem.Lease
+	wl *mem.Lease
+	// reply is the reusable gather-list reply assembler (lazily created
+	// for environments that never wire one up).
+	reply *replyState
+}
+
+// replyState assembles a response as a gather list over a reusable
+// scratch buffer — the writev analog. Segments either reference scratch
+// by offset (surviving scratch reallocation) or static protocol bytes,
+// and flushReply materializes them into the write buffer in one pass.
+type replyState struct {
+	segs    []rseg
+	scratch []byte
+	n       int
+}
+
+// rseg is one gather segment: ext set means the bytes themselves
+// (static protocol text), otherwise scratch[off:off+n].
+type rseg struct {
+	ext []byte
+	off int
+	n   int
+}
+
+func (r *replyState) reset() {
+	r.segs = r.segs[:0]
+	r.scratch = r.scratch[:0]
+	r.n = 0
+}
+
+func (r *replyState) pushScratch(off, n int) {
+	r.segs = append(r.segs, rseg{off: off, n: n})
+	r.n += n
+}
+
+func (r *replyState) pushExt(b []byte) {
+	r.segs = append(r.segs, rseg{ext: b, n: len(b)})
+	r.n += len(b)
+}
+
+func (env *dmEnv) replyBuf() *replyState {
+	if env.reply == nil {
+		env.reply = &replyState{}
+	}
+	return env.reply
+}
+
+// flushReply gathers the segments into the write buffer, truncating at
+// capacity. With a valid write lease the whole response lands with plain
+// copies into the native window; otherwise each segment goes through the
+// checked writer.
+func (env *dmEnv) flushReply(r *replyState) int {
+	if env.noreply {
+		return 0
+	}
+	total := r.n
+	if total > env.wcap {
+		total = env.wcap
+	}
+	if env.wl != nil {
+		if w, ok := env.wl.Bytes(env.wbuf, total); ok {
+			off := 0
+			for _, sg := range r.segs {
+				if off >= total {
+					break
+				}
+				b := sg.ext
+				if b == nil {
+					b = r.scratch[sg.off : sg.off+sg.n]
+				}
+				if off+len(b) > total {
+					b = b[:total-off]
+				}
+				off += copy(w[off:], b)
+			}
+			return total
+		}
+	}
+	off := 0
+	for _, sg := range r.segs {
+		if off >= total {
+			break
+		}
+		b := sg.ext
+		if b == nil {
+			b = r.scratch[sg.off : sg.off+sg.n]
+		}
+		if off+len(b) > total {
+			b = b[:total-off]
+		}
+		env.c.Write(env.wbuf+mem.Addr(off), b)
+		off += len(b)
+	}
+	return total
 }
 
 // stagingSize is the fixed staging buffer the vulnerable binary-set path
@@ -289,7 +421,7 @@ func driveMachine(env *dmEnv) (wlen int, closeConn bool, err error) {
 	if env.rlen > 0 && env.c.ReadU8(env.rbuf) == BinMagicRequest {
 		return driveBinary(env)
 	}
-	line, bodyOff := readLine(env.c, env.rbuf, env.rlen)
+	line, bodyOff := readLine(env)
 	if line == nil {
 		return writeString(env, "ERROR\r\n"), false, nil
 	}
@@ -336,10 +468,21 @@ func driveMachine(env *dmEnv) (wlen int, closeConn bool, err error) {
 // buffer, returning the line bytes and the offset of the body that
 // follows. The read is performed through the CPU so it is subject to the
 // current domain's rights.
-func readLine(c *mem.CPU, rbuf mem.Addr, rlen int) (line []byte, bodyOff int) {
+func readLine(env *dmEnv) (line []byte, bodyOff int) {
+	c, rbuf, rlen := env.c, env.rbuf, env.rlen
 	max := rlen
 	if max > 512 {
 		max = 512 // command lines are short; bodies follow separately
+	}
+	// Leased fast path: one validity check, then a plain bytes.Index over
+	// the native window — no per-page run walk at all.
+	if env.rl != nil {
+		if b, ok := env.rl.Bytes(rbuf, max); ok {
+			if i := bytes.Index(b, crlfBytes); i >= 0 {
+				return b[:i], i + 2
+			}
+			return nil, 0
+		}
 	}
 	// Scan page runs in place instead of copying the whole head: the
 	// common case (line inside one page) allocates nothing, and the
@@ -366,6 +509,20 @@ func readLine(c *mem.CPU, rbuf mem.Addr, rlen int) (line []byte, bodyOff int) {
 	return nil, 0
 }
 
+// readBody returns the store-command body. With a valid read lease the
+// slice aliases the leased request window — safe because every store op
+// consumes (direct) or copies (deferred) the value before drive_machine
+// returns; otherwise it is a checked copy. The bounds were validated by
+// the caller against rlen; out-of-buffer body lengths never reach here.
+func readBody(env *dmEnv, bodyOff, nbytes int) []byte {
+	if env.rl != nil {
+		if b, ok := env.rl.Bytes(env.rbuf+mem.Addr(bodyOff), nbytes); ok {
+			return b
+		}
+	}
+	return env.c.ReadBytes(env.rbuf+mem.Addr(bodyOff), nbytes)
+}
+
 // tokenize splits a command line on single spaces.
 func tokenize(line []byte) [][]byte {
 	var out [][]byte
@@ -381,18 +538,29 @@ func tokenize(line []byte) [][]byte {
 	return out
 }
 
+// Static protocol fragments shared by the reply assembler.
+var (
+	crlfBytes = []byte("\r\n")
+	endBytes  = []byte("END\r\n")
+)
+
 // writeString writes a response string to the write buffer; suppressed
 // entirely for noreply requests.
 func writeString(env *dmEnv, s string) int {
 	if env.noreply {
 		return 0
 	}
-	b := []byte(s)
-	if len(b) > env.wcap {
-		b = b[:env.wcap]
+	if len(s) > env.wcap {
+		s = s[:env.wcap]
 	}
-	env.c.Write(env.wbuf, b)
-	return len(b)
+	if env.wl != nil {
+		if w, ok := env.wl.Bytes(env.wbuf, len(s)); ok {
+			copy(w, s)
+			return len(s)
+		}
+	}
+	env.c.Write(env.wbuf, []byte(s))
+	return len(s)
 }
 
 // writeResponse writes a composed response, truncating at capacity.
@@ -403,6 +571,12 @@ func writeResponse(env *dmEnv, b []byte) int {
 	if len(b) > env.wcap {
 		b = b[:env.wcap]
 	}
+	if env.wl != nil {
+		if w, ok := env.wl.Bytes(env.wbuf, len(b)); ok {
+			copy(w, b)
+			return len(b)
+		}
+	}
 	env.c.Write(env.wbuf, b)
 	return len(b)
 }
@@ -411,28 +585,39 @@ func cmdGet(env *dmEnv, tokens [][]byte, withCAS bool) (int, bool, error) {
 	if len(tokens) < 2 {
 		return writeString(env, "ERROR\r\n"), false, nil
 	}
-	var resp []byte
+	// Zero-copy assembly: each hit's value is appended once into the
+	// reply scratch (straight from cache memory), the header is rendered
+	// with strconv appends after it, and the gather list orders header
+	// before value on the wire. One flush materializes everything.
+	r := env.replyBuf()
+	r.reset()
 	for _, key := range tokens[1:] {
-		if withCAS {
-			value, flags, casid, ok := env.ops.GetWithCAS(env.c, key)
-			if !ok {
-				continue
-			}
-			resp = append(resp, fmt.Sprintf("VALUE %s %d %d %d\r\n", key, flags, len(value), casid)...)
-			resp = append(resp, value...)
-			resp = append(resp, '\r', '\n')
-			continue
-		}
-		value, flags, ok := env.ops.Get(env.c, key)
+		vo := len(r.scratch)
+		out, flags, casid, ok := env.ops.AppendGet(env.c, key, r.scratch, withCAS)
+		r.scratch = out
 		if !ok {
+			r.scratch = r.scratch[:vo]
 			continue
 		}
-		resp = append(resp, fmt.Sprintf("VALUE %s %d %d\r\n", key, flags, len(value))...)
-		resp = append(resp, value...)
-		resp = append(resp, '\r', '\n')
+		vn := len(r.scratch) - vo
+		ho := len(r.scratch)
+		r.scratch = append(r.scratch, "VALUE "...)
+		r.scratch = append(r.scratch, key...)
+		r.scratch = append(r.scratch, ' ')
+		r.scratch = strconv.AppendUint(r.scratch, uint64(flags), 10)
+		r.scratch = append(r.scratch, ' ')
+		r.scratch = strconv.AppendUint(r.scratch, uint64(vn), 10)
+		if withCAS {
+			r.scratch = append(r.scratch, ' ')
+			r.scratch = strconv.AppendUint(r.scratch, casid, 10)
+		}
+		r.scratch = append(r.scratch, '\r', '\n')
+		r.pushScratch(ho, len(r.scratch)-ho)
+		r.pushScratch(vo, vn)
+		r.pushExt(crlfBytes)
 	}
-	resp = append(resp, "END\r\n"...)
-	return writeResponse(env, resp), false, nil
+	r.pushExt(endBytes)
+	return env.flushReply(r), false, nil
 }
 
 // cmdStore handles all storage commands sharing the
@@ -451,7 +636,7 @@ func cmdStore(env *dmEnv, tokens [][]byte, bodyOff int) (int, bool, error) {
 	if bodyOff+nbytes > env.rlen {
 		return writeString(env, "CLIENT_ERROR bad data chunk\r\n"), false, nil
 	}
-	value := env.c.ReadBytes(env.rbuf+mem.Addr(bodyOff), nbytes)
+	value := readBody(env, bodyOff, nbytes)
 	flags := uint32(flags64)
 
 	var outcome StoreOutcome

@@ -182,13 +182,56 @@ type worker struct {
 	one     [1]batchItem
 	oneRes  [1]result
 	dops    deferredOps
+	// rw is the worker's reusable reply assembler; drive_machine builds
+	// every response of a batch through it, so the steady state allocates
+	// nothing per request.
+	rw replyState
+
+	// env is the worker's reusable drive_machine environment and
+	// scratchAddrs its request-scoped scratch allocation list; curT pins
+	// the thread the worker is currently serving on. allocBase and
+	// allocDomain are the two scratch allocators, created once per worker
+	// so the per-request path allocates neither environment nor closure.
+	env          dmEnv
+	scratchAddrs []mem.Addr
+	curT         *proc.Thread
+	allocBase    func(size uint64) (mem.Addr, error)
+	allocDomain  func(size uint64) (mem.Addr, error)
+}
+
+// initAllocators lazily creates the worker's persistent scratch-allocator
+// closures (they capture only the worker, reading the current thread and
+// CPU from its per-call fields).
+func (w *worker) initAllocators(s *Server) {
+	if w.allocBase != nil {
+		return
+	}
+	w.allocBase = func(size uint64) (mem.Addr, error) {
+		p, err := s.connAllocator.Alloc(w.env.c, size)
+		if err == nil {
+			w.scratchAddrs = append(w.scratchAddrs, p)
+		}
+		return p, err
+	}
+	w.allocDomain = func(size uint64) (mem.Addr, error) {
+		p, err := s.lib.Malloc(w.curT, eventUDI, size)
+		if err == nil {
+			w.scratchAddrs = append(w.scratchAddrs, p)
+		}
+		return p, err
+	}
 }
 
 // connSlot is one pair of connection-buffer deep copies in the event
-// domain; batch position i uses slot i.
+// domain; batch position i uses slot i. The span leases are minted once
+// when the slot is allocated and renewed in O(1) across the batch's
+// Enter/Exit transitions; a rewind discards the slot and its leases
+// together.
 type connSlot struct {
 	rbuf mem.Addr
 	wbuf mem.Addr
+	rl   mem.Lease
+	wl   mem.Lease
 }
 
 // batchItem is one request of one event, flattened into the worker's
@@ -334,6 +377,7 @@ func (s *Server) provision(t *proc.Thread) error {
 		if err != nil {
 			return err
 		}
+		st.SetArenaBounds(block, s.cfg.CacheBytes)
 		s.st = st
 	case VariantTLSF:
 		base, err := as.MapAnon(int(s.cfg.CacheBytes+baselineSlack(s.cfg)), mem.ProtRW, 0)
@@ -381,6 +425,7 @@ func (s *Server) provisionBaselineStorage(c *mem.CPU) error {
 	if err != nil {
 		return err
 	}
+	st.SetArenaBounds(block, s.cfg.CacheBytes)
 	s.st = st
 	return nil
 }
@@ -522,44 +567,62 @@ func (s *Server) handleOne(t *proc.Thread, w *worker, conn *Conn, req []byte) re
 	}
 	// Network bytes land in the connection's read buffer (root memory).
 	c.Write(conn.rbuf, req)
-	return s.handleBaseline(t, conn, len(req))
+	return s.handleBaseline(t, w, conn, len(req))
 }
 
 // handleBaseline runs drive_machine directly on the connection buffer. A
 // memory-safety violation faults with no recovery point: the process
 // supervisor terminates the whole server, which is exactly the behaviour
 // the paper's baseline exhibits under CVE-2011-4971.
-func (s *Server) handleBaseline(t *proc.Thread, conn *Conn, rlen int) result {
+func (s *Server) handleBaseline(t *proc.Thread, w *worker, conn *Conn, rlen int) result {
 	c := t.CPU()
-	var scratch []mem.Addr
-	env := &dmEnv{
-		c:    c,
-		rbuf: conn.rbuf,
-		rlen: rlen,
-		wbuf: conn.wbuf,
-		wcap: s.cfg.ConnBufSize,
-		allocScratch: func(size uint64) (mem.Addr, error) {
-			p, err := s.connAllocator.Alloc(c, size)
-			if err == nil {
-				scratch = append(scratch, p)
-			}
-			return p, err
-		},
-		ops: directOps{st: s.st},
+	w.initAllocators(s)
+	w.curT = t
+	w.scratchAddrs = w.scratchAddrs[:0]
+	env := &w.env
+	*env = dmEnv{
+		c:            c,
+		rbuf:         conn.rbuf,
+		rlen:         rlen,
+		wbuf:         conn.wbuf,
+		wcap:         s.cfg.ConnBufSize,
+		allocScratch: w.allocBase,
+		ops:          directOps{st: s.st},
+		rl:           c.SpanLease(conn.rbuf, s.cfg.ConnBufSize, mem.AccessRead),
+		wl:           c.SpanLease(conn.wbuf, s.cfg.ConnBufSize, mem.AccessWrite),
+		reply:        &w.rw,
 	}
 	wlen, closeit, err := driveMachine(env)
-	for _, p := range scratch {
+	for _, p := range w.scratchAddrs {
 		_ = s.connAllocator.Free(c, p)
 	}
 	if err != nil {
 		return result{err: err}
 	}
-	resp := c.ReadBytes(conn.wbuf, wlen)
+	resp := materializeResp(c, env.wl, conn.wbuf, wlen)
 	conn.closed = closeit
 	if closeit {
 		s.freeConnBuffers(t, conn)
 	}
 	return result{data: resp, closed: closeit}
+}
+
+// materializeResp copies a drive_machine response out of simulated
+// memory into a fresh Go slice for delivery to the client — through the
+// write lease's native window when it is valid, through the checked
+// reader otherwise.
+func materializeResp(c *mem.CPU, wl *mem.Lease, wbuf mem.Addr, wlen int) []byte {
+	if wlen <= 0 {
+		return nil
+	}
+	if wl != nil {
+		if b, ok := wl.Bytes(wbuf, wlen); ok {
+			out := make([]byte, wlen)
+			copy(out, b)
+			return out
+		}
+	}
+	return c.ReadBytes(wbuf, wlen)
 }
 
 // freeConnBuffers releases a closed connection's buffers.
@@ -589,6 +652,8 @@ func (s *Server) freeConnBuffers(t *proc.Thread, conn *Conn) {
 // batch, and closes exactly the connections that had a request in it.
 func (s *Server) runHardenedBatch(t *proc.Thread, w *worker, items []batchItem, results []result) []result {
 	c := t.CPU()
+	w.initAllocators(s)
+	w.curT = t
 	bufSize := uint64(s.cfg.ConnBufSize)
 	// Worker-owned scratch: a rewound batch may leave stale pending ops
 	// behind, so the reset here is also what keeps a discarded batch's
@@ -658,7 +723,14 @@ func (s *Server) runHardenedBatch(t *proc.Thread, w *worker, items []batchItem, 
 			if err != nil {
 				return err
 			}
-			w.slots = append(w.slots, connSlot{rbuf: rb, wbuf: wb})
+			// Mint the slot's span leases once; Enter/Exit transitions
+			// only cost the O(1) renewal recheck from here on.
+			w.slots = append(w.slots, connSlot{
+				rbuf: rb,
+				wbuf: wb,
+				rl:   c.NewLease(rb, s.cfg.ConnBufSize, mem.AccessRead),
+				wl:   c.NewLease(wb, s.cfg.ConnBufSize, mem.AccessWrite),
+			})
 		}
 		// ④ deep copies: each request is staged through its connection's
 		// read buffer (network bytes land in root memory) and copied into
@@ -679,6 +751,16 @@ func (s *Server) runHardenedBatch(t *proc.Thread, w *worker, items []batchItem, 
 		if err := s.lib.Enter(t, eventUDI); err != nil {
 			return err
 		}
+		// Batch-stable environment fields; the item loop only repoints the
+		// buffers and leases at each item's slot.
+		env := &w.env
+		*env = dmEnv{
+			c:            c,
+			wcap:         s.cfg.ConnBufSize,
+			allocScratch: w.allocDomain,
+			ops:          dops,
+			reply:        &w.rw,
+		}
 		for i := range items {
 			if states[i].done {
 				continue
@@ -691,26 +773,16 @@ func (s *Server) runHardenedBatch(t *proc.Thread, w *worker, items []batchItem, 
 				results[i] = result{closed: true, err: ErrConnClosed}
 				continue
 			}
-			var scratch []mem.Addr
-			env := &dmEnv{
-				c:    c,
-				rbuf: w.slots[states[i].slot].rbuf,
-				rlen: len(items[i].req),
-				wbuf: w.slots[states[i].slot].wbuf,
-				wcap: s.cfg.ConnBufSize,
-				allocScratch: func(size uint64) (mem.Addr, error) {
-					p, err := s.lib.Malloc(t, eventUDI, size)
-					if err == nil {
-						scratch = append(scratch, p)
-					}
-					return p, err
-				},
-				ops: dops,
-			}
+			slot := &w.slots[states[i].slot]
+			w.scratchAddrs = w.scratchAddrs[:0]
+			env.rbuf, env.rlen = slot.rbuf, len(items[i].req)
+			env.wbuf = slot.wbuf
+			env.rl, env.wl = &slot.rl, &slot.wl
+			env.noreply = false
 			mark := len(dops.pending)
 			var derr error
 			states[i].wlen, states[i].closeit, derr = driveMachine(env)
-			for _, p := range scratch {
+			for _, p := range w.scratchAddrs {
 				_ = s.lib.Free(t, eventUDI, p)
 			}
 			if derr != nil {
@@ -720,24 +792,22 @@ func (s *Server) runHardenedBatch(t *proc.Thread, w *worker, items []batchItem, 
 				// event applied nothing).
 				dops.pending = dops.pending[:mark]
 				states[i].derr = derr
+				continue
 			}
+			// ⑧ capture the response straight from the slot write buffer
+			// while it is cache-hot — through the slot's write lease, one
+			// copy into the Go-side delivery slice, replacing the old
+			// slot→conn-buffer staging copy plus read-back. The domain is
+			// reading its own buffer; an abnormal exit later in the batch
+			// discards every captured response with the batch.
+			states[i].data = materializeResp(c, &slot.wl, slot.wbuf, states[i].wlen)
 		}
 		// ⑦ exit back to the root domain once.
 		if err := s.lib.Exit(t); err != nil {
 			return err
 		}
-		// ⑧ copy responses back to the real connection buffers, in batch
-		// order (a pipelined connection reuses its write buffer, so the
-		// bytes are captured per item), and ⑨ apply the deferred database
-		// updates for the whole batch, grouped per storage shard.
-		for i := range items {
-			if states[i].done || states[i].derr != nil {
-				continue
-			}
-			conn := items[i].ev.conn
-			s.lib.Copy(t, conn.wbuf, w.slots[states[i].slot].wbuf, states[i].wlen)
-			states[i].data = c.ReadBytes(conn.wbuf, states[i].wlen)
-		}
+		// ⑨ apply the deferred database updates for the whole batch,
+		// grouped per storage shard.
 		return dops.apply(c)
 	}, core.Accessible(), core.HeapSize(s.cfg.DomainHeapSize))
 	if gerr != nil {

@@ -22,6 +22,7 @@
 package memcache
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -141,6 +142,11 @@ type Storage struct {
 	// the low bits — disjoint bit ranges keep the two choices
 	// independent).
 	shardMask uint64
+
+	// Arena bounds for span-lease acceleration (SetArenaBounds). Zero
+	// arenaLen keeps every operation on the checked accessors.
+	arenaBase mem.Addr
+	arenaLen  int
 }
 
 // NewStorage builds the cache state: bucket arrays are allocated
@@ -175,6 +181,16 @@ func NewStorage(c *mem.CPU, hashPower, shards int, alloc pageAlloc) (*Storage, e
 		st.shards = append(st.shards, sh)
 	}
 	return st, nil
+}
+
+// SetArenaBounds registers the contiguous memory arena all cache state
+// lives in, enabling the span-lease fast path: each exported operation
+// verifies (or O(1)-renews) one lease over the whole arena and then runs
+// its chain walks and header accesses on native memory. Without bounds
+// every access stays on the checked per-access accessors.
+func (st *Storage) SetArenaBounds(base mem.Addr, size uint64) {
+	st.arenaBase = base
+	st.arenaLen = int(size)
 }
 
 // Shards returns the shard count.
@@ -227,7 +243,7 @@ func (sh *shard) bucketAddr(h uint64) mem.Addr {
 
 // grabChunk returns a free chunk of class ci, claiming a new slab page or
 // evicting the class LRU tail when necessary.
-func (sh *shard) grabChunk(c *mem.CPU, ci int) (mem.Addr, error) {
+func (sh *shard) grabChunk(v sview, ci int) (mem.Addr, error) {
 	cl := &sh.classes[ci]
 	if cl.freeHead == 0 {
 		if page, err := sh.alloc(slabPageSize); err == nil {
@@ -235,7 +251,7 @@ func (sh *shard) grabChunk(c *mem.CPU, ci int) (mem.Addr, error) {
 			n := slabPageSize / cl.chunkSize
 			for i := uint64(0); i < n; i++ {
 				chunk := page + mem.Addr(i*cl.chunkSize)
-				c.WriteAddr(chunk, cl.freeHead)
+				v.putAddr(chunk, cl.freeHead)
 				cl.freeHead = chunk
 			}
 			cl.chunks += int(n)
@@ -246,39 +262,42 @@ func (sh *shard) grabChunk(c *mem.CPU, ci int) (mem.Addr, error) {
 				return 0, ErrStoreFull
 			}
 			victim := cl.lruTail
-			sh.unlinkItem(c, victim)
+			sh.unlinkItem(v, victim)
 			sh.evictions++
 		}
 	}
 	chunk := cl.freeHead
-	cl.freeHead = c.ReadAddr(chunk)
+	cl.freeHead = v.addr(chunk)
 	cl.used++
 	return chunk, nil
 }
 
 // releaseChunk returns a chunk to its class free list.
-func (sh *shard) releaseChunk(c *mem.CPU, ci int, chunk mem.Addr) {
+func (sh *shard) releaseChunk(v sview, ci int, chunk mem.Addr) {
 	cl := &sh.classes[ci]
-	c.WriteAddr(chunk, cl.freeHead)
+	v.putAddr(chunk, cl.freeHead)
 	cl.freeHead = chunk
 	cl.used--
 }
 
 // itemKey reads an item's key.
-func itemKey(c *mem.CPU, it mem.Addr) []byte {
-	klen := c.ReadU64(it + itemOffKeyLen)
-	return c.ReadBytes(it+itemHeader, int(klen))
+func itemKey(v sview, it mem.Addr) []byte {
+	klen := v.u64(it + itemOffKeyLen)
+	return v.readBytes(it+itemHeader, int(klen))
 }
 
-// itemKeyEqual reports whether the item's key equals key, comparing page
-// runs in place — the hash-chain walk allocates nothing.
-func itemKeyEqual(c *mem.CPU, it mem.Addr, key []byte) bool {
-	if c.ReadU64(it+itemOffKeyLen) != uint64(len(key)) {
+// itemKeyEqual reports whether the item's key equals key, comparing in
+// place — the hash-chain walk allocates nothing.
+func itemKeyEqual(v sview, it mem.Addr, key []byte) bool {
+	if v.u64(it+itemOffKeyLen) != uint64(len(key)) {
 		return false
 	}
 	addr := it + itemHeader
+	if o, ok := v.off(addr, len(key)); ok {
+		return bytes.Equal(v.w[o:o+uint64(len(key))], key)
+	}
 	for len(key) > 0 {
-		run := c.ReadRun(addr, len(key))
+		run := v.c.ReadRun(addr, len(key))
 		if string(run) != string(key[:len(run)]) {
 			return false
 		}
@@ -289,30 +308,30 @@ func itemKeyEqual(c *mem.CPU, it mem.Addr, key []byte) bool {
 }
 
 // itemValueAddr returns the address and length of an item's value.
-func itemValueAddr(c *mem.CPU, it mem.Addr) (mem.Addr, int) {
-	klen := c.ReadU64(it + itemOffKeyLen)
-	vlen := c.ReadU64(it + itemOffValLen)
+func itemValueAddr(v sview, it mem.Addr) (mem.Addr, int) {
+	klen := v.u64(it + itemOffKeyLen)
+	vlen := v.u64(it + itemOffValLen)
 	return it + itemHeader + mem.Addr(klen), int(vlen)
 }
 
 // lruBump moves an item to the head of its class LRU.
-func (sh *shard) lruBump(c *mem.CPU, it mem.Addr) {
-	ci := int(c.ReadU64(it + itemOffClass))
+func (sh *shard) lruBump(v sview, it mem.Addr) {
+	ci := int(v.u64(it + itemOffClass))
 	cl := &sh.classes[ci]
 	if cl.lruHead == it {
 		return
 	}
-	sh.lruUnlink(c, it)
-	sh.lruPush(c, it)
+	sh.lruUnlink(v, it)
+	sh.lruPush(v, it)
 }
 
-func (sh *shard) lruPush(c *mem.CPU, it mem.Addr) {
-	ci := int(c.ReadU64(it + itemOffClass))
+func (sh *shard) lruPush(v sview, it mem.Addr) {
+	ci := int(v.u64(it + itemOffClass))
 	cl := &sh.classes[ci]
-	c.WriteAddr(it+itemOffLRUN, cl.lruHead)
-	c.WriteAddr(it+itemOffLRUP, 0)
+	v.putAddr(it+itemOffLRUN, cl.lruHead)
+	v.putAddr(it+itemOffLRUP, 0)
 	if cl.lruHead != 0 {
-		c.WriteAddr(cl.lruHead+itemOffLRUP, it)
+		v.putAddr(cl.lruHead+itemOffLRUP, it)
 	}
 	cl.lruHead = it
 	if cl.lruTail == 0 {
@@ -320,36 +339,36 @@ func (sh *shard) lruPush(c *mem.CPU, it mem.Addr) {
 	}
 }
 
-func (sh *shard) lruUnlink(c *mem.CPU, it mem.Addr) {
-	ci := int(c.ReadU64(it + itemOffClass))
+func (sh *shard) lruUnlink(v sview, it mem.Addr) {
+	ci := int(v.u64(it + itemOffClass))
 	cl := &sh.classes[ci]
-	next := c.ReadAddr(it + itemOffLRUN)
-	prev := c.ReadAddr(it + itemOffLRUP)
+	next := v.addr(it + itemOffLRUN)
+	prev := v.addr(it + itemOffLRUP)
 	if prev != 0 {
-		c.WriteAddr(prev+itemOffLRUN, next)
+		v.putAddr(prev+itemOffLRUN, next)
 	} else {
 		cl.lruHead = next
 	}
 	if next != 0 {
-		c.WriteAddr(next+itemOffLRUP, prev)
+		v.putAddr(next+itemOffLRUP, prev)
 	} else {
 		cl.lruTail = prev
 	}
 }
 
 // hashUnlink removes an item from its hash chain.
-func (sh *shard) hashUnlink(c *mem.CPU, it mem.Addr) {
-	key := itemKey(c, it)
+func (sh *shard) hashUnlink(v sview, it mem.Addr) {
+	key := itemKey(v, it)
 	ba := sh.bucketAddr(hashKey(key))
-	cur := c.ReadAddr(ba)
+	cur := v.addr(ba)
 	if cur == it {
-		c.WriteAddr(ba, c.ReadAddr(it+itemOffNext))
+		v.putAddr(ba, v.addr(it+itemOffNext))
 		return
 	}
 	for cur != 0 {
-		next := c.ReadAddr(cur + itemOffNext)
+		next := v.addr(cur + itemOffNext)
 		if next == it {
-			c.WriteAddr(cur+itemOffNext, c.ReadAddr(it+itemOffNext))
+			v.putAddr(cur+itemOffNext, v.addr(it+itemOffNext))
 			return
 		}
 		cur = next
@@ -357,13 +376,13 @@ func (sh *shard) hashUnlink(c *mem.CPU, it mem.Addr) {
 }
 
 // unlinkItem fully removes an item (hash chain + LRU) and frees its chunk.
-func (sh *shard) unlinkItem(c *mem.CPU, it mem.Addr) {
-	sh.hashUnlink(c, it)
-	sh.lruUnlink(c, it)
-	vlen := c.ReadU64(it + itemOffValLen)
-	klen := c.ReadU64(it + itemOffKeyLen)
-	ci := int(c.ReadU64(it + itemOffClass))
-	sh.releaseChunk(c, ci, it)
+func (sh *shard) unlinkItem(v sview, it mem.Addr) {
+	sh.hashUnlink(v, it)
+	sh.lruUnlink(v, it)
+	vlen := v.u64(it + itemOffValLen)
+	klen := v.u64(it + itemOffKeyLen)
+	ci := int(v.u64(it + itemOffClass))
+	sh.releaseChunk(v, ci, it)
 	sh.items--
 	sh.bytes -= itemHeader + klen + vlen
 	sh.noteOccupancy()
@@ -371,14 +390,14 @@ func (sh *shard) unlinkItem(c *mem.CPU, it mem.Addr) {
 
 // lookupLocked finds an item by key within the shard. The caller must
 // hold the shard lock.
-func (sh *shard) lookupLocked(c *mem.CPU, key []byte) mem.Addr {
+func (sh *shard) lookupLocked(v sview, key []byte) mem.Addr {
 	ba := sh.bucketAddr(hashKey(key))
-	it := c.ReadAddr(ba)
+	it := v.addr(ba)
 	for it != 0 {
-		if itemKeyEqual(c, it, key) {
+		if itemKeyEqual(v, it, key) {
 			return it
 		}
-		it = c.ReadAddr(it + itemOffNext)
+		it = v.addr(it + itemOffNext)
 	}
 	return 0
 }
@@ -386,63 +405,91 @@ func (sh *shard) lookupLocked(c *mem.CPU, key []byte) mem.Addr {
 // Get copies out the value and flags for key, or ok=false.
 func (st *Storage) Get(c *mem.CPU, key []byte) (value []byte, flags uint32, ok bool) {
 	sh := st.shardFor(hashKey(key))
+	v := st.view(c)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.getLocked(c, key)
+	return sh.getLocked(v, key)
 }
 
-func (sh *shard) getLocked(c *mem.CPU, key []byte) (value []byte, flags uint32, ok bool) {
+func (sh *shard) getLocked(v sview, key []byte) (value []byte, flags uint32, ok bool) {
 	sh.gets++
-	it := sh.lookupLocked(c, key)
+	it := sh.lookupLocked(v, key)
 	if it == 0 {
 		return nil, 0, false
 	}
 	sh.hits++
-	sh.lruBump(c, it)
-	va, vlen := itemValueAddr(c, it)
-	return c.ReadBytes(va, vlen), uint32(c.ReadU64(it + itemOffFlags)), true
+	sh.lruBump(v, it)
+	va, vlen := itemValueAddr(v, it)
+	return v.readBytes(va, vlen), uint32(v.u64(it + itemOffFlags)), true
+}
+
+// AppendGet appends key's value to dst under the shard lock, returning
+// the extended slice plus flags, CAS id, and presence. It is the
+// copy-once read the zero-copy reply assembly builds on: the value goes
+// straight from cache memory into the caller's reply scratch, with no
+// intermediate allocation.
+func (st *Storage) AppendGet(c *mem.CPU, key, dst []byte, withCAS bool) ([]byte, uint32, uint64, bool) {
+	sh := st.shardFor(hashKey(key))
+	v := st.view(c)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.gets++
+	it := sh.lookupLocked(v, key)
+	if it == 0 {
+		return dst, 0, 0, false
+	}
+	sh.hits++
+	sh.lruBump(v, it)
+	va, vlen := itemValueAddr(v, it)
+	dst = v.appendBytes(dst, va, vlen)
+	flags := uint32(v.u64(it + itemOffFlags))
+	var casid uint64
+	if withCAS {
+		casid = v.u64(it + itemOffCAS)
+	}
+	return dst, flags, casid, true
 }
 
 // storeLocked writes a fresh item for key=value, unlinking any existing
 // item first. Caller holds the shard lock. Returns the new CAS id.
-func (sh *shard) storeLocked(c *mem.CPU, key, value []byte, flags uint32) (uint64, error) {
+func (sh *shard) storeLocked(v sview, key, value []byte, flags uint32) (uint64, error) {
 	need := uint64(itemHeader + len(key) + len(value))
 	ci, err := sh.classFor(need)
 	if err != nil {
 		return 0, err
 	}
-	if old := sh.lookupLocked(c, key); old != 0 {
-		sh.unlinkItem(c, old)
+	if old := sh.lookupLocked(v, key); old != 0 {
+		sh.unlinkItem(v, old)
 	}
-	it, err := sh.grabChunk(c, ci)
+	it, err := sh.grabChunk(v, ci)
 	if err != nil {
 		return 0, err
 	}
 	sh.casCounter++
-	c.WriteAddr(it+itemOffNext, 0)
-	c.WriteAddr(it+itemOffLRUN, 0)
-	c.WriteAddr(it+itemOffLRUP, 0)
-	c.WriteU64(it+itemOffKeyLen, uint64(len(key)))
-	c.WriteU64(it+itemOffValLen, uint64(len(value)))
-	c.WriteU64(it+itemOffFlags, uint64(flags))
-	c.WriteU64(it+itemOffClass, uint64(ci))
-	c.WriteU64(it+itemOffCAS, sh.casCounter)
-	c.Write(it+itemHeader, key)
-	c.Write(it+itemHeader+mem.Addr(len(key)), value)
+	v.putAddr(it+itemOffNext, 0)
+	v.putAddr(it+itemOffLRUN, 0)
+	v.putAddr(it+itemOffLRUP, 0)
+	v.putU64(it+itemOffKeyLen, uint64(len(key)))
+	v.putU64(it+itemOffValLen, uint64(len(value)))
+	v.putU64(it+itemOffFlags, uint64(flags))
+	v.putU64(it+itemOffClass, uint64(ci))
+	v.putU64(it+itemOffCAS, sh.casCounter)
+	v.write(it+itemHeader, key)
+	v.write(it+itemHeader+mem.Addr(len(key)), value)
 	// Link: hash chain head + LRU head.
 	ba := sh.bucketAddr(hashKey(key))
-	c.WriteAddr(it+itemOffNext, c.ReadAddr(ba))
-	c.WriteAddr(ba, it)
-	sh.lruPush(c, it)
+	v.putAddr(it+itemOffNext, v.addr(ba))
+	v.putAddr(ba, it)
+	sh.lruPush(v, it)
 	sh.items++
 	sh.bytes += need
 	sh.noteOccupancy()
 	return sh.casCounter, nil
 }
 
-func (sh *shard) setLocked(c *mem.CPU, key, value []byte, flags uint32) error {
+func (sh *shard) setLocked(v sview, key, value []byte, flags uint32) error {
 	sh.sets++
-	_, err := sh.storeLocked(c, key, value, flags)
+	_, err := sh.storeLocked(v, key, value, flags)
 	return err
 }
 
@@ -452,9 +499,10 @@ func (st *Storage) Set(c *mem.CPU, key, value []byte, flags uint32) error {
 		return ErrKeyTooLong
 	}
 	sh := st.shardFor(hashKey(key))
+	v := st.view(c)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.setLocked(c, key, value, flags)
+	return sh.setLocked(v, key, value, flags)
 }
 
 // StoreOutcome reports conditional-store results.
@@ -479,13 +527,14 @@ func (st *Storage) Add(c *mem.CPU, key, value []byte, flags uint32) (StoreOutcom
 		return NotStored, ErrKeyTooLong
 	}
 	sh := st.shardFor(hashKey(key))
+	v := st.view(c)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.sets++
-	if sh.lookupLocked(c, key) != 0 {
+	if sh.lookupLocked(v, key) != 0 {
 		return NotStored, nil
 	}
-	if _, err := sh.storeLocked(c, key, value, flags); err != nil {
+	if _, err := sh.storeLocked(v, key, value, flags); err != nil {
 		return NotStored, err
 	}
 	return Stored, nil
@@ -497,13 +546,14 @@ func (st *Storage) Replace(c *mem.CPU, key, value []byte, flags uint32) (StoreOu
 		return NotStored, ErrKeyTooLong
 	}
 	sh := st.shardFor(hashKey(key))
+	v := st.view(c)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.sets++
-	if sh.lookupLocked(c, key) == 0 {
+	if sh.lookupLocked(v, key) == 0 {
 		return NotStored, nil
 	}
-	if _, err := sh.storeLocked(c, key, value, flags); err != nil {
+	if _, err := sh.storeLocked(v, key, value, flags); err != nil {
 		return NotStored, err
 	}
 	return Stored, nil
@@ -512,23 +562,24 @@ func (st *Storage) Replace(c *mem.CPU, key, value []byte, flags uint32) (StoreOu
 // Concat appends (or prepends) data to an existing value.
 func (st *Storage) Concat(c *mem.CPU, key, data []byte, prepend bool) (StoreOutcome, error) {
 	sh := st.shardFor(hashKey(key))
+	v := st.view(c)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.sets++
-	it := sh.lookupLocked(c, key)
+	it := sh.lookupLocked(v, key)
 	if it == 0 {
 		return NotStored, nil
 	}
-	va, vlen := itemValueAddr(c, it)
-	old := c.ReadBytes(va, vlen)
-	flags := uint32(c.ReadU64(it + itemOffFlags))
+	va, vlen := itemValueAddr(v, it)
+	old := v.readBytes(va, vlen)
+	flags := uint32(v.u64(it + itemOffFlags))
 	var merged []byte
 	if prepend {
 		merged = append(append([]byte{}, data...), old...)
 	} else {
 		merged = append(append([]byte{}, old...), data...)
 	}
-	if _, err := sh.storeLocked(c, key, merged, flags); err != nil {
+	if _, err := sh.storeLocked(v, key, merged, flags); err != nil {
 		return NotStored, err
 	}
 	return Stored, nil
@@ -537,17 +588,18 @@ func (st *Storage) Concat(c *mem.CPU, key, data []byte, prepend bool) (StoreOutc
 // CAS stores only if the item's CAS id still matches casid.
 func (st *Storage) CAS(c *mem.CPU, key, value []byte, flags uint32, casid uint64) (StoreOutcome, error) {
 	sh := st.shardFor(hashKey(key))
+	v := st.view(c)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.sets++
-	it := sh.lookupLocked(c, key)
+	it := sh.lookupLocked(v, key)
 	if it == 0 {
 		return NotFoundOutcome, nil
 	}
-	if c.ReadU64(it+itemOffCAS) != casid {
+	if v.u64(it+itemOffCAS) != casid {
 		return CASMismatch, nil
 	}
-	if _, err := sh.storeLocked(c, key, value, flags); err != nil {
+	if _, err := sh.storeLocked(v, key, value, flags); err != nil {
 		return NotStored, err
 	}
 	return Stored, nil
@@ -556,29 +608,31 @@ func (st *Storage) CAS(c *mem.CPU, key, value []byte, flags uint32, casid uint64
 // GetWithCAS is Get plus the item's CAS id (memcached gets).
 func (st *Storage) GetWithCAS(c *mem.CPU, key []byte) (value []byte, flags uint32, casid uint64, ok bool) {
 	sh := st.shardFor(hashKey(key))
+	v := st.view(c)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.gets++
-	it := sh.lookupLocked(c, key)
+	it := sh.lookupLocked(v, key)
 	if it == 0 {
 		return nil, 0, 0, false
 	}
 	sh.hits++
-	sh.lruBump(c, it)
-	va, vlen := itemValueAddr(c, it)
-	return c.ReadBytes(va, vlen), uint32(c.ReadU64(it + itemOffFlags)), c.ReadU64(it + itemOffCAS), true
+	sh.lruBump(v, it)
+	va, vlen := itemValueAddr(v, it)
+	return v.readBytes(va, vlen), uint32(v.u64(it + itemOffFlags)), v.u64(it + itemOffCAS), true
 }
 
 // Touch bumps an item's LRU position (expiry is not simulated).
 func (st *Storage) Touch(c *mem.CPU, key []byte) bool {
 	sh := st.shardFor(hashKey(key))
+	v := st.view(c)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	it := sh.lookupLocked(c, key)
+	it := sh.lookupLocked(v, key)
 	if it == 0 {
 		return false
 	}
-	sh.lruBump(c, it)
+	sh.lruBump(v, it)
 	return true
 }
 
@@ -586,18 +640,19 @@ func (st *Storage) Touch(c *mem.CPU, key []byte) bool {
 // order under their own locks — there is no cross-shard invariant that
 // needs an all-shards critical section.
 func (st *Storage) FlushAll(c *mem.CPU) {
+	v := st.view(c)
 	for _, sh := range st.shards {
 		sh.mu.Lock()
-		sh.flushLocked(c)
+		sh.flushLocked(v)
 		sh.mu.Unlock()
 	}
 }
 
-func (sh *shard) flushLocked(c *mem.CPU) {
+func (sh *shard) flushLocked(v sview) {
 	for ci := range sh.classes {
 		cl := &sh.classes[ci]
 		for cl.lruTail != 0 {
-			sh.unlinkItem(c, cl.lruTail)
+			sh.unlinkItem(v, cl.lruTail)
 		}
 	}
 }
@@ -605,17 +660,18 @@ func (sh *shard) flushLocked(c *mem.CPU) {
 // Delete removes key, reporting whether it existed.
 func (st *Storage) Delete(c *mem.CPU, key []byte) bool {
 	sh := st.shardFor(hashKey(key))
+	v := st.view(c)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.deleteLocked(c, key)
+	return sh.deleteLocked(v, key)
 }
 
-func (sh *shard) deleteLocked(c *mem.CPU, key []byte) bool {
-	it := sh.lookupLocked(c, key)
+func (sh *shard) deleteLocked(v sview, key []byte) bool {
+	it := sh.lookupLocked(v, key)
 	if it == 0 {
 		return false
 	}
-	sh.unlinkItem(c, it)
+	sh.unlinkItem(v, it)
 	return true
 }
 
@@ -636,17 +692,18 @@ type BatchOp struct {
 // semantics of applying the ops one by one) and is returned.
 func (st *Storage) ApplyShardBatch(c *mem.CPU, si int, ops []BatchOp) error {
 	sh := st.shards[si]
+	v := st.view(c)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for _, op := range ops {
 		if op.Delete {
-			sh.deleteLocked(c, op.Key)
+			sh.deleteLocked(v, op.Key)
 			continue
 		}
 		if len(op.Key) > MaxKeyLen {
 			return ErrKeyTooLong
 		}
-		if err := sh.setLocked(c, op.Key, op.Value, op.Flags); err != nil {
+		if err := sh.setLocked(v, op.Key, op.Value, op.Flags); err != nil {
 			return err
 		}
 	}
