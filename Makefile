@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check chaos-smoke bench-smoke throughput-gate parity-gate parity-bench policy-gate recovery-bench ci
+.PHONY: build test race vet fmt-check chaos-smoke bench-smoke throughput-gate parity-gate parity-bench policy-gate recovery-bench cluster-gate cluster-bench ci
 
 build:
 	$(GO) build ./...
@@ -59,4 +59,20 @@ policy-gate:
 recovery-bench:
 	$(GO) run ./cmd/sdrad-bench -quick -recovery-json BENCH_recovery.json
 
-ci: build vet fmt-check test race chaos-smoke parity-gate policy-gate
+# The fixed-seed cluster chaos campaign plus the routed-path gates, as
+# the cluster-gate CI job runs them. The scaling/availability gate is
+# deterministic — it reads BENCH_cluster.json, runs nothing — and the
+# live rerun is a coarse 50% sanity bound (routed throughput wears host
+# scheduling noise the calibration loop cannot see).
+cluster-gate:
+	$(GO) run ./cmd/sdrad-chaos -campaigns cluster -seed 12648430 -ops 16
+	$(GO) run ./cmd/sdrad-bench -cluster-gate BENCH_cluster.json
+	$(GO) run ./cmd/sdrad-bench -quick -cluster-baseline BENCH_cluster.json
+
+# Re-measure the routed scaling curve and availability-under-kill cell
+# and rewrite the committed baseline (run on a quiet machine, then
+# commit BENCH_cluster.json — it must still pass `make cluster-gate`).
+cluster-bench:
+	$(GO) run ./cmd/sdrad-bench -quick -cluster -cluster-json BENCH_cluster.json
+
+ci: build vet fmt-check test race chaos-smoke parity-gate policy-gate cluster-gate

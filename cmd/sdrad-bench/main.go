@@ -38,6 +38,9 @@ func run(args []string) error {
 	tputBaseline := fs.String("throughput-baseline", "", "compare the throughput report against this JSON baseline; exit non-zero on >25% speed-adjusted drop")
 	recJSON := fs.String("recovery-json", "", "write the recovery-cost report as JSON to this path")
 	recBaseline := fs.String("recovery-baseline", "", "gate the recovery report against this JSON baseline; exit non-zero when rewind is not clearly cheaper than restart or its cost regressed")
+	clusterJSON := fs.String("cluster-json", "", "write the routed cluster-scaling report as JSON to this path")
+	clusterBaseline := fs.String("cluster-baseline", "", "compare the cluster report against this JSON baseline (speed-adjusted) and assert the baseline's CPU-aware scaling gate")
+	clusterGate := fs.String("cluster-gate", "", "assert the committed cluster baseline's CPU-aware scaling and availability floors (deterministic; no benchmark run needed)")
 	parity := fs.Bool("parity", false, "measure the sdrad/vanilla parity ratio table with paired back-to-back runs")
 	parityJSON := fs.String("parity-json", "", "write the parity report as JSON to this path (implies -parity)")
 	parityFloor := fs.Float64("parity-floor", 0, "with -parity, exit non-zero when the live headline-cell ratio falls below this floor")
@@ -76,8 +79,11 @@ func run(args []string) error {
 	if (*recJSON != "" || *recBaseline != "") && !*selected["recovery"] {
 		toRun = append(toRun, "recovery")
 	}
+	if (*clusterJSON != "" || *clusterBaseline != "") && !*selected["cluster"] {
+		toRun = append(toRun, "cluster")
+	}
 	parityMode := *parityBaseline != "" || *parity || *parityJSON != ""
-	if len(toRun) == 0 && !parityMode {
+	if len(toRun) == 0 && !parityMode && *clusterGate == "" {
 		toRun = bench.Experiments
 	}
 	fmt.Printf("SDRaD-Go evaluation (scale: %s)\n", scaleName)
@@ -85,6 +91,11 @@ func run(args []string) error {
 	// Parity flags form their own mode: the deterministic baseline-ratio
 	// assertion and/or the live paired-ratio table run instead of the
 	// experiment list (combine with experiment flags to run both).
+	if *clusterGate != "" {
+		if err := checkClusterGate(*clusterGate); err != nil {
+			return err
+		}
+	}
 	if parityMode {
 		if *parityBaseline != "" {
 			if err := checkParityBaseline(*parityBaseline); err != nil {
@@ -113,6 +124,12 @@ func run(args []string) error {
 		if name == "recovery" && (*recJSON != "" || *recBaseline != "") {
 			if err := runRecovery(scale, *recJSON, *recBaseline); err != nil {
 				return fmt.Errorf("recovery: %w", err)
+			}
+			continue
+		}
+		if name == "cluster" && (*clusterJSON != "" || *clusterBaseline != "") {
+			if err := runCluster(scale, *clusterJSON, *clusterBaseline); err != nil {
+				return fmt.Errorf("cluster: %w", err)
 			}
 			continue
 		}
@@ -223,6 +240,54 @@ func runParity(scale bench.Scale, jsonPath string, liveFloor float64) error {
 	}
 	if liveFloor > 0 {
 		fmt.Printf("live parity headline ratio clears the %.2fx floor\n", liveFloor)
+	}
+	return nil
+}
+
+// checkClusterGate asserts the committed cluster baseline's CPU-aware
+// scaling floor and availability-under-kill floor. Like the parity
+// gate it runs no benchmark — it reads recorded numbers — so runner
+// noise cannot flake it; the gate moves only when someone commits a
+// recording that fails it.
+func checkClusterGate(path string) error {
+	base, err := bench.LoadClusterBaseline(path)
+	if err != nil {
+		return err
+	}
+	if err := base.CheckScaling(); err != nil {
+		return err
+	}
+	fmt.Printf("cluster: committed baseline %s holds 3v1 scaling %.2fx (recorded on %d cpus) with availability %.4f under a mid-run kill\n",
+		path, base.Scaling3v1, base.CPUs, base.AvailabilityKill)
+	return nil
+}
+
+// runCluster runs the routed cluster-scaling experiment with its JSON
+// side outputs, mirroring runThroughput.
+func runCluster(scale bench.Scale, jsonPath, baselinePath string) error {
+	rep, table, err := bench.RunCluster(scale)
+	if err != nil {
+		return err
+	}
+	table.Fprint(os.Stdout)
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("cluster report written to %s\n", jsonPath)
+	}
+	if baselinePath != "" {
+		base, err := bench.LoadClusterBaseline(baselinePath)
+		if err != nil {
+			return err
+		}
+		if err := base.CheckScaling(); err != nil {
+			return err
+		}
+		if err := rep.CheckAgainst(base); err != nil {
+			return err
+		}
+		fmt.Printf("routed throughput within tolerance of baseline %s; baseline scaling gate holds\n", baselinePath)
 	}
 	return nil
 }

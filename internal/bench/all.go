@@ -11,6 +11,7 @@ var Experiments = []string{
 	"fig5", "scaling-nginx", "rewind-nginx", "mem-nginx",
 	"openssl", "rewind-openssl",
 	"switchcost", "ablations", "substrate", "throughput", "recovery",
+	"cluster",
 }
 
 // Run executes one named experiment at the given scale and prints its
@@ -78,6 +79,10 @@ func Run(w io.Writer, name string, sc Scale) error {
 	case "recovery":
 		var t *Table
 		_, t, err = RunRecovery(sc)
+		tables = append(tables, t)
+	case "cluster":
+		var t *Table
+		_, t, err = RunCluster(sc)
 		tables = append(tables, t)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", name, Experiments)

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"bufio"
+	"net"
+	"time"
+
+	"sdrad/internal/memcache"
+)
+
+// Client is a pipelining memcached text-protocol TCP client: one
+// connection, batch writes flushed in one syscall, replies framed with
+// the same ReadReply the router uses. It is the client side of every
+// TCP surface in the cluster subsystem — the load generator and the
+// benches drive routers (and bare backends) with it, and the router's
+// backend pools wrap it.
+type Client struct {
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+	// ioTimeout bounds each exchange (0 = none).
+	ioTimeout time.Duration
+}
+
+// Dial connects to a memcached-speaking address.
+func Dial(addr string, dialTimeout, ioTimeout time.Duration) (*Client, error) {
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		nc:        nc,
+		r:         bufio.NewReaderSize(nc, 64<<10),
+		w:         bufio.NewWriterSize(nc, 64<<10),
+		ioTimeout: ioTimeout,
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// Do sends one request and reads one reply.
+func (c *Client) Do(req []byte) ([]byte, error) {
+	replies, err := c.DoBatch([][]byte{req})
+	if err != nil {
+		return nil, err
+	}
+	return replies[0], nil
+}
+
+// DoBatch pipelines reqs in one flush and reads one reply per request,
+// in order. Any transport error poisons the connection: the caller must
+// Close and redial — replies already read are NOT returned, because a
+// torn batch leaves request/reply correspondence unknowable.
+func (c *Client) DoBatch(reqs [][]byte) ([][]byte, error) {
+	if c.ioTimeout > 0 {
+		if err := c.nc.SetDeadline(time.Now().Add(c.ioTimeout)); err != nil {
+			return nil, err
+		}
+	}
+	for _, req := range reqs {
+		if _, err := c.w.Write(req); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	replies := make([][]byte, len(reqs))
+	for i := range reqs {
+		rep, err := memcache.ReadReply(c.r)
+		if err != nil {
+			return nil, err
+		}
+		replies[i] = rep
+	}
+	return replies, nil
+}

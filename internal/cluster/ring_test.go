@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingPlacement(t *testing.T) {
+	names := []string{"b0", "b1", "b2"}
+	r, err := NewRing(names, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every key has all three backends as distinct successors, primary
+	// first, and placement is deterministic.
+	var succ []int
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("user%010d", i)
+		succ = r.Successors(key, 0, succ)
+		if len(succ) != 3 {
+			t.Fatalf("key %s: %d successors, want 3", key, len(succ))
+		}
+		seen := map[int]bool{}
+		for _, b := range succ {
+			if b < 0 || b >= 3 || seen[b] {
+				t.Fatalf("key %s: bad successor list %v", key, succ)
+			}
+			seen[b] = true
+		}
+		if succ[0] != r.Primary(key) {
+			t.Fatalf("key %s: Primary %d != Successors[0] %d", key, r.Primary(key), succ[0])
+		}
+		counts[succ[0]]++
+	}
+	// Virtual nodes should keep the key shares roughly balanced: no
+	// backend below half or above double its fair share.
+	for b, n := range counts {
+		if n < 500 || n > 2000 {
+			t.Errorf("backend %d owns %d/3000 keys; ring badly unbalanced", b, n)
+		}
+	}
+}
+
+func TestRingStableUnderRename(t *testing.T) {
+	// Placement hashes names: the same names give the same layout no
+	// matter the (address) order they were discovered in... but a
+	// different order of the SAME names must preserve each name's keys.
+	a, _ := NewRing([]string{"b0", "b1", "b2"}, 64)
+	b, _ := NewRing([]string{"b2", "b0", "b1"}, 64)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if a.Name(a.Primary(key)) != b.Name(b.Primary(key)) {
+			t.Fatalf("key %s moved when backend order changed", key)
+		}
+	}
+}
+
+func TestRingSpillOrder(t *testing.T) {
+	r, _ := NewRing([]string{"b0", "b1", "b2", "b3"}, 32)
+	// Successors with max bounds the walk.
+	succ := r.Successors("some-key", 2, nil)
+	if len(succ) != 2 {
+		t.Fatalf("max=2 returned %d successors", len(succ))
+	}
+	full := r.Successors("some-key", 0, nil)
+	if full[0] != succ[0] || full[1] != succ[1] {
+		t.Fatalf("bounded walk %v disagrees with full walk %v", succ, full)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := NewRing([]string{""}, 8); err == nil {
+		t.Error("empty name accepted")
+	}
+	many := make([]string, 65)
+	for i := range many {
+		many[i] = fmt.Sprintf("b%d", i)
+	}
+	if _, err := NewRing(many, 8); err == nil {
+		t.Error("65 backends accepted; successor mask holds 64")
+	}
+}

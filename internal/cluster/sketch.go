@@ -1,0 +1,138 @@
+package cluster
+
+import "sync"
+
+// hotEntry is one tracked key in the space-saving summary.
+type hotEntry struct {
+	key   string
+	count uint64
+	// err is the over-estimate bound inherited from the evicted entry
+	// this one replaced (Metwally et al.'s space-saving bookkeeping).
+	err uint64
+}
+
+// Sketch is a space-saving top-K frequency tracker for hot-key
+// detection: a fixed-capacity stream summary where an unseen key evicts
+// the minimum-count entry and inherits its count as error bound. It is
+// deterministic for a given observation stream — a property the chaos
+// campaign leans on — and sized so the router's per-read overhead is one
+// map probe and a counter bump in the common case.
+//
+// Hot promotion is deliberately sticky: a key must accumulate
+// promoteAt observations of its own (count minus inherited error)
+// before TopK reports it, so churn at the summary's tail cannot flap
+// the replicated set. A periodic Decay halves every count, aging out
+// yesterday's hot keys.
+type Sketch struct {
+	mu       sync.Mutex
+	capacity int
+	k        int
+	// promoteAt is the minimum guaranteed-count for a key to be
+	// reported hot.
+	promoteAt uint64
+	entries   map[string]*hotEntry
+	// observations counts Observe calls since the last decay.
+	observations uint64
+	// decayEvery halves counts after this many observations (0 = never).
+	decayEvery uint64
+}
+
+// NewSketch builds a tracker reporting at most k hot keys. capacity <= 0
+// defaults to max(8*k, 64) summary slots; promoteAt <= 0 defaults to 64
+// observations; decayEvery <= 0 defaults to 1<<16.
+func NewSketch(k, capacity int, promoteAt, decayEvery uint64) *Sketch {
+	if k <= 0 {
+		k = 8
+	}
+	if capacity <= 0 {
+		capacity = 8 * k
+		if capacity < 64 {
+			capacity = 64
+		}
+	}
+	if promoteAt == 0 {
+		promoteAt = 64
+	}
+	if decayEvery == 0 {
+		decayEvery = 1 << 16
+	}
+	return &Sketch{
+		capacity:   capacity,
+		k:          k,
+		promoteAt:  promoteAt,
+		entries:    make(map[string]*hotEntry, capacity),
+		decayEvery: decayEvery,
+	}
+}
+
+// Observe records one access to key.
+func (s *Sketch) Observe(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observations++
+	if s.decayEvery > 0 && s.observations >= s.decayEvery {
+		s.observations = 0
+		for k, e := range s.entries {
+			e.count >>= 1
+			e.err >>= 1
+			if e.count == 0 {
+				delete(s.entries, k)
+			}
+		}
+	}
+	if e, ok := s.entries[key]; ok {
+		e.count++
+		return
+	}
+	if len(s.entries) < s.capacity {
+		s.entries[key] = &hotEntry{key: key, count: 1}
+		return
+	}
+	// Evict the minimum-count entry; ties broken by key so the summary
+	// is a pure function of the observation stream.
+	var min *hotEntry
+	for _, e := range s.entries {
+		if min == nil || e.count < min.count || (e.count == min.count && e.key < min.key) {
+			min = e
+		}
+	}
+	delete(s.entries, min.key)
+	s.entries[key] = &hotEntry{key: key, count: min.count + 1, err: min.count}
+}
+
+// TopK returns the current hot set: up to k keys whose guaranteed count
+// (count - err) has reached the promotion floor, hottest first. Ties
+// break by key for determinism.
+func (s *Sketch) TopK() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type cand struct {
+		key   string
+		count uint64
+	}
+	var cands []cand
+	for _, e := range s.entries {
+		if e.count-e.err >= s.promoteAt {
+			cands = append(cands, cand{e.key, e.count})
+		}
+	}
+	// Insertion sort: the candidate set is tiny (bounded by capacity,
+	// and in practice by the handful of genuinely hot keys).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cands[j-1], cands[j]
+			if a.count > b.count || (a.count == b.count && a.key < b.key) {
+				break
+			}
+			cands[j-1], cands[j] = b, a
+		}
+	}
+	if len(cands) > s.k {
+		cands = cands[:s.k]
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.key
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sdrad/internal/ycsb"
+)
+
+func TestSketchFindsHotKeys(t *testing.T) {
+	s := NewSketch(4, 64, 64, 0)
+	// A skewed stream: 4 hot keys carry half the traffic, 996 cold keys
+	// the rest.
+	rng := rand.New(rand.NewSource(1))
+	hot := []string{"h0", "h1", "h2", "h3"}
+	for i := 0; i < 20000; i++ {
+		if rng.Intn(2) == 0 {
+			s.Observe(hot[rng.Intn(len(hot))])
+		} else {
+			s.Observe(fmt.Sprintf("cold%d", rng.Intn(996)))
+		}
+	}
+	top := s.TopK()
+	if len(top) != 4 {
+		t.Fatalf("TopK returned %d keys (%v), want the 4 hot ones", len(top), top)
+	}
+	want := map[string]bool{"h0": true, "h1": true, "h2": true, "h3": true}
+	for _, k := range top {
+		if !want[k] {
+			t.Errorf("cold key %q promoted to hot", k)
+		}
+	}
+}
+
+func TestSketchPromotionFloor(t *testing.T) {
+	s := NewSketch(8, 64, 100, 0)
+	for i := 0; i < 99; i++ {
+		s.Observe("almost")
+	}
+	if top := s.TopK(); len(top) != 0 {
+		t.Fatalf("key promoted below the floor: %v", top)
+	}
+	s.Observe("almost")
+	if top := s.TopK(); len(top) != 1 || top[0] != "almost" {
+		t.Fatalf("key not promoted at the floor: %v", top)
+	}
+}
+
+func TestSketchDecay(t *testing.T) {
+	// decayEvery 1000: after the hot key stops, two decay rounds halve
+	// it below the promotion floor while a new key takes over.
+	s := NewSketch(1, 64, 64, 1000)
+	for i := 0; i < 200; i++ {
+		s.Observe("old-hot")
+	}
+	if top := s.TopK(); len(top) != 1 || top[0] != "old-hot" {
+		t.Fatalf("setup: %v", top)
+	}
+	for i := 0; i < 3000; i++ {
+		s.Observe("new-hot")
+	}
+	top := s.TopK()
+	if len(top) != 1 || top[0] != "new-hot" {
+		t.Fatalf("decay did not rotate the hot set: %v", top)
+	}
+}
+
+func TestSketchDeterministic(t *testing.T) {
+	// The summary is a pure function of the observation stream — the
+	// chaos campaign's schedule hash depends on this.
+	run := func() []string {
+		s := NewSketch(4, 32, 32, 0)
+		choose := ycsb.ZipfianChooser(500, 0.99, 99)
+		for i := 0; i < 10000; i++ {
+			s.Observe(fmt.Sprintf("user%010d", choose()))
+		}
+		return s.TopK()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("zipfian stream promoted no hot keys")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same stream, different hot sets: %v vs %v", a, b)
+	}
+}

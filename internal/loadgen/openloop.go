@@ -1,0 +1,247 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdrad/internal/cluster"
+	"sdrad/internal/memcache"
+	"sdrad/internal/telemetry"
+)
+
+// OpenLoopConfig describes an open-loop run against one or more
+// memcached-protocol TCP targets (backends, or the cluster router).
+//
+// Unlike the closed-loop Run above — where each connection issues its
+// next request only after the previous one returns, so a slow server
+// quietly throttles the offered load — the open loop schedules arrivals
+// on a fixed timetable and measures every request's latency against its
+// *intended* start time. A server that stalls accumulates a backlog and
+// the stall shows up in the tail, instead of being coordinated away
+// (Tene's "coordinated omission").
+type OpenLoopConfig struct {
+	// Targets are the TCP addresses load is spread over, round-robin by
+	// arrival. At least one is required.
+	Targets []string
+	// Rate is the total intended arrival rate, requests per second
+	// (default 1000).
+	Rate float64
+	// Duration is the run length (default 1s). Intended arrivals =
+	// Rate * Duration.
+	Duration time.Duration
+	// Conns is the number of executor connections per target (default 4).
+	// The executors drain the arrival queue; fewer executors than the
+	// service time demands means a growing backlog — which is the point.
+	Conns int
+	// ReadFraction is the share of arrivals that are gets (default 0.9;
+	// the rest are sets).
+	ReadFraction float64
+	// Records is the key-space size (default 1000), keys "user%010d".
+	Records int
+	// KeyChooser picks the record for each arrival (default uniform from
+	// a Seed-derived stream; plug ycsb.ZipfianChooser for skew).
+	KeyChooser func() int
+	// ValueSize is the set payload size in bytes (default 64).
+	ValueSize int
+	// Seed makes the op/key stream deterministic (default 1).
+	Seed int64
+	// DialTimeout/IOTimeout bound each executor's exchanges (defaults
+	// 2s / 5s).
+	DialTimeout time.Duration
+	IOTimeout   time.Duration
+	// Telemetry, when non-nil, receives the intended-start latency
+	// distribution as sdrad_loadgen_openloop_latency_ns.
+	Telemetry *telemetry.Recorder
+}
+
+func (c *OpenLoopConfig) setDefaults() error {
+	if len(c.Targets) == 0 {
+		return fmt.Errorf("loadgen: open loop needs at least one target")
+	}
+	if c.Rate <= 0 {
+		c.Rate = 1000
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.ReadFraction <= 0 || c.ReadFraction > 1 {
+		c.ReadFraction = 0.9
+	}
+	if c.Records <= 0 {
+		c.Records = 1000
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = 5 * time.Second
+	}
+	return nil
+}
+
+// OpenLoopResult summarizes an open-loop run. Percentiles are measured
+// against each request's intended start time, so queueing delay from a
+// stalled or overloaded target is included.
+type OpenLoopResult struct {
+	Intended  int // arrivals the schedule generated
+	Completed int
+	Errors    int
+	Elapsed   time.Duration
+	// Throughput is completed requests per second of wall time.
+	Throughput float64
+	// PerTarget counts completed requests by target index.
+	PerTarget []int
+	// P50, P95, P99 are intended-start latency percentiles.
+	P50, P95, P99 time.Duration
+}
+
+func (r OpenLoopResult) String() string {
+	return fmt.Sprintf("open loop: %d/%d completed in %v: %.0f req/s (%d errors) p50=%v p95=%v p99=%v (vs intended start)",
+		r.Completed, r.Intended, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Errors,
+		r.P50, r.P95, r.P99)
+}
+
+// arrival is one scheduled request: what to send and when it was
+// supposed to start.
+type arrival struct {
+	req      []byte
+	intended time.Time
+}
+
+// RunOpenLoop executes cfg. The request mix is generated up front (a
+// pure function of the config), arrivals are released on their
+// timetable round-robin across targets, and per-target executor pools
+// drain them as fast as the targets allow. Queues are sized for the
+// whole schedule so the dispatcher never blocks on a slow target — the
+// open-loop invariant; a laggard's backlog is charged to its own
+// latency tail, not hidden by a stalled load generator.
+func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return OpenLoopResult{}, err
+	}
+	n := int(cfg.Rate * cfg.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	choose := cfg.KeyChooser
+	if choose == nil {
+		krng := rand.New(rand.NewSource(cfg.Seed + 1))
+		records := cfg.Records
+		choose = func() int { return krng.Intn(records) }
+	}
+	value := make([]byte, cfg.ValueSize)
+	for i := range value {
+		value[i] = 'a' + byte(i%26)
+	}
+
+	// Build the request mix deterministically before the clock starts.
+	reqs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("user%010d", choose())
+		if rng.Float64() < cfg.ReadFraction {
+			reqs[i] = memcache.FormatGet(key)
+		} else {
+			reqs[i] = memcache.FormatSet(key, value, 0)
+		}
+	}
+
+	var lat telemetry.Histogram
+	var regLat *telemetry.Histogram
+	if cfg.Telemetry != nil {
+		regLat = cfg.Telemetry.Registry().Histogram("sdrad_loadgen_openloop_latency_ns",
+			"Open-loop request latency vs intended start time, nanoseconds.")
+	}
+	var completed, errs atomic.Int64
+	perTarget := make([]atomic.Int64, len(cfg.Targets))
+
+	queues := make([]chan arrival, len(cfg.Targets))
+	for i := range queues {
+		queues[i] = make(chan arrival, n)
+	}
+	var wg sync.WaitGroup
+	for t := range cfg.Targets {
+		for c := 0; c < cfg.Conns; c++ {
+			wg.Add(1)
+			go func(target int) {
+				defer wg.Done()
+				var conn *cluster.Client
+				defer func() {
+					if conn != nil {
+						_ = conn.Close()
+					}
+				}()
+				for a := range queues[target] {
+					if conn == nil {
+						var err error
+						conn, err = cluster.Dial(cfg.Targets[target], cfg.DialTimeout, cfg.IOTimeout)
+						if err != nil {
+							errs.Add(1)
+							continue
+						}
+					}
+					if _, err := conn.Do(a.req); err != nil {
+						errs.Add(1)
+						_ = conn.Close()
+						conn = nil
+						continue
+					}
+					ns := time.Since(a.intended).Nanoseconds()
+					if ns < 0 {
+						ns = 0
+					}
+					lat.Observe(ns)
+					if regLat != nil {
+						regLat.Observe(ns)
+					}
+					completed.Add(1)
+					perTarget[target].Add(1)
+				}
+			}(t)
+		}
+	}
+
+	// Dispatch on the timetable: arrival i is due at start + i*interval.
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		queues[i%len(cfg.Targets)] <- arrival{req: reqs[i], intended: due}
+	}
+	for _, q := range queues {
+		close(q)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := OpenLoopResult{
+		Intended:   n,
+		Completed:  int(completed.Load()),
+		Errors:     int(errs.Load()),
+		Elapsed:    elapsed,
+		Throughput: float64(completed.Load()) / elapsed.Seconds(),
+		PerTarget:  make([]int, len(cfg.Targets)),
+		P50:        time.Duration(lat.Quantile(0.50)),
+		P95:        time.Duration(lat.Quantile(0.95)),
+		P99:        time.Duration(lat.Quantile(0.99)),
+	}
+	for i := range perTarget {
+		res.PerTarget[i] = int(perTarget[i].Load())
+	}
+	return res, nil
+}

@@ -90,7 +90,7 @@ func (s *Server) serveNetConn(nc net.Conn) {
 	conn := s.NewConn()
 	r := bufio.NewReader(nc)
 	for {
-		req, err := readRequest(r)
+		req, err := ReadRequest(r)
 		if err != nil {
 			return
 		}
@@ -110,14 +110,16 @@ func (s *Server) serveNetConn(nc net.Conn) {
 	}
 }
 
-// readRequest frames one request. Binary frames (magic 0x80) carry a
-// 24-byte header; the transport reads min(total-body, sane-cap) further
-// bytes — the parser, not the transport, trusts the header's length
-// field. Text requests are a command line plus, for set/bset, the
-// declared body; the bset frame carries the actual byte count in its
-// fourth token so a malicious client can claim an arbitrary body length
-// in the third.
-func readRequest(r *bufio.Reader) ([]byte, error) {
+// ReadRequest frames one request off a client byte stream. Binary frames
+// (magic 0x80) carry a 24-byte header; the transport reads
+// min(total-body, sane-cap) further bytes — the parser, not the
+// transport, trusts the header's length field. Text requests are a
+// command line plus, for set/bset, the declared body; the bset frame
+// carries the actual byte count in its fourth token so a malicious
+// client can claim an arbitrary body length in the third. The cluster
+// router shares this framing so a front-end and a backend agree on
+// request boundaries byte for byte.
+func ReadRequest(r *bufio.Reader) ([]byte, error) {
 	magic, err := r.Peek(1)
 	if err != nil {
 		return nil, err
@@ -169,4 +171,84 @@ func readRequest(r *bufio.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return append(req, body...), nil
+}
+
+// RequestKey extracts the routing key of a framed text request: the
+// second token of the command line for every keyed command, "" for
+// keyless commands (stats, flush_all, version, quit) and binary frames.
+// Multi-key gets route by their first key.
+func RequestKey(req []byte) string {
+	if len(req) == 0 || req[0] == BinMagicRequest {
+		return ""
+	}
+	nl := bytes.IndexByte(req, '\n')
+	if nl < 0 {
+		nl = len(req)
+	}
+	fields := bytes.Fields(bytes.TrimRight(req[:nl], "\r\n"))
+	if len(fields) < 2 {
+		return ""
+	}
+	switch string(fields[0]) {
+	case "get", "gets", "set", "add", "replace", "append", "prepend",
+		"cas", "delete", "touch", "incr", "decr", "bset":
+		return string(fields[1])
+	}
+	return ""
+}
+
+// ReadReply frames one text-protocol reply off a server byte stream: a
+// single terminal line for most commands, or — when the first line opens
+// a multi-line reply (VALUE or STAT) — everything through the END line.
+// An EOF mid-reply surfaces as io.ErrUnexpectedEOF so callers can tell a
+// torn reply from a cleanly closed connection.
+func ReadReply(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		if err == io.EOF && len(line) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	reply := append([]byte(nil), line...)
+	for {
+		fields := bytes.Fields(bytes.TrimRight(line, "\r\n"))
+		if len(fields) == 0 {
+			return reply, nil
+		}
+		switch string(fields[0]) {
+		case "VALUE":
+			// VALUE <key> <flags> <bytes> [<cas>]: consume the data block,
+			// then continue with the next line (another VALUE, or END).
+			if len(fields) < 4 {
+				return reply, nil
+			}
+			n, convErr := strconv.Atoi(string(fields[3]))
+			if convErr != nil || n < 0 || n > 1<<20 {
+				return reply, nil
+			}
+			body := make([]byte, n+2) // data + \r\n
+			if _, err := io.ReadFull(r, body); err != nil {
+				if err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return nil, err
+			}
+			reply = append(reply, body...)
+		case "STAT":
+			// stats replies: STAT lines until END.
+		default:
+			// Terminal line: single-line reply, or the END of a multi-line
+			// one.
+			return reply, nil
+		}
+		line, err = r.ReadBytes('\n')
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		reply = append(reply, line...)
+	}
 }

@@ -39,6 +39,11 @@ type Config struct {
 	// Distribution selects the request distribution: "zipfian" (default)
 	// or "uniform".
 	Distribution string
+	// ZipfianTheta is the Zipfian skew parameter (default 0.99, YCSB's
+	// constant). Higher values concentrate more of the load on fewer
+	// keys; cluster hot-key experiments crank it up to make the hot set
+	// unmistakable.
+	ZipfianTheta float64
 	// Seed fixes the generator.
 	Seed int64
 	// Threads is the number of client threads (each gets its own DB via
@@ -61,6 +66,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.Distribution == "" {
 		c.Distribution = "zipfian"
+	}
+	if c.ZipfianTheta == 0 {
+		c.ZipfianTheta = zipfianConstant
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -125,6 +133,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	if cfg.Distribution != "zipfian" && cfg.Distribution != "uniform" {
 		return nil, fmt.Errorf("ycsb: unknown distribution %q", cfg.Distribution)
+	}
+	if cfg.ZipfianTheta < 0 || cfg.ZipfianTheta >= 1 {
+		// The Gray et al. generator's alpha = 1/(1-theta) needs theta in
+		// (0, 1); 0 selects the YCSB default via setDefaults.
+		return nil, fmt.Errorf("ycsb: zipfian theta %v out of range (0, 1)", cfg.ZipfianTheta)
 	}
 	return &Runner{cfg: cfg}, nil
 }
@@ -267,7 +280,23 @@ func (r *Runner) newGenerator() *generator {
 	if r.cfg.Distribution == "uniform" {
 		return &generator{uniform: true, n: uint64(r.cfg.Records)}
 	}
-	return &generator{n: uint64(r.cfg.Records), z: newZipfian(uint64(r.cfg.Records), zipfianConstant)}
+	return &generator{n: uint64(r.cfg.Records), z: newZipfian(uint64(r.cfg.Records), r.cfg.ZipfianTheta)}
+}
+
+// ZipfianChooser returns a self-contained seeded Zipfian record chooser:
+// scrambled ranks (hot keys spread over the keyspace, as in YCSB) with a
+// configurable skew. theta <= 0 selects the YCSB default (0.99); theta
+// must stay below 1. Unlike Runner.KeyChooser the rng is owned by the
+// chooser, so callers that only need a key stream — the cluster load
+// generator, hot-key experiments — don't thread one through. Not safe
+// for concurrent use; give each goroutine its own chooser.
+func ZipfianChooser(records int, theta float64, seed int64) func() int {
+	if theta <= 0 {
+		theta = zipfianConstant
+	}
+	g := &generator{n: uint64(records), z: newZipfian(uint64(records), theta)}
+	rng := rand.New(rand.NewSource(seed))
+	return func() int { return int(g.next(rng)) }
 }
 
 func (g *generator) next(rng *rand.Rand) uint64 {

@@ -1,0 +1,101 @@
+package ycsb
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestZipfianChooserDistribution checks the seeded chooser against the
+// closed-form Zipfian head probabilities: the hottest key's observed
+// share must track 1/zeta(n, theta), and skew must grow with theta.
+func TestZipfianChooserDistribution(t *testing.T) {
+	const samples = 200000
+	cases := []struct {
+		name    string
+		records int
+		theta   float64
+	}{
+		{"default-theta", 1000, 0}, // 0 selects 0.99
+		{"mild-skew", 1000, 0.5},
+		{"ycsb-constant", 1000, 0.99},
+		{"small-keyspace", 64, 0.99},
+	}
+	topShare := map[string]float64{}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			choose := ZipfianChooser(tc.records, tc.theta, 42)
+			counts := make([]int, tc.records)
+			for i := 0; i < samples; i++ {
+				k := choose()
+				if k < 0 || k >= tc.records {
+					t.Fatalf("key %d out of range [0, %d)", k, tc.records)
+				}
+				counts[k]++
+			}
+			sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+			theta := tc.theta
+			if theta <= 0 {
+				theta = 0.99
+			}
+			// Expected share of the hottest rank is 1/zeta_n(theta); the
+			// scramble moves which key is hottest but not how hot it is.
+			want := 1 / zetaStatic(uint64(tc.records), theta)
+			got := float64(counts[0]) / samples
+			if math.Abs(got-want) > 0.35*want+0.005 {
+				t.Errorf("top-1 share %.4f, want ~%.4f", got, want)
+			}
+			topShare[tc.name] = got
+		})
+	}
+	if topShare["mild-skew"] >= topShare["ycsb-constant"] {
+		t.Errorf("skew not monotonic in theta: top-1 %.4f (theta 0.5) >= %.4f (theta 0.99)",
+			topShare["mild-skew"], topShare["ycsb-constant"])
+	}
+}
+
+// TestZipfianChooserSeeded proves the chooser is a pure function of
+// (records, theta, seed).
+func TestZipfianChooserSeeded(t *testing.T) {
+	a := ZipfianChooser(512, 0.9, 7)
+	b := ZipfianChooser(512, 0.9, 7)
+	c := ZipfianChooser(512, 0.9, 8)
+	diverged := false
+	for i := 0; i < 1000; i++ {
+		av, bv, cv := a(), b(), c()
+		if av != bv {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, av, bv)
+		}
+		if av != cv {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced an identical 1000-draw stream")
+	}
+}
+
+// TestZipfianThetaConfig exercises the Runner-level plumbing: an explicit
+// theta flows to the generator, and invalid values are rejected.
+func TestZipfianThetaConfig(t *testing.T) {
+	if _, err := NewRunner(Config{ZipfianTheta: 1.0}); err == nil {
+		t.Error("theta 1.0 accepted; generator needs theta < 1")
+	}
+	if _, err := NewRunner(Config{ZipfianTheta: -0.1}); err == nil {
+		t.Error("negative theta accepted")
+	}
+	r, err := NewRunner(Config{Records: 100, ZipfianTheta: 0.5})
+	if err != nil {
+		t.Fatalf("valid theta rejected: %v", err)
+	}
+	if got := r.Config().ZipfianTheta; got != 0.5 {
+		t.Errorf("theta not preserved: %v", got)
+	}
+	r, err = NewRunner(Config{Records: 100})
+	if err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	if got := r.Config().ZipfianTheta; got != zipfianConstant {
+		t.Errorf("default theta %v, want %v", got, zipfianConstant)
+	}
+}
