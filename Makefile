@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check chaos-smoke bench-smoke throughput-gate parity-gate parity-bench policy-gate recovery-bench cluster-gate cluster-bench ci
+.PHONY: build test race vet fmt-check chaos-smoke bench-smoke throughput-gate parity-gate parity-bench policy-gate recovery-bench cluster-gate cluster-bench sched-gate sched-bench ci
 
 build:
 	$(GO) build ./...
@@ -75,4 +75,20 @@ cluster-gate:
 cluster-bench:
 	$(GO) run ./cmd/sdrad-bench -quick -cluster -cluster-json BENCH_cluster.json
 
-ci: build vet fmt-check test race chaos-smoke parity-gate policy-gate cluster-gate
+# The adaptive-scheduler gate: the fixed-seed sched chaos campaign, then
+# assert the committed baseline holds the scheduler cells — idle w1 d1
+# p99 at <= 1.0x the fixed build and fault-storm goodput at >= 1.15x.
+# The baseline check is deterministic (reads BENCH_throughput.json, runs
+# nothing), so machine noise cannot flake it; a recording below the
+# floors simply may not be committed.
+sched-gate:
+	$(GO) run ./cmd/sdrad-chaos -campaigns sched -seed 12648430 -ops 32
+	$(GO) run ./cmd/sdrad-bench -sched-gate BENCH_throughput.json
+
+# Re-measure the scheduler cells at full scale and merge them into the
+# committed baseline (run on a quiet machine, then commit
+# BENCH_throughput.json — it must still pass `make sched-gate`).
+sched-bench:
+	$(GO) run ./cmd/sdrad-bench -sched -sched-json BENCH_throughput.json
+
+ci: build vet fmt-check test race chaos-smoke parity-gate policy-gate cluster-gate sched-gate

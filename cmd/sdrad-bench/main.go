@@ -45,6 +45,9 @@ func run(args []string) error {
 	parityJSON := fs.String("parity-json", "", "write the parity report as JSON to this path (implies -parity)")
 	parityFloor := fs.Float64("parity-floor", 0, "with -parity, exit non-zero when the live headline-cell ratio falls below this floor")
 	parityBaseline := fs.String("parity-baseline", "", "assert the committed throughput baseline's headline cell holds sdrad >= 0.97x vanilla (deterministic; no benchmark run needed)")
+	schedBench := fs.Bool("sched", false, "measure the self-tuning scheduler cells (idle p99 and fault-storm goodput, adaptive vs fixed)")
+	schedJSON := fs.String("sched-json", "", "with -sched, merge the scheduler cells into this throughput-report JSON (read-modify-write; implies -sched)")
+	schedGate := fs.String("sched-gate", "", "assert the committed throughput baseline's scheduler cells hold idle <= 1.0x and storm >= 1.15x (deterministic; no benchmark run needed)")
 	selected := make(map[string]*bool, len(bench.Experiments))
 	for _, name := range bench.Experiments {
 		selected[name] = fs.Bool(name, false, "run the "+name+" experiment")
@@ -83,7 +86,8 @@ func run(args []string) error {
 		toRun = append(toRun, "cluster")
 	}
 	parityMode := *parityBaseline != "" || *parity || *parityJSON != ""
-	if len(toRun) == 0 && !parityMode && *clusterGate == "" {
+	schedMode := *schedBench || *schedJSON != "" || *schedGate != ""
+	if len(toRun) == 0 && !parityMode && !schedMode && *clusterGate == "" {
 		toRun = bench.Experiments
 	}
 	fmt.Printf("SDRaD-Go evaluation (scale: %s)\n", scaleName)
@@ -105,6 +109,18 @@ func run(args []string) error {
 		if *parity || *parityJSON != "" {
 			if err := runParity(scale, *parityJSON, *parityFloor); err != nil {
 				return fmt.Errorf("parity: %w", err)
+			}
+		}
+	}
+	if schedMode {
+		if *schedGate != "" {
+			if err := checkSchedGate(*schedGate); err != nil {
+				return err
+			}
+		}
+		if *schedBench || *schedJSON != "" {
+			if err := runSched(scale, *schedJSON); err != nil {
+				return fmt.Errorf("sched: %w", err)
 			}
 		}
 	}
@@ -240,6 +256,48 @@ func runParity(scale bench.Scale, jsonPath string, liveFloor float64) error {
 	}
 	if liveFloor > 0 {
 		fmt.Printf("live parity headline ratio clears the %.2fx floor\n", liveFloor)
+	}
+	return nil
+}
+
+// checkSchedGate asserts the committed throughput baseline's scheduler
+// cells hold the idle ceiling and the fault-storm floor. Like the other
+// committed-baseline gates it runs no benchmark — runner noise cannot
+// flake it; the gate moves only when someone commits a recording that
+// fails it.
+func checkSchedGate(path string) error {
+	base, err := bench.LoadThroughputBaseline(path)
+	if err != nil {
+		return err
+	}
+	if err := base.CheckSchedGate(); err != nil {
+		return err
+	}
+	fmt.Printf("sched: committed baseline %s holds idle p99 at %.3fx fixed (ceiling %.2fx) and fault-storm goodput at %.3fx fixed (floor %.2fx)\n",
+		path, base.Sched.IdleP99Ratio, bench.SchedIdleCeiling, base.Sched.StormTputRatio, bench.SchedStormFloor)
+	return nil
+}
+
+// runSched measures the scheduler cells with paired adaptive-vs-fixed
+// rounds. With a JSON path, the cells are merged into the existing
+// throughput report (read-modify-write) so they live next to the
+// scaling cells in BENCH_throughput.json.
+func runSched(scale bench.Scale, jsonPath string) error {
+	rep, table, err := bench.RunSched(scale)
+	if err != nil {
+		return err
+	}
+	table.Fprint(os.Stdout)
+	if jsonPath != "" {
+		base, err := bench.LoadThroughputBaseline(jsonPath)
+		if err != nil {
+			return err
+		}
+		base.Sched = rep
+		if err := base.WriteJSON(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("scheduler cells merged into %s\n", jsonPath)
 	}
 	return nil
 }

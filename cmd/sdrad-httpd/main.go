@@ -23,6 +23,7 @@ import (
 
 	"sdrad/internal/httpd"
 	"sdrad/internal/policy"
+	"sdrad/internal/sched"
 	"sdrad/internal/telemetry"
 )
 
@@ -41,6 +42,7 @@ func run(args []string) error {
 	maxBatch := fs.Int("max-batch", 16, "max pipelined requests parsed per guard scope")
 	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /flightrecorder on this address (empty = telemetry off)")
 	usePolicy := fs.Bool("policy", false, "attach the resilience-policy engine: repeated parser rewinds escalate to backoff, then quarantine (503 + Retry-After), then load shedding")
+	useSched := fs.Bool("sched", false, "enable the self-tuning batch scheduler: adaptive drain-batch bound (AIMD on load and rewind rate) on the hardened workers (off = the fixed max-batch drain, bit-identical to previous builds)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +65,13 @@ func run(args []string) error {
 	if *usePolicy {
 		eng = policy.New(policy.Config{})
 	}
+	var schedCfg *sched.Config
+	if *useSched {
+		if variant != httpd.VariantSDRaD {
+			return fmt.Errorf("-sched requires -variant sdrad (the scheduler tunes the guard-scope batch bound)")
+		}
+		schedCfg = &sched.Config{}
+	}
 	m, err := httpd.NewMaster(httpd.Config{
 		Variant:  variant,
 		Workers:  *workers,
@@ -73,6 +82,7 @@ func run(args []string) error {
 		},
 		Telemetry: rec,
 		Policy:    eng,
+		Sched:     schedCfg,
 	})
 	if err != nil {
 		return err
@@ -83,6 +93,9 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("sdrad-httpd (%s, %d workers) listening on %s\n", variant, *workers, ln.Addr())
+	if schedCfg != nil {
+		fmt.Printf("sched: adaptive batch bound (ceiling %d)\n", *maxBatch)
+	}
 	if eng != nil {
 		pc := eng.Config()
 		fmt.Printf("policy: backoff at %d, quarantine at %d, shed at %d rewinds per %s window\n",

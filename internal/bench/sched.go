@@ -1,0 +1,418 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sdrad/internal/memcache"
+	"sdrad/internal/proc"
+	"sdrad/internal/sched"
+)
+
+// Self-tuning scheduler benchmark: the two cells the adaptive
+// batch/shard scheduler is supposed to win, measured as paired
+// adaptive-vs-fixed runs on the hardened build.
+//
+//   - Idle p99: one synchronous client, no pipelining (w1 d1). The
+//     adaptive controller collapses its bound to 1 and takes the floor
+//     fast path, so a lone request must not pay for the adaptive
+//     machinery the fixed build does not have. The two builds are
+//     measured op-by-op interleaved in one loop so scheduler and GC
+//     noise land on both latency streams alike — the paired p99 ratio
+//     isolates the real per-op delta instead of sampling luck.
+//
+//   - Fault storm: bursts of pipelining clients arrive together with an
+//     attacker that lands a CVE-2011-4971-style trap at the head of
+//     each burst. The fixed build drains the trap into a full mixed
+//     batch, so every trap discards the innocent events batched behind
+//     it and closes their connections; the adaptive build's
+//     multiplicative decrease pins the bound to the floor while the
+//     rewind window is hot, so after the first bursts a trap discards
+//     only the attacker. Goodput (successful innocent ops/s over the
+//     drain windows) is the score. Burst composition is made
+//     deterministic by parking the worker between bursts (the chaos
+//     campaigns' Inspect trick) and releasing it only once the queue
+//     holds the whole burst, trap first.
+//
+// Like the parity harness, each round runs the two builds back-to-back
+// with alternating order and the recorded statistic is the MEDIAN OF
+// PAIRED RATIOS; the CI gate reads the committed recording and is
+// therefore deterministic.
+
+// SchedReport captures the scheduler cells. It is embedded into
+// ThroughputReport (BENCH_throughput.json) next to the scaling cells.
+type SchedReport struct {
+	Schema        string  `json:"schema"`
+	CalibrationNs float64 `json:"calibration_ns"`
+	Rounds        int     `json:"rounds"`
+	// IdleP99FixedNs/AdaptiveNs are the median (over rounds) exact p99
+	// single-op latencies at w1 d1; IdleP99Ratio is the median paired
+	// adaptive/fixed ratio (<= 1 means the scheduler is free at idle).
+	IdleP99FixedNs    int64   `json:"idle_p99_fixed_ns"`
+	IdleP99AdaptiveNs int64   `json:"idle_p99_adaptive_ns"`
+	IdleP99Ratio      float64 `json:"idle_p99_ratio"`
+	// StormTputFixed/Adaptive are the median fault-storm goodputs
+	// (successful ops/s); StormTputRatio is the median paired
+	// adaptive/fixed ratio (the gate demands >= 1.15).
+	StormTputFixed    float64 `json:"storm_tput_fixed"`
+	StormTputAdaptive float64 `json:"storm_tput_adaptive"`
+	StormTputRatio    float64 `json:"storm_tput_ratio"`
+	// StormCollateralFixed/Adaptive count requests discarded by rewinds
+	// (informational: the mechanism behind the ratio).
+	StormCollateralFixed    int64 `json:"storm_collateral_fixed"`
+	StormCollateralAdaptive int64 `json:"storm_collateral_adaptive"`
+}
+
+// schedSchema versions the JSON layout.
+const schedSchema = "sdrad-sched-bench/v1"
+
+// SchedIdleCeiling is the most the adaptive build may cost at idle:
+// its w1 d1 p99 must not exceed the fixed build's (ratio <= 1.0 on the
+// committed recording).
+const SchedIdleCeiling = 1.0
+
+// SchedStormFloor is the least the adaptive build must win the fault
+// storm by: >= 1.15x the fixed build's goodput on the committed
+// recording.
+const SchedStormFloor = 1.15
+
+// CheckSchedGate asserts the report's scheduler cells hold both floors.
+// Run against the committed baseline it is exact and deterministic.
+func (r *ThroughputReport) CheckSchedGate() error {
+	s := r.Sched
+	if s == nil {
+		return fmt.Errorf("bench: sched: report has no scheduler cells (run sdrad-bench -sched)")
+	}
+	if s.IdleP99Ratio <= 0 || s.StormTputRatio <= 0 {
+		return fmt.Errorf("bench: sched: report cells are empty")
+	}
+	if s.IdleP99Ratio > SchedIdleCeiling {
+		return fmt.Errorf("bench: sched: adaptive idle p99 runs at %.3fx fixed, ceiling is %.2fx",
+			s.IdleP99Ratio, SchedIdleCeiling)
+	}
+	if s.StormTputRatio < SchedStormFloor {
+		return fmt.Errorf("bench: sched: adaptive fault-storm goodput is %.3fx fixed, floor is %.2fx",
+			s.StormTputRatio, SchedStormFloor)
+	}
+	return nil
+}
+
+// schedServer builds the hardened server under test: the same build
+// either way, with the self-tuning scheduler on or off.
+func schedServer(adaptive bool, workers int) (*memcache.Server, error) {
+	cfg := memcache.Config{
+		Variant:    memcache.VariantSDRaD,
+		Workers:    workers,
+		HashPower:  13,
+		CacheBytes: 16 << 20,
+	}
+	if adaptive {
+		cfg.Sched = &sched.Config{}
+	}
+	return memcache.NewServer(cfg)
+}
+
+// idleP99Pair measures the exact p99 single-op latency of a lone
+// unpipelined client (w1 d1) against the fixed and adaptive builds AT
+// THE SAME TIME: both servers are up, and each loop iteration times one
+// op on each, alternating which goes first. A GC pause or scheduler
+// hiccup therefore lands in both latency streams, and the p99 ratio
+// reflects the per-op code-path difference rather than which run got
+// unlucky. The warmup phase populates the key and lets the adaptive
+// bound collapse to its floor before anything is recorded.
+func idleP99Pair(ops int) (fixedP99, adaptiveP99 int64, err error) {
+	fsrv, err := schedServer(false, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer fsrv.Stop()
+	asrv, err := schedServer(true, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer asrv.Stop()
+	fconn, aconn := fsrv.NewConn(), asrv.NewConn()
+	const key = "idle-key"
+	val := bytes.Repeat([]byte("v"), 64)
+	set := memcache.FormatSet(key, val, 0)
+	get := memcache.FormatGet(key)
+	// Long enough to collapse the adaptive bound to its floor AND warm
+	// both builds' code paths and allocators past cold-start tails.
+	for i := 0; i < 256; i++ {
+		if _, _, err := fconn.Do(set); err != nil {
+			return 0, 0, err
+		}
+		if _, _, err := aconn.Do(set); err != nil {
+			return 0, 0, err
+		}
+	}
+	timeOne := func(conn *memcache.Conn, req []byte) (int64, error) {
+		t0 := time.Now()
+		resp, closed, err := conn.Do(req)
+		ns := time.Since(t0).Nanoseconds()
+		if err != nil || closed || len(resp) == 0 {
+			return 0, fmt.Errorf("bench: sched idle op: closed=%v err=%v", closed, err)
+		}
+		return ns, nil
+	}
+	flats := make([]int64, 0, ops)
+	alats := make([]int64, 0, ops)
+	for i := 0; i < ops; i++ {
+		req := get
+		if i%2 == 1 {
+			req = set
+		}
+		var fns, ans int64
+		// The order within a pair alternates on a different period than
+		// the op type, so each op class sees both positions equally —
+		// otherwise whatever systematic cost first-position carries (the
+		// pair starts cold after the previous pair's tail) lands entirely
+		// on one stream's p99.
+		if (i/2)%2 == 0 {
+			if fns, err = timeOne(fconn, req); err == nil {
+				ans, err = timeOne(aconn, req)
+			}
+		} else {
+			if ans, err = timeOne(aconn, req); err == nil {
+				fns, err = timeOne(fconn, req)
+			}
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		flats = append(flats, fns)
+		alats = append(alats, ans)
+	}
+	p99 := func(lats []int64) int64 {
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		return lats[len(lats)*99/100]
+	}
+	return p99(flats), p99(alats), nil
+}
+
+// stormGoodput measures fault-storm goodput on one build: `waves`
+// scored bursts (after `warmup` unscored ones that let the adaptive
+// controller find its footing), each burst being `clients` depth-4
+// pipelined events queued behind one attacker trap while the worker is
+// parked. Releasing the worker drains the whole burst: the fixed build
+// mixes the trap with the events behind it and loses them to the
+// rewind; the adaptive build's collapsed bound isolates the trap.
+// Returns successful innocent ops per second of drain time and the
+// number of requests lost as rewind collateral.
+func stormGoodput(adaptive bool, clients, waves, warmup int) (float64, int64, error) {
+	const depth = 4
+	s, err := schedServer(adaptive, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer s.Stop()
+
+	// Preload each client's keyspace so run-phase gets always hit.
+	loader := s.NewConn()
+	val := bytes.Repeat([]byte("v"), 64)
+	for c := 0; c < clients; c++ {
+		for k := 0; k < depth; k++ {
+			resp, closed, err := loader.Do(memcache.FormatSet(stormKey(c, k), val, 0))
+			if err != nil || closed || !bytes.Equal(resp, []byte("STORED\r\n")) {
+				return 0, 0, fmt.Errorf("bench: storm load: closed=%v err=%v resp=%q", closed, err, resp)
+			}
+		}
+	}
+	// Each client's burst: one set, then gets (read-mostly, like the
+	// YCSB cells).
+	reqs := make([][][]byte, clients)
+	for c := 0; c < clients; c++ {
+		reqs[c] = make([][]byte, depth)
+		reqs[c][0] = memcache.FormatSet(stormKey(c, 0), val, 0)
+		for k := 1; k < depth; k++ {
+			reqs[c][k] = memcache.FormatGet(stormKey(c, k))
+		}
+	}
+	trap := memcache.FormatBSet("atk", 16<<20, []byte("payload"))
+
+	parkC := s.NewConn()
+	conns := make([]*memcache.Conn, clients)
+	for i := range conns {
+		conns[i] = s.NewConn()
+	}
+	var good, lost int64
+	var elapsed time.Duration
+	results := make([][]memcache.PipelineResult, clients)
+	for wv := 0; wv < warmup+waves; wv++ {
+		// Park the worker so the burst queues up behind it.
+		started := make(chan struct{})
+		release := make(chan struct{})
+		parkErr := make(chan error, 1)
+		go func() {
+			parkErr <- parkC.Inspect(func(*proc.Thread) error {
+				close(started)
+				<-release
+				return nil
+			})
+		}()
+		<-started
+		// Trap first: the drain after release picks it up at the head of
+		// the burst, so whether innocents die with it is decided purely
+		// by the batch bound.
+		atkDone := make(chan struct{})
+		atk := s.NewConn()
+		go func() {
+			defer close(atkDone)
+			atk.Do(trap)
+		}()
+		if err := waitQueueDepth(s, 1); err != nil {
+			return 0, 0, err
+		}
+		var wg sync.WaitGroup
+		for i := range conns {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = conns[i].DoPipeline(reqs[i])
+			}(i)
+		}
+		if err := waitQueueDepth(s, 1+clients); err != nil {
+			return 0, 0, err
+		}
+		t0 := time.Now()
+		close(release)
+		wg.Wait()
+		drain := time.Since(t0)
+		<-atkDone
+		if err := <-parkErr; err != nil {
+			return 0, 0, fmt.Errorf("bench: storm park: %v", err)
+		}
+		for i := range results {
+			reconnect := false
+			for _, r := range results[i] {
+				switch {
+				case r.Err != nil && !r.Closed:
+					return 0, 0, fmt.Errorf("bench: storm client: %v", r.Err)
+				case r.Closed:
+					// Collateral: this request died with the batch the
+					// attacker's trap discarded.
+					reconnect = true
+					if wv >= warmup {
+						lost++
+					}
+				default:
+					if wv >= warmup {
+						good++
+					}
+				}
+			}
+			if reconnect {
+				conns[i] = s.NewConn()
+			}
+		}
+		if wv >= warmup {
+			elapsed += drain
+		}
+	}
+	if s.Rewinds() == 0 {
+		return 0, 0, fmt.Errorf("bench: storm: attacker landed no rewinds")
+	}
+	return float64(good) / elapsed.Seconds(), lost, nil
+}
+
+// waitQueueDepth polls until worker 0's queue holds want events.
+func waitQueueDepth(s *memcache.Server, want int) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for s.QueueDepth(0) < want {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: storm: queue depth %d never reached %d", s.QueueDepth(0), want)
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+	return nil
+}
+
+// stormKey names client c's k-th key.
+func stormKey(c, k int) string { return fmt.Sprintf("storm-%02d-%02d", c, k) }
+
+// RunSched measures the scheduler cells with paired adaptive-vs-fixed
+// rounds and returns the report plus a printable table.
+func RunSched(sc Scale) (*SchedReport, *Table, error) {
+	rounds := 5
+	idleOps := 4000
+	stormClients := 8
+	stormWaves := 30
+	stormWarmup := 4
+	if sc.MemcachedOps <= Quick.MemcachedOps {
+		rounds = 3
+		idleOps = 1500
+		stormWaves = 10
+	}
+	rep := &SchedReport{Schema: schedSchema, Rounds: rounds}
+
+	var idleRatios []float64
+	var idleFixed, idleAdaptive []float64
+	var stormRatios []float64
+	var stormFixed, stormAdaptive []float64
+	for r := 0; r < rounds; r++ {
+		// Idle cell: the two builds are interleaved inside one loop, so
+		// there is no order to alternate.
+		fp99, ap99, err := idleP99Pair(idleOps)
+		if err != nil {
+			return nil, nil, err
+		}
+		idleRatios = append(idleRatios, float64(ap99)/float64(fp99))
+		idleFixed = append(idleFixed, float64(fp99))
+		idleAdaptive = append(idleAdaptive, float64(ap99))
+
+		// Storm cell, order alternating.
+		var ftput, atput float64
+		var flost, alost int64
+		if r%2 == 0 {
+			if ftput, flost, err = stormGoodput(false, stormClients, stormWaves, stormWarmup); err == nil {
+				atput, alost, err = stormGoodput(true, stormClients, stormWaves, stormWarmup)
+			}
+		} else {
+			if atput, alost, err = stormGoodput(true, stormClients, stormWaves, stormWarmup); err == nil {
+				ftput, flost, err = stormGoodput(false, stormClients, stormWaves, stormWarmup)
+			}
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		stormRatios = append(stormRatios, atput/ftput)
+		stormFixed = append(stormFixed, ftput)
+		stormAdaptive = append(stormAdaptive, atput)
+		rep.StormCollateralFixed += flost
+		rep.StormCollateralAdaptive += alost
+	}
+	rep.IdleP99FixedNs = int64(medianOf(idleFixed))
+	rep.IdleP99AdaptiveNs = int64(medianOf(idleAdaptive))
+	rep.IdleP99Ratio = medianOf(idleRatios)
+	rep.StormTputFixed = medianOf(stormFixed)
+	rep.StormTputAdaptive = medianOf(stormAdaptive)
+	rep.StormTputRatio = medianOf(stormRatios)
+	rep.CalibrationNs = calibrationNs()
+
+	t := &Table{
+		ID:     "Sched",
+		Title:  "Self-tuning scheduler: adaptive vs fixed batch bound (paired rounds)",
+		Header: []string{"cell", "fixed", "adaptive", "paired ratio", "gate"},
+		Notes: []string{
+			fmt.Sprintf("%d rounds; idle ops interleave the two builds, storm runs them back-to-back alternating order", rounds),
+			"idle: one unpipelined client, exact p99; storm: bursts of 8 pipelined events queued behind a trap, goodput over drain",
+			fmt.Sprintf("collateral requests discarded by rewinds: fixed %d, adaptive %d (all scored waves)",
+				rep.StormCollateralFixed, rep.StormCollateralAdaptive),
+			fmt.Sprintf("committed-baseline gates: idle ratio <= %.2f, storm ratio >= %.2f", SchedIdleCeiling, SchedStormFloor),
+		},
+	}
+	t.AddRow("idle p99 (w1 d1)",
+		fmt.Sprintf("%dns", rep.IdleP99FixedNs),
+		fmt.Sprintf("%dns", rep.IdleP99AdaptiveNs),
+		fmt.Sprintf("%.3fx", rep.IdleP99Ratio),
+		fmt.Sprintf("<= %.2fx", SchedIdleCeiling))
+	t.AddRow("fault-storm goodput",
+		fmtTput(rep.StormTputFixed),
+		fmtTput(rep.StormTputAdaptive),
+		fmt.Sprintf("%.3fx", rep.StormTputRatio),
+		fmt.Sprintf(">= %.2fx", SchedStormFloor))
+	return rep, t, nil
+}

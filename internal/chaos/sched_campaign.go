@@ -1,0 +1,300 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"sdrad/internal/memcache"
+	"sdrad/internal/policy"
+	"sdrad/internal/proc"
+	"sdrad/internal/sched"
+)
+
+// runSchedCampaign drives the self-tuning batch scheduler through its
+// three contracts under a hand-advanced clock, so every controller
+// decision is a deterministic function of the seed:
+//
+//  1. A fault inside a shard-split mixed batch rewinds exactly once,
+//     produces exactly one forensics report agreeing with the MMU fault
+//     log, closes only the trapped segment's connection, and leaves the
+//     other segment's writes committed (the split is a real isolation
+//     boundary, not just a throughput trick).
+//  2. A fault burst walks the bound down multiplicatively — the
+//     rewind-window ceiling must pin it to the floor while the window
+//     is hot.
+//  3. Once the window drains (manual-clock advance) a queued backlog
+//     grows the bound back up: the collapse is a response to faults,
+//     not a ratchet.
+//
+// Backlogs are staged behind a parked worker (the Inspect trick) and
+// fit inside the event-queue buffer, so each drain round's composition
+// — and with the frozen clock, each controller decision — is exact.
+func runSchedCampaign(cfg Config, r *Report) error {
+	const maxBatch = 16
+	rec := cfg.recorder()
+	clk := &policy.ManualClock{}
+	s, err := memcache.NewServer(memcache.Config{
+		Variant:   memcache.VariantSDRaD,
+		Workers:   1,
+		HashPower: 10,
+		MaxBatch:  maxBatch,
+		Seed:      cfg.Seed,
+		Telemetry: rec,
+		Sched:     &sched.Config{Clock: clk.Now},
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Stop()
+
+	lib := s.Library()
+	as := s.Process().AddressSpace()
+	a := &auditor{r: r, lib: lib, rec: rec}
+	splits := rec.Registry().Counter("sdrad_sched_batch_splits_total",
+		"Mixed batches split into per-shard guard scopes.")
+	snap := func() sched.Snapshot { return s.SchedSnapshots()[0] }
+	parkC := s.NewConn()
+	auditSteady := func(label string) {
+		if err := parkC.Inspect(func(t *proc.Thread) error {
+			a.audit(t, label)
+			if err := s.Storage().AuditShards(t.CPU()); err != nil {
+				r.failf("%s: shard audit: %v", label, err)
+			}
+			return nil
+		}); err != nil {
+			r.failf("%s: inspect failed: %v", label, err)
+		}
+	}
+	// park blocks the worker inside an inspect event and returns the
+	// release function; everything queued before release is drained in
+	// deterministic rounds afterwards.
+	park := func() (release func() error, err error) {
+		rel := make(chan struct{})
+		started := make(chan struct{})
+		parkErr := make(chan error, 1)
+		go func() {
+			parkErr <- parkC.Inspect(func(*proc.Thread) error {
+				close(started)
+				<-rel
+				return nil
+			})
+		}()
+		<-started
+		return func() error { close(rel); return <-parkErr }, nil
+	}
+	// driveBacklog pre-queues n single-get events behind a parked
+	// worker and releases them as one backlog. With every event queued
+	// before the drain starts, the controller's growth walk is exact:
+	// each round drains min(bound, remaining) events.
+	driveBacklog := func(label string, n, wantBound, wantGrows int) error {
+		release, err := park()
+		if err != nil {
+			return err
+		}
+		resC := make([]bool, n)
+		errC := make([]error, n)
+		var cg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			cg.Add(1)
+			go func(i int) {
+				defer cg.Done()
+				c := s.NewConn()
+				_, resC[i], errC[i] = c.Do(memcache.FormatGet(fmt.Sprintf("rc-%02d", i)))
+			}(i)
+		}
+		if err := waitDepth(s, n); err != nil {
+			return err
+		}
+		preGrows := snap().Grows
+		if err := release(); err != nil {
+			return fmt.Errorf("chaos: sched park: %v", err)
+		}
+		cg.Wait()
+		for i := 0; i < n; i++ {
+			if errC[i] != nil || resC[i] {
+				r.failf("%s: get %d: closed=%v err=%v", label, i, resC[i], errC[i])
+			}
+		}
+		ss := snap()
+		if ss.Bound != wantBound {
+			r.failf("%s: bound=%d after %d-event backlog, want %d", label, ss.Bound, n, wantBound)
+		}
+		if d := ss.Grows - preGrows; d != int64(wantGrows) {
+			r.failf("%s: %d additive grows, want %d", label, d, wantGrows)
+		}
+		r.event("%s backlog=%d bound=%d grows=+%d", label, n, ss.Bound, ss.Grows-preGrows)
+		return nil
+	}
+
+	// Mine keys per storage shard: the split decision classifies an
+	// event by its first key's shard.
+	st := s.Storage()
+	keysFor := func(shard, n int, prefix string) []string {
+		keys := make([]string, 0, n)
+		for i := 0; len(keys) < n && i < 100000; i++ {
+			k := fmt.Sprintf("%s%04d", prefix, i)
+			if st.ShardFor([]byte(k)) == shard {
+				keys = append(keys, k)
+			}
+		}
+		return keys
+	}
+	aKeys := keysFor(0, 4, "pa")
+	bKeys := keysFor(1, 3, "pb")
+	if len(aKeys) < 4 || len(bKeys) < 3 {
+		return fmt.Errorf("chaos: sched: key mining failed (%d, %d)", len(aKeys), len(bKeys))
+	}
+
+	// ---- Phase 1: fault inside a shard-split mixed batch. Two
+	// pipelined events — four shard-0 sets, then three shard-1 sets plus
+	// the bset trap — are queued behind a parked worker so one drain
+	// round takes them both. The scheduler splits the batch at the event
+	// boundary; the trap must discard ONLY the second segment.
+	release, err := park()
+	if err != nil {
+		return err
+	}
+	connA, connB := s.NewConn(), s.NewConn()
+	var reqsA, reqsB [][]byte
+	for _, k := range aKeys {
+		reqsA = append(reqsA, memcache.FormatSet(k, []byte("seg-a-"+k), 0))
+	}
+	for _, k := range bKeys {
+		reqsB = append(reqsB, memcache.FormatSet(k, []byte("seg-b-"+k), 0))
+	}
+	reqsB = append(reqsB, memcache.FormatBSet("atk", 1<<20, nil))
+
+	var resA, resB []memcache.PipelineResult
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); resA = connA.DoPipeline(reqsA) }()
+	if err := waitDepth(s, 1); err != nil {
+		return err
+	}
+	wg.Add(1)
+	go func() { defer wg.Done(); resB = connB.DoPipeline(reqsB) }()
+	if err := waitDepth(s, 2); err != nil {
+		return err
+	}
+	preRewinds := lib.Stats().Rewinds.Load()
+	preForensics := a.forensicsPre()
+	preSplits := splits.Value()
+	if err := release(); err != nil {
+		return fmt.Errorf("chaos: sched park: %v", err)
+	}
+	wg.Wait()
+	r.Injected++
+
+	label := "phase=split"
+	if d := splits.Value() - preSplits; d != 1 {
+		r.failf("%s: %d batch splits, want exactly 1", label, d)
+	}
+	a.checkRewindDelta(label, preRewinds, 1)
+	a.checkForensicsFault(as, label, preForensics)
+	for j, pr := range resA {
+		if pr.Err != nil || pr.Closed || !bytes.HasPrefix(pr.Resp, []byte("STORED")) {
+			r.failf("%s: segment-A item %d: resp=%q closed=%v err=%v", label, j, pr.Resp, pr.Closed, pr.Err)
+		}
+	}
+	for j, pr := range resB {
+		if !pr.Closed {
+			r.failf("%s: segment-B item %d survived the segment rewind", label, j)
+		}
+	}
+	ss := snap()
+	if ss.WindowRewinds != 1 || ss.Bound != maxBatch/2 {
+		r.failf("%s: controller bound=%d windowRewinds=%d, want bound=%d windowRewinds=1",
+			label, ss.Bound, ss.WindowRewinds, maxBatch/2)
+	}
+	r.event("%s splits=1 bound=%d rewinds=%d", label, ss.Bound, ss.WindowRewinds)
+
+	// The split protected segment A's writes; segment B's died with the
+	// trap. Probe through a fresh connection. (Each probe is also an
+	// idle round: by the end the bound has collapsed to its floor,
+	// which the regrow below accounts for.)
+	probe := s.NewConn()
+	for _, k := range aKeys {
+		resp, closed, err := probe.Do(memcache.FormatGet(k))
+		if err != nil || closed {
+			r.failf("%s: probe %s: closed=%v err=%v", label, k, closed, err)
+			continue
+		}
+		if val, _, ok := memcache.ParseGetValue(resp); !ok || !bytes.Equal(val, []byte("seg-a-"+k)) {
+			r.failf("%s: segment-A key %s = %q ok=%v, want committed value", label, k, val, ok)
+		}
+	}
+	for _, k := range bKeys {
+		resp, closed, err := probe.Do(memcache.FormatGet(k))
+		if err != nil || closed {
+			r.failf("%s: probe %s: closed=%v err=%v", label, k, closed, err)
+			continue
+		}
+		if _, _, ok := memcache.ParseGetValue(resp); ok {
+			r.failf("%s: segment-B key %s visible after batch rewind", label, k)
+		}
+	}
+	auditSteady(label)
+
+	// ---- Phase 2: fault burst. First regrow the bound out of the
+	// idle-collapsed floor with a backlog (the rewind window is still
+	// hot, so the window ceiling caps the walk: 1->2->3->4). Then three
+	// traps in the same frozen window walk it down multiplicatively
+	// (4->2->1) and pin it to the floor.
+	if err := driveBacklog("phase=burst-regrow", 8, 4, 3); err != nil {
+		return err
+	}
+	for k := 0; k < 3; k++ {
+		label := fmt.Sprintf("phase=burst trap=%d", k)
+		preRewinds := lib.Stats().Rewinds.Load()
+		preForensics := a.forensicsPre()
+		evil := s.NewConn()
+		_, closed, err := evil.Do(memcache.FormatBSet("atk", 1<<20, nil))
+		if err != nil || !closed {
+			r.failf("%s: trap closed=%v err=%v", label, closed, err)
+		}
+		r.Injected++
+		a.checkRewindDelta(label, preRewinds, 1)
+		a.checkForensicsFault(as, label, preForensics)
+		r.event("%s bound=%d rewinds=%d", label, snap().Bound, snap().WindowRewinds)
+	}
+	ss = snap()
+	if ss.Bound != 1 || ss.WindowRewinds != 4 {
+		r.failf("phase=burst: controller bound=%d windowRewinds=%d, want bound=1 windowRewinds=4",
+			ss.Bound, ss.WindowRewinds)
+	}
+	auditSteady("phase=burst")
+
+	// ---- Phase 3: recovery. Advance the manual clock past the rewind
+	// window, then queue another backlog: with the window cold the
+	// controller must grow the bound back out of the floor
+	// (1->2->3->4->5 across the 12-event drain).
+	clk.Advance(2 * time.Second)
+	if err := driveBacklog("phase=recover", 12, 5, 4); err != nil {
+		return err
+	}
+	ss = snap()
+	if ss.WindowRewinds != 0 {
+		r.failf("phase=recover: rewind window still holds %d entries after 2s advance", ss.WindowRewinds)
+	}
+	auditSteady("phase=recover")
+
+	if crashed, cause := s.Crashed(); crashed {
+		return fmt.Errorf("chaos: server process died: %v", cause)
+	}
+	r.event("final rewinds=%d bound=%d", lib.Stats().Rewinds.Load(), snap().Bound)
+	return nil
+}
+
+// waitDepth polls worker 0's queue until it holds want events.
+func waitDepth(s *memcache.Server, want int) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for s.QueueDepth(0) < want {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: sched: queue depth %d never reached %d", s.QueueDepth(0), want)
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"sdrad/internal/mem"
 	"sdrad/internal/policy"
 	"sdrad/internal/proc"
+	"sdrad/internal/sched"
 	"sdrad/internal/stack"
 	"sdrad/internal/telemetry"
 	"sdrad/internal/tlsf"
@@ -71,6 +72,12 @@ type Config struct {
 	// hardened worker handles inside a single guard scope (default 16);
 	// longer pipelines are split client-side by Conn.DoPipeline.
 	MaxBatch int
+	// Sched, when non-nil, enables the adaptive batch controller
+	// (internal/sched) on the hardened worker: pipelined batches are
+	// chunked to the controller's live bound (grown under load, shrunk
+	// while the rewind window is hot) instead of the fixed MaxBatch.
+	// Nil keeps the legacy fixed-MaxBatch guard scopes, bit for bit.
+	Sched *sched.Config
 	// VerifyClientCerts enables X.509 client-certificate checking of the
 	// X-Client-Cert request header — the paper's §V-C integration, where
 	// NGINX is compiled against the isolated OpenSSL verification API.
@@ -200,6 +207,9 @@ type Worker struct {
 	// with another worker.
 	reqs atomic.Int64
 
+	// ctrl is the adaptive batch controller (nil without Config.Sched).
+	ctrl *sched.Controller
+
 	// Parser-domain state (owned by the worker thread).
 	domainReady  bool
 	parseBuf     mem.Addr
@@ -274,6 +284,9 @@ func newWorker(cfg Config, idx int) (*Worker, error) {
 		cfg: cfg,
 		p:   proc.NewProcess(fmt.Sprintf("nginx-worker-%d-%s", idx, cfg.Variant.String()), proc.WithSeed(cfg.Seed+int64(idx))),
 		ch:  make(chan *event),
+	}
+	if cfg.Sched != nil && cfg.Variant == VariantSDRaD {
+		w.ctrl = sched.NewController(*cfg.Sched, cfg.MaxBatch)
 	}
 	if cfg.Variant == VariantSDRaD {
 		opts := []core.SetupOption{core.WithRootHeapSize(heapBudget(cfg))}
@@ -546,6 +559,15 @@ func (w *Worker) Crashed() (bool, error) {
 // Rewinds reports recovered parser attacks.
 func (w *Worker) Rewinds() int64 { return w.rewinds.Load() }
 
+// SchedSnapshot returns the worker's adaptive-controller state (zero
+// value when the scheduler is disabled).
+func (w *Worker) SchedSnapshot() sched.Snapshot {
+	if w.ctrl == nil {
+		return sched.Snapshot{}
+	}
+	return w.ctrl.Snapshot()
+}
+
 // Degraded reports 503 responses served while the parser domain was
 // quarantined.
 func (w *Worker) Degraded() int64 { return w.degraded.Load() }
@@ -586,7 +608,25 @@ func (w *Worker) handleBatch(t *proc.Thread, ev *event) []result {
 		}
 		return results
 	}
-	return w.runHardenedBatch(t, ev.conn, ev.reqs, results)
+	if w.ctrl == nil {
+		return w.runHardenedBatch(t, ev.conn, ev.reqs, results)
+	}
+	// Adaptive chunking: each chunk is one guard scope sized to the
+	// controller's live bound, so a rewind while the window is hot
+	// discards (and a fault closes) less of the pipeline; the bound
+	// regrows between chunks under sustained depth.
+	for off := 0; off < len(ev.reqs); {
+		bound := w.ctrl.Bound()
+		end := off + bound
+		if end > len(ev.reqs) {
+			end = len(ev.reqs)
+		}
+		t0 := w.ctrl.Now()
+		w.runHardenedBatch(t, ev.conn, ev.reqs[off:end], results[off:end])
+		w.ctrl.ObserveRound(len(w.ch)+len(ev.reqs)-end, end-off, w.ctrl.Now()-t0)
+		off = end
+	}
+	return results
 }
 
 // handleRequest is the sequential per-request flow.
@@ -757,6 +797,9 @@ func (w *Worker) parseHardened(t *proc.Thread, conn *Conn, rlen int, req *Reques
 		w.domainReady = false
 		w.pool.Reset(t.CPU())
 		w.rewinds.Add(1)
+		if w.ctrl != nil {
+			w.ctrl.NoteRewind()
+		}
 		conn.closed = true
 		w.freeConnBuffers(t, conn)
 		return &result{closed: true}
@@ -886,6 +929,9 @@ func (w *Worker) runHardenedBatch(t *proc.Thread, conn *Conn, reqs [][]byte, res
 			w.domainReady = false
 			w.pool.Reset(c)
 			w.rewinds.Add(1)
+			if w.ctrl != nil {
+				w.ctrl.NoteRewind()
+			}
 			if !conn.closed {
 				conn.closed = true
 				w.freeConnBuffers(t, conn)

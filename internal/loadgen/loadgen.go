@@ -42,6 +42,10 @@ type Result struct {
 	Elapsed    time.Duration
 	Throughput float64 // requests per second
 	BytesRead  int64
+	// Reconnects counts connections re-opened after the server closed one
+	// mid-run (attack recovery collateral) — the fault-storm benchmarks'
+	// collateral-damage signal.
+	Reconnects int
 	// P50, P95, P99 are per-request latency percentiles, interpolated
 	// from a log2-bucketed histogram (approximate, not exact order
 	// statistics).
@@ -49,9 +53,9 @@ type Result struct {
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%d requests in %v: %.0f req/s (%d errors, %d bytes) p50=%v p95=%v p99=%v",
+	return fmt.Sprintf("%d requests in %v: %.0f req/s (%d errors, %d bytes, %d reconnects) p50=%v p95=%v p99=%v",
 		r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Errors, r.BytesRead,
-		r.P50, r.P95, r.P99)
+		r.Reconnects, r.P50, r.P95, r.P99)
 }
 
 // Run drives the master's workers with Config.Connections concurrent
@@ -74,7 +78,7 @@ func Run(m *httpd.Master, cfg Config) Result {
 	}
 	var remaining atomic.Int64
 	remaining.Store(int64(cfg.Requests))
-	var errs, bytesRead atomic.Int64
+	var errs, bytesRead, reconnects atomic.Int64
 	var wg sync.WaitGroup
 
 	// lat collects every request's wall latency; histograms are safe for
@@ -109,6 +113,7 @@ func Run(m *httpd.Master, cfg Config) Result {
 					}
 					bytesRead.Add(int64(len(resp)))
 					if closed {
+						reconnects.Add(1)
 						conn = w.NewConn()
 					}
 				}
@@ -144,6 +149,7 @@ func Run(m *httpd.Master, cfg Config) Result {
 					}
 				}
 				if reconnect {
+					reconnects.Add(1)
 					conn = w.NewConn()
 				}
 			}
@@ -158,6 +164,7 @@ func Run(m *httpd.Master, cfg Config) Result {
 		Elapsed:    elapsed,
 		Throughput: float64(done) / elapsed.Seconds(),
 		BytesRead:  bytesRead.Load(),
+		Reconnects: int(reconnects.Load()),
 		P50:        time.Duration(lat.Quantile(0.50)),
 		P95:        time.Duration(lat.Quantile(0.95)),
 		P99:        time.Duration(lat.Quantile(0.99)),

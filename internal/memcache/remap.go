@@ -1,0 +1,309 @@
+package memcache
+
+import (
+	"errors"
+	"time"
+
+	"sdrad/internal/mem"
+	"sdrad/internal/telemetry"
+)
+
+// The remap table is the contention-driven rebalancer's lever. Legacy
+// shard selection is a pure function of the key hash: shard =
+// (h>>32) & shardMask. With remap enabled the same high hash bits are
+// widened into a *slot* — slotsPerShard slots per shard — and an
+// indirection table maps slot → shard. The initial table is the
+// identity (slot s → s & shardMask, which is exactly the legacy shard,
+// because the shard mask covers the low bits of the slot mask), so
+// enabling remap changes nothing until the rebalancer moves a slot.
+//
+// Consistency protocol (the "epoch handoff"):
+//
+//   - MoveSlot is serialized by rebalanceMu. It acquires BOTH shard
+//     locks (index order), installs the new table and bumps the epoch
+//     while holding them, then migrates the slot's items.
+//   - Every lock acquisition re-validates: lockShard/lockSlot resolve
+//     the shard from the current table, lock it, then re-resolve. If
+//     the mapping moved in between, they unlock and retry. Holding the
+//     shard lock while the table still points at that shard therefore
+//     guarantees the slot cannot be mid-migration: MoveSlot flips the
+//     table only while it holds the lock the reader is now inside.
+//   - Batches grouped by slot *before* the move re-resolve the shard
+//     under the lock (ApplySlotBatch), so a stale grouping never
+//     applies to the old shard.
+//
+// When remap is disabled (the pointer is nil) every path reduces to the
+// legacy mask arithmetic with no table load on the hot path.
+const slotsPerShard = 4
+
+// remapTable is an immutable slot→shard map; rebalancing installs a new
+// copy atomically.
+type remapTable struct {
+	mask    uint64 // len(shardOf)-1, power of two
+	shardOf []int32
+}
+
+// ErrRemapDisabled is returned by slot operations before EnableRemap.
+var ErrRemapDisabled = errors.New("memcache: slot remap not enabled")
+
+// EnableRemap activates the slot indirection layer with the identity
+// mapping (bit-identical shard selection to the legacy path). It is not
+// safe to call concurrently with cache operations; the server enables
+// it at startup, before serving.
+func (st *Storage) EnableRemap() {
+	if st.remap.Load() != nil {
+		return
+	}
+	n := len(st.shards) * slotsPerShard
+	t := &remapTable{mask: uint64(n) - 1, shardOf: make([]int32, n)}
+	for s := range t.shardOf {
+		t.shardOf[s] = int32(uint64(s) & st.shardMask)
+	}
+	st.slotOps = make([]atomicInt64Pad, n)
+	st.remap.Store(t)
+}
+
+// RemapEnabled reports whether the slot indirection layer is active.
+func (st *Storage) RemapEnabled() bool { return st.remap.Load() != nil }
+
+// Slots returns the slot count (0 when remap is disabled).
+func (st *Storage) Slots() int {
+	if t := st.remap.Load(); t != nil {
+		return len(t.shardOf)
+	}
+	return 0
+}
+
+// Epoch returns the remap epoch: it advances once per executed slot
+// move.
+func (st *Storage) Epoch() uint64 { return st.epoch.Load() }
+
+// slotOf extracts a hash's slot index under table t.
+func slotOf(h uint64, t *remapTable) int { return int((h >> 32) & t.mask) }
+
+// SlotForKey returns the slot key maps to, or -1 when remap is
+// disabled.
+func (st *Storage) SlotForKey(key []byte) int {
+	t := st.remap.Load()
+	if t == nil {
+		return -1
+	}
+	return slotOf(hashKey(key), t)
+}
+
+// SlotShard returns the shard currently owning slot (-1 when remap is
+// disabled or slot is out of range).
+func (st *Storage) SlotShard(slot int) int {
+	t := st.remap.Load()
+	if t == nil || slot < 0 || slot >= len(t.shardOf) {
+		return -1
+	}
+	return int(t.shardOf[slot])
+}
+
+// shardIndexFor resolves a hash to its current shard index: the remap
+// table when enabled, the legacy mask arithmetic when not.
+func (st *Storage) shardIndexFor(h uint64) int {
+	if t := st.remap.Load(); t != nil {
+		return int(t.shardOf[slotOf(h, t)])
+	}
+	return int((h >> 32) & st.shardMask)
+}
+
+// lockMeasured acquires the shard lock, accounting contended
+// acquisitions into the shard's lock-wait counter. The uncontended
+// TryLock fast path costs the same as a plain Lock.
+func (sh *shard) lockMeasured() {
+	if sh.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	sh.mu.Lock()
+	w := time.Since(t0).Nanoseconds()
+	sh.waitNs.Add(w)
+	if sh.waitC != nil {
+		sh.waitC.Add(w)
+	}
+}
+
+// lockShard resolves the shard for hash h and returns it locked,
+// re-validating the resolution after acquisition: if a slot move raced
+// in between, it unlocks and retries. On return, holding the lock
+// guarantees the table maps h here and cannot change until release
+// (MoveSlot flips the table only while holding this lock).
+func (st *Storage) lockShard(h uint64) *shard {
+	for {
+		sh := st.shards[st.shardIndexFor(h)]
+		sh.lockMeasured()
+		if st.shards[st.shardIndexFor(h)] == sh {
+			return sh
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// lockSlot is lockShard keyed by slot index.
+func (st *Storage) lockSlot(slot int) *shard {
+	for {
+		si := st.SlotShard(slot)
+		if si < 0 {
+			return nil
+		}
+		sh := st.shards[si]
+		sh.lockMeasured()
+		if st.SlotShard(slot) == si {
+			return sh
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// ApplySlotBatch applies ops — all of which must map to slot — under a
+// single acquisition of the owning shard's lock, resolving that shard
+// under the lock so a concurrent slot move can never strand the ops on
+// the old shard. Semantics otherwise match ApplyShardBatch.
+func (st *Storage) ApplySlotBatch(c *mem.CPU, slot int, ops []BatchOp) error {
+	sh := st.lockSlot(slot)
+	if sh == nil {
+		return ErrRemapDisabled
+	}
+	defer sh.mu.Unlock()
+	st.slotOps[slot].v.Add(int64(len(ops)))
+	sh.noteBatchOps(int64(len(ops)))
+	v := st.view(c)
+	for _, op := range ops {
+		if op.Delete {
+			sh.deleteLocked(v, op.Key)
+			continue
+		}
+		if len(op.Key) > MaxKeyLen {
+			return ErrKeyTooLong
+		}
+		if err := sh.setLocked(v, op.Key, op.Value, op.Flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MoveSlot reassigns slot to shard dst, migrating the slot's items with
+// both shard locks held and bumping the remap epoch. Returns the number
+// of items migrated. Serialized against other moves by rebalanceMu.
+func (st *Storage) MoveSlot(c *mem.CPU, slot, dst int) (int, error) {
+	if st.remap.Load() == nil {
+		return 0, ErrRemapDisabled
+	}
+	if dst < 0 || dst >= len(st.shards) {
+		return 0, errors.New("memcache: slot move destination out of range")
+	}
+	st.rebalanceMu.Lock()
+	defer st.rebalanceMu.Unlock()
+	t := st.remap.Load()
+	if slot < 0 || slot >= len(t.shardOf) {
+		return 0, errors.New("memcache: slot out of range")
+	}
+	srcIdx := int(t.shardOf[slot])
+	if srcIdx == dst {
+		return 0, nil
+	}
+	src, dstSh := st.shards[srcIdx], st.shards[dst]
+	lo, hi := src, dstSh
+	if dst < srcIdx {
+		lo, hi = dstSh, src
+	}
+	lo.mu.Lock()
+	hi.mu.Lock()
+	defer hi.mu.Unlock()
+	defer lo.mu.Unlock()
+
+	// Install the new table and advance the epoch while both locks are
+	// held: every racing operation either resolved the old shard (and is
+	// blocked on its lock until migration completes) or will resolve the
+	// new table after we release.
+	nt := &remapTable{mask: t.mask, shardOf: append([]int32(nil), t.shardOf...)}
+	nt.shardOf[slot] = int32(dst)
+	st.remap.Store(nt)
+	st.epoch.Add(1)
+
+	// Migrate: walk the source shard's buckets and re-home every item
+	// whose hash lands in the moving slot. CAS ids travel with the items
+	// and the destination counter is raised past them, keeping each
+	// key's CAS sequence strictly monotonic across the move.
+	v := st.view(c)
+	moved := 0
+	for b := uint64(0); b < src.nbuckets; b++ {
+		ba := src.buckets + mem.Addr(b*8)
+		it := v.addr(ba)
+		for it != 0 {
+			next := v.addr(it + itemOffNext)
+			key := itemKey(v, it)
+			if slotOf(hashKey(key), nt) == slot {
+				value := func() []byte {
+					va, vlen := itemValueAddr(v, it)
+					return v.readBytes(va, vlen)
+				}()
+				flags := uint32(v.u64(it + itemOffFlags))
+				cas := v.u64(it + itemOffCAS)
+				src.unlinkItem(v, it)
+				if cas > dstSh.casCounter {
+					dstSh.casCounter = cas
+				}
+				if _, err := dstSh.storeNewLocked(v, key, value, flags, cas); err != nil {
+					return moved, err
+				}
+				moved++
+			}
+			it = next
+		}
+	}
+	src.noteOccupancy()
+	dstSh.noteOccupancy()
+	return moved, nil
+}
+
+// ShardContention is one shard's cumulative contention counters.
+type ShardContention struct {
+	WaitNs   int64
+	BatchOps int64
+}
+
+// ContentionStats snapshots the per-shard contention counters (atomic
+// reads; no shard locks taken).
+func (st *Storage) ContentionStats() []ShardContention {
+	out := make([]ShardContention, len(st.shards))
+	for i, sh := range st.shards {
+		out[i] = ShardContention{WaitNs: sh.waitNs.Load(), BatchOps: sh.batchOps.Load()}
+	}
+	return out
+}
+
+// SlotLoads snapshots the cumulative per-slot batched-op counters (nil
+// when remap is disabled).
+func (st *Storage) SlotLoads() []int64 {
+	if st.remap.Load() == nil {
+		return nil
+	}
+	out := make([]int64, len(st.slotOps))
+	for i := range st.slotOps {
+		out[i] = st.slotOps[i].v.Load()
+	}
+	return out
+}
+
+// setContentionCounters attaches telemetry counters mirroring shard
+// si's lock-wait nanoseconds and batched ops.
+func (st *Storage) setContentionCounters(si int, wait, ops *telemetry.Counter) {
+	sh := st.shards[si]
+	sh.mu.Lock()
+	sh.waitC = wait
+	sh.opsC = ops
+	sh.mu.Unlock()
+}
+
+// noteBatchOps accounts n batched ops to the shard.
+func (sh *shard) noteBatchOps(n int64) {
+	sh.batchOps.Add(n)
+	if sh.opsC != nil {
+		sh.opsC.Add(n)
+	}
+}

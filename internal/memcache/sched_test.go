@@ -1,0 +1,537 @@
+package memcache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+	"sdrad/internal/sched"
+	"sdrad/internal/telemetry"
+)
+
+// startSchedServer builds a hardened server with the self-tuning
+// scheduler enabled and a telemetry recorder attached.
+func startSchedServer(t testing.TB, workers int) (*Server, *telemetry.Recorder) {
+	t.Helper()
+	rec := telemetry.New(telemetry.Options{})
+	s, err := NewServer(Config{
+		Variant:    VariantSDRaD,
+		Workers:    workers,
+		HashPower:  10,
+		CacheBytes: 4 << 20,
+		Telemetry:  rec,
+		Sched:      &sched.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s, rec
+}
+
+// keysForShard mines n distinct keys that all hash to shard si.
+func keysForShard(t testing.TB, s *Server, si, n int, prefix string) []string {
+	t.Helper()
+	var keys []string
+	for i := 0; len(keys) < n; i++ {
+		if i > 100000 {
+			t.Fatalf("could not find %d keys for shard %d", n, si)
+		}
+		k := fmt.Sprintf("%s-%05d", prefix, i)
+		if s.Storage().ShardFor([]byte(k)) == si {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func TestSchedChunkedPipelineInOrder(t *testing.T) {
+	// Pipelines longer than MaxBatch are chunked client-side; with the
+	// adaptive scheduler enabled (affinity routing, adaptive bound, batch
+	// splitting) ordering and read-your-writes must still be seamless
+	// across every chunk boundary.
+	s, _ := startSchedServer(t, 2)
+	c := s.NewConn()
+	n := 3*s.MaxBatch() + 5
+	var reqs [][]byte
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, FormatSet(fmt.Sprintf("sspan-%03d", i), []byte(fmt.Sprintf("val-%03d", i)), 0))
+	}
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, FormatGet(fmt.Sprintf("sspan-%03d", i)))
+	}
+	res := c.DoPipeline(reqs)
+	if len(res) != 2*n {
+		t.Fatalf("results = %d, want %d", len(res), 2*n)
+	}
+	for i := 0; i < n; i++ {
+		if r := res[i]; r.Err != nil || string(r.Resp) != "STORED\r\n" {
+			t.Fatalf("set %d: %q err=%v", i, r.Resp, r.Err)
+		}
+		val, _, ok := ParseGetValue(res[n+i].Resp)
+		if !ok || string(val) != fmt.Sprintf("val-%03d", i) {
+			t.Fatalf("get %d = %q", i, res[n+i].Resp)
+		}
+	}
+}
+
+func TestSchedOffIsBitIdenticalToSchedOn(t *testing.T) {
+	// The same request sequence must produce byte-identical responses with
+	// the scheduler off (the legacy fixed-bound drain) and on — and the
+	// sched-off server must not pay for any scheduler machinery.
+	mkReqs := func() [][]byte {
+		return [][]byte{
+			FormatSet("a", []byte("alpha"), 3),
+			FormatGet("a"),
+			FormatSet("a", []byte("beta"), 4),
+			FormatGet("a"),
+			FormatDelete("a"),
+			FormatGet("a"),
+			FormatDelete("a"),
+			[]byte("bogus nonsense\r\n"),
+			FormatSet("b", []byte("gamma"), 0),
+			FormatGet("b"),
+		}
+	}
+	off, _ := startTelServer(t, VariantSDRaD, 1)
+	if off.Storage().RemapEnabled() {
+		t.Error("sched-off server has the slot remap layer enabled")
+	}
+	if off.SchedSnapshots() != nil {
+		t.Error("sched-off server reports controller snapshots")
+	}
+	var legacy [][]byte
+	cOff := off.NewConn()
+	for _, req := range mkReqs() {
+		resp, closed, err := cOff.Do(req)
+		if err != nil || closed {
+			t.Fatalf("sched-off Do(%q): closed=%v err=%v", req, closed, err)
+		}
+		legacy = append(legacy, resp)
+	}
+
+	on, _ := startSchedServer(t, 1)
+	res := on.NewConn().DoPipeline(mkReqs())
+	for i, r := range res {
+		if r.Err != nil || r.Closed {
+			t.Fatalf("sched-on res[%d]: closed=%v err=%v", i, r.Closed, r.Err)
+		}
+		if !bytes.Equal(r.Resp, legacy[i]) {
+			t.Errorf("res[%d]: sched-on %q, sched-off %q", i, r.Resp, legacy[i])
+		}
+	}
+}
+
+func TestSchedFaultSemanticsMatchLegacy(t *testing.T) {
+	// A mid-batch attack under the scheduler keeps the paper's fault
+	// semantics: one rewind, exactly one forensics report, the whole
+	// batch discarded — and the controller's multiplicative decrease
+	// kicks in.
+	s, rec := startSchedServer(t, 1)
+	good := s.NewConn()
+	mustDo(t, good, FormatSet("persist", []byte("survives"), 0))
+
+	evil := s.NewConn()
+	res := evil.DoPipeline([][]byte{
+		FormatSet("early", []byte("never-lands"), 0),
+		FormatBSet("atk", 16<<20, []byte("payload")),
+		FormatSet("late", []byte("never-runs"), 0),
+	})
+	for i, r := range res {
+		if !r.Closed {
+			t.Errorf("batch item %d not reported closed after rewind", i)
+		}
+	}
+	if got := s.Rewinds(); got != 1 {
+		t.Errorf("rewinds = %d, want 1 for the whole batch", got)
+	}
+	if reports := rec.Forensics().Reports(); len(reports) != 1 {
+		t.Fatalf("forensics reports = %d, want exactly 1", len(reports))
+	}
+	c := s.NewConn()
+	if _, _, ok := ParseGetValue(mustDo(t, c, FormatGet("early"))); ok {
+		t.Error("set earlier in the faulting batch leaked into the database")
+	}
+	val, _, ok := ParseGetValue(mustDo(t, good, FormatGet("persist")))
+	if !ok || string(val) != "survives" {
+		t.Errorf("bystander data after batch rewind = %q %v", val, ok)
+	}
+	snap := s.SchedSnapshots()[0]
+	if snap.WindowRewinds != 1 {
+		t.Errorf("controller window rewinds = %d, want 1", snap.WindowRewinds)
+	}
+	if snap.Bound > snap.MaxBatch/2 {
+		t.Errorf("controller bound = %d after rewind, want <= %d", snap.Bound, snap.MaxBatch/2)
+	}
+}
+
+// parkWorker blocks worker 0 of s inside a control event until the
+// returned release function is called, so the test can stage a batch in
+// the worker's channel.
+func parkWorker(t *testing.T, s *Server) (release func()) {
+	t.Helper()
+	parked := make(chan struct{})
+	releaseCh := make(chan struct{})
+	c := s.NewConn()
+	go func() {
+		_ = c.Inspect(func(*proc.Thread) error {
+			close(parked)
+			<-releaseCh
+			return nil
+		})
+	}()
+	<-parked
+	return func() { close(releaseCh) }
+}
+
+// waitQueued polls until worker 0's channel holds n queued events.
+func waitQueued(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.workers[0].ch) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker queue stuck at %d events, want %d", len(s.workers[0].ch), n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestSchedSplitsMixedBatchAtEventBoundary(t *testing.T) {
+	// Two pipelined events with disjoint shard footprints drain into one
+	// round; the scheduler splits the batch at the event boundary into two
+	// per-shard guard scopes. The second segment faults: the first event's
+	// writes must already have landed (its guard scope exited normally),
+	// the faulting event is discarded whole, and exactly one rewind and
+	// one forensics report are produced for it.
+	s, rec := startSchedServer(t, 1)
+	aKeys := keysForShard(t, s, 0, 4, "seg-a")
+	bKeys := keysForShard(t, s, 1, 3, "seg-b")
+
+	release := parkWorker(t, s)
+	connA, connB := s.NewConn(), s.NewConn()
+	var aRes, bRes []PipelineResult
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var reqs [][]byte
+		for _, k := range aKeys {
+			reqs = append(reqs, FormatSet(k, []byte("landed"), 0))
+		}
+		aRes = connA.DoPipeline(reqs)
+	}()
+	waitQueued(t, s, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bRes = connB.DoPipeline([][]byte{
+			FormatSet(bKeys[0], []byte("never-lands"), 0),
+			FormatSet(bKeys[1], []byte("never-lands"), 0),
+			FormatBSet("atk", 16<<20, []byte("payload")),
+			FormatSet(bKeys[2], []byte("never-runs"), 0),
+		})
+	}()
+	waitQueued(t, s, 2)
+	release()
+	wg.Wait()
+
+	for i, r := range aRes {
+		if r.Err != nil || r.Closed || string(r.Resp) != "STORED\r\n" {
+			t.Fatalf("segment A item %d: %q closed=%v err=%v", i, r.Resp, r.Closed, r.Err)
+		}
+	}
+	for i, r := range bRes {
+		if !r.Closed {
+			t.Errorf("faulting segment item %d not closed", i)
+		}
+	}
+	if got := s.telSplits.Value(); got < 1 {
+		t.Errorf("batch splits = %d, want >= 1", got)
+	}
+	if got := s.Rewinds(); got != 1 {
+		t.Errorf("rewinds = %d, want 1 (only the faulting segment)", got)
+	}
+	if reports := rec.Forensics().Reports(); len(reports) != 1 {
+		t.Fatalf("forensics reports = %d, want exactly 1", len(reports))
+	}
+	// Segment A committed before segment B faulted; segment B left nothing.
+	c := s.NewConn()
+	for _, k := range aKeys {
+		val, _, ok := ParseGetValue(mustDo(t, c, FormatGet(k)))
+		if !ok || string(val) != "landed" {
+			t.Errorf("split-off segment write %q = %q %v, want committed", k, val, ok)
+		}
+	}
+	for _, k := range bKeys {
+		if _, _, ok := ParseGetValue(mustDo(t, c, FormatGet(k))); ok {
+			t.Errorf("faulting segment write %q leaked into the database", k)
+		}
+	}
+}
+
+func TestSchedSplitNeverSeparatesOneEventRun(t *testing.T) {
+	// One pipelined event whose keys straddle shards is NEVER split: its
+	// items share the event's classification, so a fault late in the event
+	// discards every earlier write of the same event (they were all in one
+	// guard scope), and the split counter stays at zero.
+	s, rec := startSchedServer(t, 1)
+	k0 := keysForShard(t, s, 0, 4, "run-a")
+	k1 := keysForShard(t, s, 1, 3, "run-b")
+
+	evil := s.NewConn()
+	res := evil.DoPipeline([][]byte{
+		FormatSet(k0[0], []byte("x"), 0),
+		FormatSet(k0[1], []byte("x"), 0),
+		FormatSet(k1[0], []byte("x"), 0),
+		FormatSet(k1[1], []byte("x"), 0),
+		FormatSet(k0[2], []byte("x"), 0),
+		FormatSet(k1[2], []byte("x"), 0),
+		FormatBSet("atk", 16<<20, []byte("payload")),
+		FormatSet(k0[3], []byte("x"), 0),
+	})
+	for i, r := range res {
+		if !r.Closed {
+			t.Errorf("item %d of the faulting event not closed", i)
+		}
+	}
+	if got := s.telSplits.Value(); got != 0 {
+		t.Errorf("batch splits = %d, want 0 (one event must stay contiguous)", got)
+	}
+	if got := s.Rewinds(); got != 1 {
+		t.Errorf("rewinds = %d, want 1", got)
+	}
+	if reports := rec.Forensics().Reports(); len(reports) != 1 {
+		t.Fatalf("forensics reports = %d, want exactly 1", len(reports))
+	}
+	c := s.NewConn()
+	for _, k := range append(append([]string{}, k0...), k1...) {
+		if _, _, ok := ParseGetValue(mustDo(t, c, FormatGet(k))); ok {
+			t.Errorf("write %q from the faulting event leaked (event was split)", k)
+		}
+	}
+}
+
+func TestRemapIdentityPreservesShardSelection(t *testing.T) {
+	// Enabling the slot indirection layer with its initial identity table
+	// must not change any key's shard: slot s & shardMask IS the legacy
+	// shard.
+	st, _ := newShardedStorage(t, 10, 4, 4<<20)
+	legacy := make(map[string]int)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("ident-%04d", i)
+		legacy[k] = st.ShardFor([]byte(k))
+	}
+	st.EnableRemap()
+	if !st.RemapEnabled() {
+		t.Fatal("remap not enabled")
+	}
+	if got, want := st.Slots(), 4*slotsPerShard; got != want {
+		t.Fatalf("slots = %d, want %d", got, want)
+	}
+	for k, want := range legacy {
+		if got := st.ShardFor([]byte(k)); got != want {
+			t.Errorf("key %q: shard %d with identity remap, %d legacy", k, got, want)
+		}
+		slot := st.SlotForKey([]byte(k))
+		if got := st.SlotShard(slot); got != want {
+			t.Errorf("key %q: slot %d owned by shard %d, want %d", k, slot, got, want)
+		}
+	}
+}
+
+func TestMoveSlotMigratesItemsAndPreservesCAS(t *testing.T) {
+	st, cpu := newShardedStorage(t, 10, 4, 4<<20)
+	st.EnableRemap()
+	const n = 400
+	cas := make(map[string]uint64)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("mv-%04d", i)
+		if err := st.Set(cpu, []byte(k), []byte("v-"+k), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("mv-%04d", i)
+		_, _, id, ok := st.GetWithCAS(cpu, []byte(k))
+		if !ok {
+			t.Fatalf("key %q missing before move", k)
+		}
+		cas[k] = id
+	}
+	// Move the slot holding mv-0000 to another shard.
+	probe := []byte("mv-0000")
+	slot := st.SlotForKey(probe)
+	src := st.SlotShard(slot)
+	dst := (src + 1) % st.Shards()
+	inSlot := 0
+	for k := range cas {
+		if st.SlotForKey([]byte(k)) == slot {
+			inSlot++
+		}
+	}
+	epoch0 := st.Epoch()
+	moved, err := st.MoveSlot(cpu, slot, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != inSlot {
+		t.Errorf("moved %d items, slot held %d", moved, inSlot)
+	}
+	if st.Epoch() != epoch0+1 {
+		t.Errorf("epoch = %d, want %d", st.Epoch(), epoch0+1)
+	}
+	if got := st.SlotShard(slot); got != dst {
+		t.Errorf("slot %d owned by shard %d after move, want %d", slot, got, dst)
+	}
+	if got := st.ShardFor(probe); got != dst {
+		t.Errorf("probe key resolves to shard %d after move, want %d", got, dst)
+	}
+	// Every key readable with its value and CAS id intact; totals conserved.
+	for k, want := range cas {
+		v, _, id, ok := st.GetWithCAS(cpu, []byte(k))
+		if !ok || string(v) != "v-"+k {
+			t.Fatalf("key %q after move = %q %v", k, v, ok)
+		}
+		if id != want {
+			t.Errorf("key %q CAS id = %d after move, want %d", k, id, want)
+		}
+	}
+	if got := st.Stats().Items; got != n {
+		t.Errorf("items = %d after move, want %d", got, n)
+	}
+	if err := st.AuditShards(cpu); err != nil {
+		t.Fatalf("shard audit after move: %v", err)
+	}
+	// CAS stays usable and strictly monotonic on the destination shard: a
+	// swap with the migrated id succeeds and issues a strictly larger id.
+	if out, err := st.CAS(cpu, probe, []byte("swapped"), 0, cas[string(probe)]); err != nil || out != Stored {
+		t.Fatalf("cas with migrated id = %v %v", out, err)
+	}
+	if _, _, id, _ := st.GetWithCAS(cpu, probe); id <= cas[string(probe)] {
+		t.Errorf("post-move CAS id %d not monotonic past migrated id %d", id, cas[string(probe)])
+	}
+	// Moving a slot onto its current owner is a no-op.
+	if moved, err := st.MoveSlot(cpu, slot, dst); err != nil || moved != 0 {
+		t.Errorf("same-shard move = %d, %v; want no-op", moved, err)
+	}
+	if st.Epoch() != epoch0+1 {
+		t.Errorf("no-op move advanced the epoch to %d", st.Epoch())
+	}
+}
+
+func TestApplySlotBatchAndDisabledErrors(t *testing.T) {
+	st, cpu := newShardedStorage(t, 10, 4, 4<<20)
+	if err := st.ApplySlotBatch(cpu, 0, nil); err != ErrRemapDisabled {
+		t.Fatalf("apply before enable = %v, want ErrRemapDisabled", err)
+	}
+	if _, err := st.MoveSlot(cpu, 0, 1); err != ErrRemapDisabled {
+		t.Fatalf("move before enable = %v, want ErrRemapDisabled", err)
+	}
+	st.EnableRemap()
+	// Two keys sharing one slot: set a, set b, overwrite a, delete b.
+	var a, b []byte
+	for i := 0; b == nil; i++ {
+		k := []byte(fmt.Sprintf("slotb-%05d", i))
+		switch {
+		case a == nil:
+			a = k
+		case st.SlotForKey(k) == st.SlotForKey(a):
+			b = k
+		}
+	}
+	slot := st.SlotForKey(a)
+	ops := []BatchOp{
+		{Key: a, Value: []byte("1"), Flags: 7},
+		{Key: b, Value: []byte("2")},
+		{Key: a, Value: []byte("3"), Flags: 9},
+		{Delete: true, Key: b},
+	}
+	if err := st.ApplySlotBatch(cpu, slot, ops); err != nil {
+		t.Fatal(err)
+	}
+	v, flags, ok := st.Get(cpu, a)
+	if !ok || string(v) != "3" || flags != 9 {
+		t.Fatalf("a = %q %d %v, want later write to win", v, flags, ok)
+	}
+	if _, _, ok := st.Get(cpu, b); ok {
+		t.Fatal("deleted key survived slot batch")
+	}
+	if loads := st.SlotLoads(); loads[slot] != int64(len(ops)) {
+		t.Errorf("slot load = %d, want %d", loads[slot], len(ops))
+	}
+	if err := st.AuditShards(cpu); err != nil {
+		t.Fatalf("shard audit after slot batch: %v", err)
+	}
+}
+
+func TestMoveSlotConcurrentWithTraffic(t *testing.T) {
+	// Slot moves ping-pong between two shards while writer goroutines
+	// hammer the storage; the epoch handoff must keep every key readable
+	// and the shard invariants intact (meaningful under -race).
+	as := mem.NewAddressSpace()
+	setupCPU := as.NewCPU()
+	base, err := as.MapAnon(8<<20, mem.ProtRW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := newBumpArena(base, 8<<20)
+	st, err := NewStorage(setupCPU, 10, 4, arena.alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.EnableRemap()
+	slot := st.SlotForKey([]byte("w0-00000"))
+	src := st.SlotShard(slot)
+
+	const writers = 2
+	const perWriter = 150
+	var wg sync.WaitGroup
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int, cpu *mem.CPU) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for i := 0; i < perWriter; i++ {
+					k := []byte(fmt.Sprintf("w%d-%05d", wi, i))
+					if err := st.Set(cpu, k, []byte(fmt.Sprintf("r%d", round)), 0); err != nil {
+						t.Error(err)
+						return
+					}
+					st.Get(cpu, k)
+				}
+			}
+		}(wi, as.NewCPU())
+	}
+	writersDone := make(chan struct{})
+	go func() { wg.Wait(); close(writersDone) }()
+	moverCPU := as.NewCPU()
+	moves := 0
+	for done := false; !done || moves < 8; moves++ {
+		select {
+		case <-writersDone:
+			done = true
+		default:
+		}
+		dst := (src + 1 + moves%2) % st.Shards()
+		if _, err := st.MoveSlot(moverCPU, slot, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-writersDone
+
+	for wi := 0; wi < writers; wi++ {
+		for i := 0; i < perWriter; i++ {
+			k := []byte(fmt.Sprintf("w%d-%05d", wi, i))
+			if _, _, ok := st.Get(setupCPU, k); !ok {
+				t.Errorf("key %q lost across concurrent slot moves", k)
+			}
+		}
+	}
+	if err := st.AuditShards(setupCPU); err != nil {
+		t.Fatalf("shard audit after concurrent moves: %v", err)
+	}
+}

@@ -4,15 +4,19 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"bytes"
+
+	"time"
 
 	"sdrad/internal/core"
 	"sdrad/internal/galloc"
 	"sdrad/internal/mem"
 	"sdrad/internal/policy"
 	"sdrad/internal/proc"
+	"sdrad/internal/sched"
 	"sdrad/internal/telemetry"
 	"sdrad/internal/tlsf"
 )
@@ -76,10 +80,14 @@ type Config struct {
 	// deferred-op apply for the whole batch (default 16; 1 disables
 	// batching).
 	MaxBatch int
-	// DomainHeapSize is the hardened build's per-event-domain heap
-	// (default: MaxBatch connection-buffer copy pairs plus 160 KiB
-	// scratch; 192 KiB at MaxBatch=1, matching the pre-batching
-	// default).
+	// Sched, when non-nil, enables the self-tuning batch/shard scheduler
+	// (internal/sched): per-worker adaptive drain bounds, shard-affinity
+	// event routing and batch splitting, and the storage slot remap the
+	// contention-driven rebalancer moves hot buckets through. Nil keeps
+	// the legacy fixed-MaxBatch drain, bit for bit.
+	Sched *sched.Config
+	// DomainHeapSize is the hardened build's per-event-domain heap. The
+	// default follows the sizing formula at domainScratchSlack.
 	DomainHeapSize uint64
 	// Seed fixes process randomness.
 	Seed int64
@@ -124,11 +132,33 @@ func (c *Config) setDefaults() {
 		c.MaxBatch = 16
 	}
 	if c.DomainHeapSize == 0 {
-		c.DomainHeapSize = uint64(c.MaxBatch)*2*uint64(c.ConnBufSize) + 160*1024
+		c.DomainHeapSize = uint64(c.batchCeiling())*2*uint64(c.ConnBufSize) + domainScratchSlack
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+}
+
+// domainScratchSlack is the per-guard-scope scratch headroom beyond the
+// connection-buffer copies: request-scoped item staging plus reply
+// assembly for a full batch.
+const domainScratchSlack = 160 * 1024
+
+// batchCeiling is the largest batch one guard scope can be asked to
+// hold: the fixed MaxBatch, or the adaptive controller's ceiling when
+// the scheduler is configured with a higher one. The default
+// DomainHeapSize tracks it:
+//
+//	DomainHeapSize = batchCeiling * 2 * ConnBufSize + domainScratchSlack
+//
+// (one read + one write buffer copy per in-flight event; 192 KiB at a
+// ceiling of 1 with 16 KiB buffers, matching the pre-batching default).
+func (c *Config) batchCeiling() int {
+	b := c.MaxBatch
+	if c.Sched != nil && c.Sched.MaxBatch > b {
+		b = c.Sched.MaxBatch
+	}
+	return b
 }
 
 // Server errors.
@@ -148,6 +178,9 @@ type Server struct {
 	connAllocator connAlloc // baseline variants' malloc for conn buffers
 	workers       []*worker
 	telBatch      *telemetry.Histogram // events per guard scope, nil without telemetry
+	telSplits     *telemetry.Counter   // shard-affinity batch splits, nil without telemetry
+	router        *sched.Router        // shard→worker affinity bias, nil without Sched
+	rebalancer    *sched.Rebalancer    // hot-slot move planner, nil without Sched
 	rr            atomic.Int64
 	connIDs       atomic.Int64
 	rewinds       atomic.Int64
@@ -161,6 +194,15 @@ type worker struct {
 	s      *Server
 	ch     chan *event
 	handle *proc.Handle
+
+	// ctrl is the worker's adaptive batch-bound controller (nil without
+	// Config.Sched — the drain loop then uses the fixed MaxBatch bound).
+	// boundGauge, when set, mirrors the bound into telemetry.
+	ctrl       *sched.Controller
+	boundGauge *telemetry.Gauge
+	// evShards is per-round scratch: the shard classification of each
+	// drained batch item (owned by the worker goroutine).
+	evShards []int
 
 	// reqs is the worker's native request count. Keeping it per worker
 	// (its own cache line, uncontended) and summing at exposition via a
@@ -325,10 +367,41 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := s.p.Attach("init", s.provision); err != nil {
 		return nil, fmt.Errorf("memcache: provisioning: %w", err)
 	}
+	var schedCfg sched.Config
+	if cfg.Sched != nil {
+		// The scheduler needs the slot indirection layer live before any
+		// worker serves (the rebalancer moves hot slots through it; the
+		// initial identity table changes nothing).
+		s.st.EnableRemap()
+		if cfg.Workers > 1 {
+			// Shard-affinity routing only means something with several
+			// workers; a single-worker server skips the per-request key
+			// parse on the client path.
+			s.router = sched.NewRouter(cfg.Workers, s.st.Shards())
+		}
+		s.rebalancer = sched.NewRebalancer(sched.RebalanceConfig{})
+		schedCfg = *cfg.Sched
+		if schedCfg.GuardCostNs == nil && cfg.Telemetry != nil {
+			// Estimate the Enter+Exit domain-switch cost from the live
+			// latency histograms core already feeds — the controller grows
+			// faster while amortization dominates per-item cost.
+			reg := cfg.Telemetry.Registry()
+			enter := reg.Histogram("sdrad_enter_latency_ns",
+				"Latency of sdrad_enter calls in nanoseconds.")
+			exit := reg.Histogram("sdrad_exit_latency_ns",
+				"Latency of sdrad_exit calls in nanoseconds.")
+			schedCfg.GuardCostNs = func() int64 {
+				return enter.Quantile(0.5) + exit.Quantile(0.5)
+			}
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		// The channel is buffered so a pipelining client can enqueue a
 		// full batch before the worker drains it.
 		w := &worker{idx: i, s: s, ch: make(chan *event, cfg.MaxBatch)}
+		if cfg.Sched != nil {
+			w.ctrl = sched.NewController(schedCfg, cfg.MaxBatch)
+		}
 		w.handle = s.p.Spawn(fmt.Sprintf("worker-%d", i), w.run)
 		s.workers = append(s.workers, w)
 	}
@@ -350,6 +423,23 @@ func NewServer(cfg Config) (*Server, error) {
 			"Live items per storage shard.", "shard")
 		for i := 0; i < s.st.Shards(); i++ {
 			s.st.setOccupancyGauge(i, occ.With(strconv.Itoa(i)))
+		}
+		if cfg.Sched != nil {
+			bound := reg.GaugeVec("sdrad_sched_batch_bound",
+				"Adaptive drain-batch bound per worker.", "worker")
+			for _, w := range s.workers {
+				w.boundGauge = bound.With(strconv.Itoa(w.idx))
+				w.boundGauge.Set(int64(w.ctrl.Bound()))
+			}
+			s.telSplits = reg.Counter("sdrad_sched_batch_splits_total",
+				"Mixed batches split into per-shard guard scopes.")
+			wait := reg.CounterVec("sdrad_memcache_shard_lock_wait_ns",
+				"Nanoseconds spent waiting on contended shard-lock acquisitions.", "shard")
+			ops := reg.CounterVec("sdrad_memcache_shard_batch_ops",
+				"Deferred ops applied through the batch paths per shard.", "shard")
+			for i := 0; i < s.st.Shards(); i++ {
+				s.st.setContentionCounters(i, wait.With(strconv.Itoa(i)), ops.With(strconv.Itoa(i)))
+			}
 		}
 	}
 	return s, nil
@@ -464,15 +554,21 @@ func (w *worker) run(t *proc.Thread) error {
 			ev.resp <- result{err: ev.inspect(t)}
 			continue
 		}
-		// Drain up to maxBatch pending requests into one batch. Inspect
-		// events and overflowing events park in pending and wait for the
-		// next round.
+		// Drain up to the current bound of pending requests into one
+		// batch: the fixed MaxBatch without a controller (the legacy
+		// path, unchanged), the adaptive bound with one. Inspect events
+		// and overflowing events park in pending and wait for the next
+		// round.
+		bound := maxBatch
+		if w.ctrl != nil {
+			bound = w.ctrl.Bound()
+		}
 		w.items = appendItems(w.items[:0], ev)
 	drain:
-		for len(w.items) < maxBatch {
+		for len(w.items) < bound {
 			select {
 			case ev2 := <-w.ch:
-				if ev2.inspect != nil || len(w.items)+ev2.nreq() > maxBatch {
+				if ev2.inspect != nil || len(w.items)+ev2.nreq() > bound {
 					pending = ev2
 					break drain
 				}
@@ -481,8 +577,111 @@ func (w *worker) run(t *proc.Thread) error {
 				break drain
 			}
 		}
-		deliver(w.items, s.dispatchBatch(t, w, w.items))
+		if w.ctrl == nil {
+			deliver(w.items, s.dispatchBatch(t, w, w.items))
+			continue
+		}
+		drained := len(w.items)
+		if pending == nil && drained == 1 && len(w.ch) == 0 && w.ctrl.AtFloor() {
+			// Idle floor fast path: a lone event with nothing queued behind
+			// it cannot move a controller already at bound 1 with a cold
+			// rewind window, so the round skips the clock reads and the
+			// observation — at low load the scheduler costs one atomic load
+			// per event.
+			s.dispatchSched(t, w)
+			continue
+		}
+		t0 := w.ctrl.Now()
+		s.dispatchSched(t, w)
+		backlog := len(w.ch)
+		if pending != nil {
+			backlog++
+		}
+		w.ctrl.ObserveRound(backlog, drained, w.ctrl.Now()-t0)
+		if w.boundGauge != nil {
+			w.boundGauge.Set(int64(w.ctrl.Bound()))
+		}
 	}
+}
+
+// dispatchSched is the scheduler's batch dispatch: the drained batch is
+// split into contiguous per-shard segments — at event boundaries only,
+// so one pipelined event's run is never separated — and each segment
+// runs in its own guard scope against a single lock stripe. Segments
+// shorter than the controller's MinSplitRun are not worth their own
+// Guard/Enter/Exit round and stay merged with their neighbor.
+func (s *Server) dispatchSched(t *proc.Thread, w *worker) {
+	items := w.items
+	minRun := w.ctrl.MinSplitRun()
+	if minRun <= 0 || len(items) < 2*minRun {
+		deliver(items, s.dispatchBatch(t, w, items))
+		return
+	}
+	// Classify each item by its key's shard (one event's items share the
+	// event's classification; keyless requests are -1 and join either
+	// neighbor).
+	if cap(w.evShards) < len(items) {
+		w.evShards = make([]int, len(items))
+	}
+	shards := w.evShards[:len(items)]
+	for i := range items {
+		if i > 0 && items[i].ev == items[i-1].ev {
+			shards[i] = shards[i-1]
+			continue
+		}
+		shards[i] = -1
+		if key := requestKeyBytes(items[i].req); key != nil {
+			shards[i] = s.st.ShardFor(key)
+		}
+	}
+	start := 0
+	for i := 1; i < len(items); i++ {
+		if shards[i] == shards[i-1] || shards[i] < 0 || shards[i-1] < 0 ||
+			items[i].ev == items[i-1].ev ||
+			i-start < minRun || len(items)-i < minRun {
+			continue
+		}
+		seg := items[start:i]
+		deliver(seg, s.dispatchBatch(t, w, seg))
+		if s.telSplits != nil {
+			s.telSplits.Inc()
+		}
+		start = i
+	}
+	seg := items[start:]
+	deliver(seg, s.dispatchBatch(t, w, seg))
+}
+
+// requestKeyBytes extracts the (first) key token of a text-protocol
+// request for shard classification, allocation-free; nil for keyless
+// commands and binary frames.
+func requestKeyBytes(req []byte) []byte {
+	if len(req) == 0 || req[0] == BinMagicRequest {
+		return nil
+	}
+	eol := bytes.IndexByte(req, '\r')
+	if eol < 0 {
+		eol = len(req)
+	}
+	line := req[:eol]
+	sp := bytes.IndexByte(line, ' ')
+	if sp < 0 {
+		return nil
+	}
+	switch string(line[:sp]) {
+	case "get", "gets", "set", "add", "replace", "append", "prepend",
+		"cas", "delete", "touch", "incr", "decr", "bset":
+	default:
+		return nil
+	}
+	rest := line[sp+1:]
+	if end := bytes.IndexByte(rest, ' '); end >= 0 {
+		rest = rest[:end]
+	}
+	if len(rest) == 0 {
+		return nil
+	}
+	return rest
 }
 
 // appendItems flattens an event's requests into the batch.
@@ -702,7 +901,6 @@ func (s *Server) runHardenedBatch(t *proc.Thread, w *worker, items []batchItem, 
 	if s.telBatch != nil {
 		s.telBatch.Observe(int64(live))
 	}
-
 	gerr := s.lib.Guard(t, eventUDI, func() error {
 		if !w.domainReady {
 			// The domain may have just been re-created (a rewind discards
@@ -820,6 +1018,11 @@ func (s *Server) runHardenedBatch(t *proc.Thread, w *worker, items []batchItem, 
 			w.domainReady = false
 			w.slots = w.slots[:0]
 			s.rewinds.Add(1)
+			if w.ctrl != nil {
+				// Multiplicative decrease: the next batches risk less
+				// collateral while the rewind window stays hot.
+				w.ctrl.NoteRewind()
+			}
 			for i := range items {
 				if states[i].done {
 					continue
@@ -1018,11 +1221,18 @@ func (s *Server) NewConn() *Conn {
 // Do sends one request on the connection and waits for the response.
 // closed reports that the server closed the connection (quit command or
 // attack recovery).
+//
+// With the scheduler enabled the event is routed to the worker biased
+// to the request key's storage shard instead of the connection's pinned
+// worker, so concurrent workers flush disjoint lock stripes. Do is
+// synchronous, so successive requests of one connection still serialize
+// (channel send/receive orders the ownership handoff); a Conn must not
+// be shared by concurrent Do callers, as before.
 func (c *Conn) Do(req []byte) (resp []byte, closed bool, err error) {
 	s := c.w.s
 	ev := &event{conn: c, req: req, resp: make(chan result, 1)}
 	select {
-	case c.w.ch <- ev:
+	case s.workerFor(c, req).ch <- ev:
 	case <-s.p.Done():
 		return nil, true, ErrServerDown
 	}
@@ -1032,6 +1242,20 @@ func (c *Conn) Do(req []byte) (resp []byte, closed bool, err error) {
 	case <-s.p.Done():
 		return nil, true, ErrServerDown
 	}
+}
+
+// workerFor picks the worker an event should run on: the shard-affinity
+// bias when the scheduler is routing, the connection's pinned worker
+// otherwise (and for keyless requests).
+func (s *Server) workerFor(c *Conn, req []byte) *worker {
+	if s.router == nil {
+		return c.w
+	}
+	key := requestKeyBytes(req)
+	if key == nil {
+		return c.w
+	}
+	return s.workers[s.router.Worker(s.st.ShardFor(key))]
 }
 
 // PipelineResult is one request's outcome from DoPipeline.
@@ -1059,6 +1283,13 @@ func (c *Conn) DoPipeline(reqs [][]byte) []PipelineResult {
 		return out
 	}
 	maxB := s.cfg.MaxBatch
+	// All chunks go to ONE worker: concurrent chunks of a pipeline on
+	// two workers would race on the connection's buffers. With the
+	// scheduler routing, the pipeline's first key picks the worker.
+	w := c.w
+	if s.router != nil && len(reqs) > 0 {
+		w = s.workerFor(c, reqs[0])
+	}
 	var evs []*event
 	for off := 0; off < len(reqs); off += maxB {
 		end := off + maxB
@@ -1067,7 +1298,7 @@ func (c *Conn) DoPipeline(reqs [][]byte) []PipelineResult {
 		}
 		ev := &event{conn: c, reqs: reqs[off:end], respN: make(chan []result, 1)}
 		select {
-		case c.w.ch <- ev:
+		case w.ch <- ev:
 			evs = append(evs, ev)
 		case <-s.p.Done():
 			return down()
@@ -1088,6 +1319,12 @@ func (c *Conn) DoPipeline(reqs [][]byte) []PipelineResult {
 
 // MaxBatch returns the server's configured guard-scope batch limit.
 func (s *Server) MaxBatch() int { return s.cfg.MaxBatch }
+
+// QueueDepth reports how many events are queued (undrained) for worker
+// i. It is a monitoring signal: the scheduler benchmark and operational
+// dashboards use it to observe backlog; the value is stale the moment
+// it is read.
+func (s *Server) QueueDepth(i int) int { return len(s.workers[i].ch) }
 
 // Inspect runs fn on the worker thread that owns this connection, like a
 // request but with the worker's thread handed to the closure. The chaos
@@ -1150,3 +1387,77 @@ func (s *Server) Library() *core.Library { return s.lib }
 
 // Variant returns the build variant.
 func (s *Server) Variant() Variant { return s.cfg.Variant }
+
+// SchedSnapshots returns each worker's adaptive-controller snapshot
+// (nil when the scheduler is disabled).
+func (s *Server) SchedSnapshots() []sched.Snapshot {
+	if s.cfg.Sched == nil {
+		return nil
+	}
+	out := make([]sched.Snapshot, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.ctrl.Snapshot()
+	}
+	return out
+}
+
+// inspectOn runs fn on worker idx's thread (control event).
+func (s *Server) inspectOn(idx int, fn func(t *proc.Thread) error) error {
+	c := &Conn{id: int(s.connIDs.Add(1)), w: s.workers[idx]}
+	return c.Inspect(fn)
+}
+
+// RebalanceTick runs one contention-driven rebalance round: the planner
+// inspects the per-shard lock-wait/batch-op deltas and per-slot op
+// counts, and each planned hot-slot move executes on worker 0's thread
+// (root-domain rights over the storage domain) with the epoch handoff.
+// Returns the number of slot moves executed. No-op without Config.Sched.
+func (s *Server) RebalanceTick() int {
+	if s.rebalancer == nil {
+		return 0
+	}
+	loads := s.st.ContentionStats()
+	shardLoads := make([]sched.ShardLoad, len(loads))
+	for i, l := range loads {
+		shardLoads[i] = sched.ShardLoad{WaitNs: l.WaitNs, BatchOps: l.BatchOps}
+	}
+	moves := s.rebalancer.Plan(s.st.SlotShard, shardLoads, s.st.SlotLoads())
+	executed := 0
+	for _, m := range moves {
+		mv := m
+		err := s.inspectOn(0, func(t *proc.Thread) error {
+			_, err := s.st.MoveSlot(t.CPU(), mv.Slot, mv.To)
+			return err
+		})
+		if err != nil {
+			break
+		}
+		executed++
+	}
+	return executed
+}
+
+// StartRebalancer runs RebalanceTick every interval until the returned
+// stop function is called or the server shuts down.
+func (s *Server) StartRebalancer(interval time.Duration) (stop func()) {
+	if s.rebalancer == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.RebalanceTick()
+			case <-done:
+				return
+			case <-s.p.Done():
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sdrad/internal/mem"
 	"sdrad/internal/telemetry"
@@ -122,6 +123,15 @@ type shard struct {
 	// occ, when set, mirrors items into a telemetry gauge (shard
 	// occupancy exposition).
 	occ *telemetry.Gauge
+
+	// Contention accounting (atomic — read lock-free by the scheduler's
+	// rebalancer): nanoseconds spent waiting on contended acquisitions
+	// of mu, and ops applied through the batch paths. waitC/opsC, when
+	// set, mirror the counters into telemetry.
+	waitNs   atomic.Int64
+	batchOps atomic.Int64
+	waitC    *telemetry.Counter
+	opsC     *telemetry.Counter
 }
 
 // noteOccupancy publishes the shard's live item count to its gauge.
@@ -147,6 +157,21 @@ type Storage struct {
 	// arenaLen keeps every operation on the checked accessors.
 	arenaBase mem.Addr
 	arenaLen  int
+
+	// Slot remap state (see remap.go). remap == nil means the
+	// indirection layer is off and shard selection is the legacy mask
+	// arithmetic.
+	remap       atomic.Pointer[remapTable]
+	epoch       atomic.Uint64
+	rebalanceMu sync.Mutex
+	slotOps     []atomicInt64Pad
+}
+
+// atomicInt64Pad pads each per-slot op counter to its own cache line:
+// adjacent slots are hot on every batch apply and must not false-share.
+type atomicInt64Pad struct {
+	v atomic.Int64
+	_ [56]byte
 }
 
 // NewStorage builds the cache state: bucket arrays are allocated
@@ -206,15 +231,12 @@ func (st *Storage) setOccupancyGauge(si int, g *telemetry.Gauge) {
 	sh.mu.Unlock()
 }
 
-// ShardFor returns the shard index key maps to.
+// ShardFor returns the shard index key maps to: the high 32 hash bits
+// select the shard (via the remap table when enabled), the low bits
+// (used by bucketAddr) select the bucket within it — disjoint bit
+// ranges keep the two choices independent.
 func (st *Storage) ShardFor(key []byte) int {
-	return int((hashKey(key) >> 32) & st.shardMask)
-}
-
-// shardFor picks the shard for a hash: the high 32 bits select the
-// shard, the low bits (used by bucketAddr) select the bucket within it.
-func (st *Storage) shardFor(h uint64) *shard {
-	return st.shards[(h>>32)&st.shardMask]
+	return st.shardIndexFor(hashKey(key))
 }
 
 // classFor returns the index of the smallest class fitting need bytes.
@@ -404,9 +426,8 @@ func (sh *shard) lookupLocked(v sview, key []byte) mem.Addr {
 
 // Get copies out the value and flags for key, or ok=false.
 func (st *Storage) Get(c *mem.CPU, key []byte) (value []byte, flags uint32, ok bool) {
-	sh := st.shardFor(hashKey(key))
 	v := st.view(c)
-	sh.mu.Lock()
+	sh := st.lockShard(hashKey(key))
 	defer sh.mu.Unlock()
 	return sh.getLocked(v, key)
 }
@@ -429,9 +450,8 @@ func (sh *shard) getLocked(v sview, key []byte) (value []byte, flags uint32, ok 
 // straight from cache memory into the caller's reply scratch, with no
 // intermediate allocation.
 func (st *Storage) AppendGet(c *mem.CPU, key, dst []byte, withCAS bool) ([]byte, uint32, uint64, bool) {
-	sh := st.shardFor(hashKey(key))
 	v := st.view(c)
-	sh.mu.Lock()
+	sh := st.lockShard(hashKey(key))
 	defer sh.mu.Unlock()
 	sh.gets++
 	it := sh.lookupLocked(v, key)
@@ -453,6 +473,14 @@ func (st *Storage) AppendGet(c *mem.CPU, key, dst []byte, withCAS bool) ([]byte,
 // storeLocked writes a fresh item for key=value, unlinking any existing
 // item first. Caller holds the shard lock. Returns the new CAS id.
 func (sh *shard) storeLocked(v sview, key, value []byte, flags uint32) (uint64, error) {
+	return sh.storeNewLocked(v, key, value, flags, 0)
+}
+
+// storeNewLocked is storeLocked with an explicit CAS id: cas == 0 issues
+// a fresh id from the shard counter once the chunk is secured (the
+// normal store path); a nonzero cas is written verbatim (slot migration
+// re-homing an item with its identity intact).
+func (sh *shard) storeNewLocked(v sview, key, value []byte, flags uint32, cas uint64) (uint64, error) {
 	need := uint64(itemHeader + len(key) + len(value))
 	ci, err := sh.classFor(need)
 	if err != nil {
@@ -465,7 +493,10 @@ func (sh *shard) storeLocked(v sview, key, value []byte, flags uint32) (uint64, 
 	if err != nil {
 		return 0, err
 	}
-	sh.casCounter++
+	if cas == 0 {
+		sh.casCounter++
+		cas = sh.casCounter
+	}
 	v.putAddr(it+itemOffNext, 0)
 	v.putAddr(it+itemOffLRUN, 0)
 	v.putAddr(it+itemOffLRUP, 0)
@@ -473,7 +504,7 @@ func (sh *shard) storeLocked(v sview, key, value []byte, flags uint32) (uint64, 
 	v.putU64(it+itemOffValLen, uint64(len(value)))
 	v.putU64(it+itemOffFlags, uint64(flags))
 	v.putU64(it+itemOffClass, uint64(ci))
-	v.putU64(it+itemOffCAS, sh.casCounter)
+	v.putU64(it+itemOffCAS, cas)
 	v.write(it+itemHeader, key)
 	v.write(it+itemHeader+mem.Addr(len(key)), value)
 	// Link: hash chain head + LRU head.
@@ -484,7 +515,7 @@ func (sh *shard) storeLocked(v sview, key, value []byte, flags uint32) (uint64, 
 	sh.items++
 	sh.bytes += need
 	sh.noteOccupancy()
-	return sh.casCounter, nil
+	return cas, nil
 }
 
 func (sh *shard) setLocked(v sview, key, value []byte, flags uint32) error {
@@ -498,9 +529,8 @@ func (st *Storage) Set(c *mem.CPU, key, value []byte, flags uint32) error {
 	if len(key) > MaxKeyLen {
 		return ErrKeyTooLong
 	}
-	sh := st.shardFor(hashKey(key))
 	v := st.view(c)
-	sh.mu.Lock()
+	sh := st.lockShard(hashKey(key))
 	defer sh.mu.Unlock()
 	return sh.setLocked(v, key, value, flags)
 }
@@ -526,9 +556,8 @@ func (st *Storage) Add(c *mem.CPU, key, value []byte, flags uint32) (StoreOutcom
 	if len(key) > MaxKeyLen {
 		return NotStored, ErrKeyTooLong
 	}
-	sh := st.shardFor(hashKey(key))
 	v := st.view(c)
-	sh.mu.Lock()
+	sh := st.lockShard(hashKey(key))
 	defer sh.mu.Unlock()
 	sh.sets++
 	if sh.lookupLocked(v, key) != 0 {
@@ -545,9 +574,8 @@ func (st *Storage) Replace(c *mem.CPU, key, value []byte, flags uint32) (StoreOu
 	if len(key) > MaxKeyLen {
 		return NotStored, ErrKeyTooLong
 	}
-	sh := st.shardFor(hashKey(key))
 	v := st.view(c)
-	sh.mu.Lock()
+	sh := st.lockShard(hashKey(key))
 	defer sh.mu.Unlock()
 	sh.sets++
 	if sh.lookupLocked(v, key) == 0 {
@@ -561,9 +589,8 @@ func (st *Storage) Replace(c *mem.CPU, key, value []byte, flags uint32) (StoreOu
 
 // Concat appends (or prepends) data to an existing value.
 func (st *Storage) Concat(c *mem.CPU, key, data []byte, prepend bool) (StoreOutcome, error) {
-	sh := st.shardFor(hashKey(key))
 	v := st.view(c)
-	sh.mu.Lock()
+	sh := st.lockShard(hashKey(key))
 	defer sh.mu.Unlock()
 	sh.sets++
 	it := sh.lookupLocked(v, key)
@@ -587,9 +614,8 @@ func (st *Storage) Concat(c *mem.CPU, key, data []byte, prepend bool) (StoreOutc
 
 // CAS stores only if the item's CAS id still matches casid.
 func (st *Storage) CAS(c *mem.CPU, key, value []byte, flags uint32, casid uint64) (StoreOutcome, error) {
-	sh := st.shardFor(hashKey(key))
 	v := st.view(c)
-	sh.mu.Lock()
+	sh := st.lockShard(hashKey(key))
 	defer sh.mu.Unlock()
 	sh.sets++
 	it := sh.lookupLocked(v, key)
@@ -607,9 +633,8 @@ func (st *Storage) CAS(c *mem.CPU, key, value []byte, flags uint32, casid uint64
 
 // GetWithCAS is Get plus the item's CAS id (memcached gets).
 func (st *Storage) GetWithCAS(c *mem.CPU, key []byte) (value []byte, flags uint32, casid uint64, ok bool) {
-	sh := st.shardFor(hashKey(key))
 	v := st.view(c)
-	sh.mu.Lock()
+	sh := st.lockShard(hashKey(key))
 	defer sh.mu.Unlock()
 	sh.gets++
 	it := sh.lookupLocked(v, key)
@@ -624,9 +649,8 @@ func (st *Storage) GetWithCAS(c *mem.CPU, key []byte) (value []byte, flags uint3
 
 // Touch bumps an item's LRU position (expiry is not simulated).
 func (st *Storage) Touch(c *mem.CPU, key []byte) bool {
-	sh := st.shardFor(hashKey(key))
 	v := st.view(c)
-	sh.mu.Lock()
+	sh := st.lockShard(hashKey(key))
 	defer sh.mu.Unlock()
 	it := sh.lookupLocked(v, key)
 	if it == 0 {
@@ -659,9 +683,8 @@ func (sh *shard) flushLocked(v sview) {
 
 // Delete removes key, reporting whether it existed.
 func (st *Storage) Delete(c *mem.CPU, key []byte) bool {
-	sh := st.shardFor(hashKey(key))
 	v := st.view(c)
-	sh.mu.Lock()
+	sh := st.lockShard(hashKey(key))
 	defer sh.mu.Unlock()
 	return sh.deleteLocked(v, key)
 }
@@ -693,8 +716,9 @@ type BatchOp struct {
 func (st *Storage) ApplyShardBatch(c *mem.CPU, si int, ops []BatchOp) error {
 	sh := st.shards[si]
 	v := st.view(c)
-	sh.mu.Lock()
+	sh.lockMeasured()
 	defer sh.mu.Unlock()
+	sh.noteBatchOps(int64(len(ops)))
 	for _, op := range ops {
 		if op.Delete {
 			sh.deleteLocked(v, op.Key)

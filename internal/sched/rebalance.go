@@ -1,0 +1,177 @@
+package sched
+
+// ShardLoad is one shard's cumulative contention counters, as the
+// storage layer accounts them: nanoseconds spent waiting on the shard
+// lock (contended acquisitions only) and ops applied through the batch
+// path.
+type ShardLoad struct {
+	WaitNs   int64
+	BatchOps int64
+}
+
+// Move is one planned remap change: slot moves from shard From to shard
+// To. The storage layer executes it under both shard locks with an
+// epoch bump (the handoff in-flight batches revalidate against).
+type Move struct {
+	Slot, From, To int
+}
+
+// RebalanceConfig tunes the planner.
+type RebalanceConfig struct {
+	// MinOps is the minimum total batched-op delta since the last plan
+	// before any move is considered (default 512) — don't chase noise.
+	MinOps int64
+	// Imbalance is the hottest-shard score over the mean score that
+	// triggers a move (default 2.0).
+	Imbalance float64
+	// MaxMoves bounds moves per Plan call (default 1): one slot at a
+	// time keeps each epoch handoff cheap and observable.
+	MaxMoves int
+	// OpCostNs converts a batched-op count into the score's nanosecond
+	// unit when no lock waiting was observed (default 200).
+	OpCostNs int64
+}
+
+func (c RebalanceConfig) withDefaults() RebalanceConfig {
+	if c.MinOps <= 0 {
+		c.MinOps = 512
+	}
+	if c.Imbalance <= 1 {
+		c.Imbalance = 2.0
+	}
+	if c.MaxMoves <= 0 {
+		c.MaxMoves = 1
+	}
+	if c.OpCostNs <= 0 {
+		c.OpCostNs = 200
+	}
+	return c
+}
+
+// Rebalancer plans hot-slot moves from cumulative contention counters.
+// It is pure decision logic — deterministic given the counter values —
+// and keeps only the previous snapshot so each Plan works on deltas.
+type Rebalancer struct {
+	cfg       RebalanceConfig
+	prevShard []ShardLoad
+	prevSlot  []int64
+}
+
+// NewRebalancer builds a planner.
+func NewRebalancer(cfg RebalanceConfig) *Rebalancer {
+	return &Rebalancer{cfg: cfg.withDefaults()}
+}
+
+// Plan inspects the deltas since the previous call and proposes at most
+// MaxMoves slot moves. shardOf maps a slot to its current shard; shards
+// and slotOps are cumulative counters (per shard / per slot). A move is
+// proposed when one shard's contention score exceeds Imbalance times the
+// mean and that shard currently owns more than one slot: its busiest
+// slot goes to the least-loaded shard.
+func (r *Rebalancer) Plan(shardOf func(slot int) int, shards []ShardLoad, slotOps []int64) []Move {
+	nsh := len(shards)
+	if nsh < 2 || len(slotOps) == 0 {
+		return nil
+	}
+	if len(r.prevShard) != nsh {
+		r.prevShard = make([]ShardLoad, nsh)
+	}
+	if len(r.prevSlot) != len(slotOps) {
+		r.prevSlot = make([]int64, len(slotOps))
+	}
+	// Deltas + score per shard.
+	scores := make([]int64, nsh)
+	opsDelta := make([]int64, nsh)
+	var totalOps int64
+	for i := 0; i < nsh; i++ {
+		dw := shards[i].WaitNs - r.prevShard[i].WaitNs
+		do := shards[i].BatchOps - r.prevShard[i].BatchOps
+		if dw < 0 {
+			dw = 0
+		}
+		if do < 0 {
+			do = 0
+		}
+		totalOps += do
+		opsDelta[i] = do
+		scores[i] = dw + do*r.cfg.OpCostNs
+	}
+	slotDelta := make([]int64, len(slotOps))
+	slotsPerShard := make([]int, nsh)
+	for s := range slotOps {
+		d := slotOps[s] - r.prevSlot[s]
+		if d < 0 {
+			d = 0
+		}
+		slotDelta[s] = d
+		if sh := shardOf(s); sh >= 0 && sh < nsh {
+			slotsPerShard[sh]++
+		}
+	}
+	// Advance the snapshot regardless of the outcome: the next plan
+	// should see fresh deltas, not re-litigate this interval.
+	copy(r.prevShard, shards)
+	copy(r.prevSlot, slotOps)
+
+	if totalOps < r.cfg.MinOps {
+		return nil
+	}
+	var moves []Move
+	for len(moves) < r.cfg.MaxMoves {
+		hot, cold := 0, 0
+		var sum int64
+		for i := 0; i < nsh; i++ {
+			sum += scores[i]
+			if scores[i] > scores[hot] {
+				hot = i
+			}
+			if scores[i] < scores[cold] {
+				cold = i
+			}
+		}
+		// The hot shard is judged against the mean of the OTHERS: with few
+		// shards the global mean is dominated by the hot shard itself and a
+		// 2x trigger could never fire.
+		meanOthers := float64(sum-scores[hot]) / float64(nsh-1)
+		if meanOthers < 0 || float64(scores[hot]) <= r.cfg.Imbalance*meanOthers || hot == cold {
+			break
+		}
+		if slotsPerShard[hot] < 2 {
+			break // a single-slot shard has nothing to shed
+		}
+		// Busiest slot currently on the hot shard — but not one so
+		// dominant that moving it just relocates the hotspot: prefer the
+		// busiest slot that is NOT the majority of the shard's traffic,
+		// falling back to the busiest outright.
+		best, bestOps := -1, int64(-1)
+		for s := range slotDelta {
+			if shardOf(s) != hot {
+				continue
+			}
+			if slotDelta[s] > bestOps && 2*slotDelta[s] <= opsDelta[hot] {
+				best, bestOps = s, slotDelta[s]
+			}
+		}
+		if best < 0 {
+			for s := range slotDelta {
+				if shardOf(s) == hot && slotDelta[s] > bestOps {
+					best, bestOps = s, slotDelta[s]
+				}
+			}
+		}
+		if best < 0 || bestOps <= 0 {
+			break
+		}
+		moves = append(moves, Move{Slot: best, From: hot, To: cold})
+		// Account the move so a MaxMoves>1 plan doesn't re-pick it.
+		delta := bestOps * r.cfg.OpCostNs
+		scores[hot] -= delta
+		scores[cold] += delta
+		opsDelta[hot] -= bestOps
+		opsDelta[cold] += bestOps
+		slotsPerShard[hot]--
+		slotsPerShard[cold]++
+		slotDelta[best] = 0
+	}
+	return moves
+}

@@ -1,0 +1,56 @@
+package sched
+
+import "sync/atomic"
+
+// Router is the worker→shard affinity map: shard s is flushed by worker
+// assign[s]. Events whose key maps to shard s are routed to that worker,
+// so concurrent workers take disjoint lock stripes through
+// ApplyShardBatch instead of colliding on whichever shard their
+// round-robin connections happen to touch. Assignments are read on the
+// per-request submit path and rebiasable at runtime, hence the atomics.
+type Router struct {
+	workers int
+	assign  []atomic.Int32
+}
+
+// NewRouter builds the initial bias: shard s → worker s mod workers, a
+// uniform stripe-to-worker partition.
+func NewRouter(workers, shards int) *Router {
+	if workers < 1 {
+		workers = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	r := &Router{workers: workers, assign: make([]atomic.Int32, shards)}
+	for s := range r.assign {
+		r.assign[s].Store(int32(s % workers))
+	}
+	return r
+}
+
+// Worker returns the worker biased to shard. Out-of-range shards map to
+// worker 0 (callers pass -1 for "no key").
+func (r *Router) Worker(shard int) int {
+	if shard < 0 || shard >= len(r.assign) {
+		return 0
+	}
+	return int(r.assign[shard].Load())
+}
+
+// Rebias reassigns a shard to a worker.
+func (r *Router) Rebias(shard, worker int) {
+	if shard < 0 || shard >= len(r.assign) || worker < 0 || worker >= r.workers {
+		return
+	}
+	r.assign[shard].Store(int32(worker))
+}
+
+// Assignments snapshots the shard→worker map.
+func (r *Router) Assignments() []int {
+	out := make([]int, len(r.assign))
+	for s := range r.assign {
+		out[s] = int(r.assign[s].Load())
+	}
+	return out
+}
