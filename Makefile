@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check chaos-smoke bench-smoke throughput-gate parity-gate parity-bench policy-gate recovery-bench cluster-gate cluster-bench sched-gate sched-bench ci
+.PHONY: build test race vet fmt-check chaos-smoke bench-smoke throughput-gate parity-gate parity-bench policy-gate recovery-bench cluster-gate cluster-bench sched-gate sched-bench latency-gate latency-bench ci
 
 build:
 	$(GO) build ./...
@@ -91,4 +91,19 @@ sched-gate:
 sched-bench:
 	$(GO) run ./cmd/sdrad-bench -sched -sched-json BENCH_throughput.json
 
-ci: build vet fmt-check test race chaos-smoke parity-gate policy-gate cluster-gate sched-gate
+# The placement/stealing gate: the fixed-seed route chaos campaign, then
+# assert the committed latency baseline holds the knee p99 win at >= 1.3x
+# and the uniform p50 tax at <= 5%. The baseline check is deterministic
+# (reads BENCH_latency.json, runs nothing), so machine noise cannot flake
+# it; a recording below the floors simply may not be committed.
+latency-gate:
+	$(GO) run ./cmd/sdrad-chaos -campaigns route -seed 12648430 -ops 24
+	$(GO) run ./cmd/sdrad-bench -latency-gate BENCH_latency.json
+
+# Re-measure the latency-under-load curves at full scale and rewrite the
+# committed baseline (run on a quiet machine, then commit
+# BENCH_latency.json — it must still pass `make latency-gate`).
+latency-bench:
+	$(GO) run ./cmd/sdrad-bench -latency -latency-json BENCH_latency.json
+
+ci: build vet fmt-check test race chaos-smoke parity-gate policy-gate cluster-gate sched-gate latency-gate

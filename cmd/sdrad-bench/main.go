@@ -48,6 +48,9 @@ func run(args []string) error {
 	schedBench := fs.Bool("sched", false, "measure the self-tuning scheduler cells (idle p99 and fault-storm goodput, adaptive vs fixed)")
 	schedJSON := fs.String("sched-json", "", "with -sched, merge the scheduler cells into this throughput-report JSON (read-modify-write; implies -sched)")
 	schedGate := fs.String("sched-gate", "", "assert the committed throughput baseline's scheduler cells hold idle <= 1.0x and storm >= 1.15x (deterministic; no benchmark run needed)")
+	latencyBench := fs.Bool("latency", false, "measure latency-under-load curves (uniform and hot-conn-skewed offered-rate sweeps, round-robin vs placement+stealing)")
+	latencyJSON := fs.String("latency-json", "", "with -latency, write the latency report as JSON to this path (implies -latency)")
+	latencyGate := fs.String("latency-gate", "", "assert the committed latency baseline holds the knee p99 ratio >= 1.3x and the uniform p50 tax <= 5% (deterministic; no benchmark run needed)")
 	selected := make(map[string]*bool, len(bench.Experiments))
 	for _, name := range bench.Experiments {
 		selected[name] = fs.Bool(name, false, "run the "+name+" experiment")
@@ -87,7 +90,8 @@ func run(args []string) error {
 	}
 	parityMode := *parityBaseline != "" || *parity || *parityJSON != ""
 	schedMode := *schedBench || *schedJSON != "" || *schedGate != ""
-	if len(toRun) == 0 && !parityMode && !schedMode && *clusterGate == "" {
+	latencyMode := *latencyBench || *latencyJSON != "" || *latencyGate != ""
+	if len(toRun) == 0 && !parityMode && !schedMode && !latencyMode && *clusterGate == "" {
 		toRun = bench.Experiments
 	}
 	fmt.Printf("SDRaD-Go evaluation (scale: %s)\n", scaleName)
@@ -121,6 +125,18 @@ func run(args []string) error {
 		if *schedBench || *schedJSON != "" {
 			if err := runSched(scale, *schedJSON); err != nil {
 				return fmt.Errorf("sched: %w", err)
+			}
+		}
+	}
+	if latencyMode {
+		if *latencyGate != "" {
+			if err := checkLatencyGate(*latencyGate); err != nil {
+				return err
+			}
+		}
+		if *latencyBench || *latencyJSON != "" {
+			if err := runLatency(scale, *latencyJSON); err != nil {
+				return fmt.Errorf("latency: %w", err)
 			}
 		}
 	}
@@ -298,6 +314,41 @@ func runSched(scale bench.Scale, jsonPath string) error {
 			return err
 		}
 		fmt.Printf("scheduler cells merged into %s\n", jsonPath)
+	}
+	return nil
+}
+
+// checkLatencyGate asserts the committed latency baseline's knee win and
+// uniform-tax ceiling. Like the other committed-baseline gates it runs no
+// benchmark — runner noise cannot flake it; the gate moves only when
+// someone commits a recording that fails it.
+func checkLatencyGate(path string) error {
+	base, err := bench.LoadLatencyBaseline(path)
+	if err != nil {
+		return err
+	}
+	if err := base.CheckLatencyGate(); err != nil {
+		return err
+	}
+	fmt.Printf("latency: committed baseline %s holds the knee (%.0f req/s) p99 win at %.2fx (floor %.2fx) with uniform p50 tax %.1f%% (ceiling %.1f%%)\n",
+		path, base.KneeRate, base.KneeP99Ratio, bench.LatencyKneeFloor,
+		base.UniformMaxP50DeltaPct, bench.LatencyUniformTolerancePct)
+	return nil
+}
+
+// runLatency measures the latency-under-load curves, optionally writing
+// the JSON report.
+func runLatency(scale bench.Scale, jsonPath string) error {
+	rep, table, err := bench.RunLatency(scale)
+	if err != nil {
+		return err
+	}
+	table.Fprint(os.Stdout)
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("latency report written to %s\n", jsonPath)
 	}
 	return nil
 }

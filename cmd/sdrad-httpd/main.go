@@ -43,6 +43,7 @@ func run(args []string) error {
 	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /flightrecorder on this address (empty = telemetry off)")
 	usePolicy := fs.Bool("policy", false, "attach the resilience-policy engine: repeated parser rewinds escalate to backoff, then quarantine (503 + Retry-After), then load shedding")
 	useSched := fs.Bool("sched", false, "enable the self-tuning batch scheduler: adaptive drain-batch bound (AIMD on load and rewind rate) on the hardened workers (off = the fixed max-batch drain, bit-identical to previous builds)")
+	useRoute := fs.Bool("route", false, "with -sched, place new connections on the least-loaded worker (queue depth, EWMA parse latency, rewind-window heat) instead of round-robin")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,7 +71,9 @@ func run(args []string) error {
 		if variant != httpd.VariantSDRaD {
 			return fmt.Errorf("-sched requires -variant sdrad (the scheduler tunes the guard-scope batch bound)")
 		}
-		schedCfg = &sched.Config{}
+		schedCfg = &sched.Config{Route: *useRoute}
+	} else if *useRoute {
+		return fmt.Errorf("-route requires -sched (placement reads the scheduler's load signals)")
 	}
 	m, err := httpd.NewMaster(httpd.Config{
 		Variant:  variant,
@@ -94,7 +97,7 @@ func run(args []string) error {
 	}
 	fmt.Printf("sdrad-httpd (%s, %d workers) listening on %s\n", variant, *workers, ln.Addr())
 	if schedCfg != nil {
-		fmt.Printf("sched: adaptive batch bound (ceiling %d)\n", *maxBatch)
+		fmt.Printf("sched: adaptive batch bound (ceiling %d), load-aware placement %v\n", *maxBatch, *useRoute)
 	}
 	if eng != nil {
 		pc := eng.Config()

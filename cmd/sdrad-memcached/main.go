@@ -47,6 +47,8 @@ func run(args []string) error {
 	usePolicy := fs.Bool("policy", false, "attach the resilience-policy engine: repeated rewinds of the event domain escalate to backoff, then quarantine (gets served as misses, mutations refused), then load shedding")
 	useSched := fs.Bool("sched", false, "enable the self-tuning batch/shard scheduler: adaptive drain-batch bound (AIMD on load and rewind rate), shard-affinity batch splitting, and contention-driven slot rebalancing (off = the fixed max-batch drain, bit-identical to previous builds)")
 	rebalanceEvery := fs.Duration("rebalance-interval", 0, "with -sched, run the contention-driven slot rebalancer at this interval (0 = off)")
+	useRoute := fs.Bool("route", false, "with -sched, place new connections on the least-loaded worker (queue depth, EWMA service latency, rewind-window heat) instead of round-robin")
+	useSteal := fs.Bool("steal", false, "with -sched, let idle floor-bound workers steal shard-aligned segments of backlogged siblings' pending keyed requests, each stolen segment in its own guard scope")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,7 +76,9 @@ func run(args []string) error {
 		if variant != memcache.VariantSDRaD {
 			return fmt.Errorf("-sched requires -variant sdrad (the scheduler tunes the guard-scope batch bound)")
 		}
-		schedCfg = &sched.Config{}
+		schedCfg = &sched.Config{Route: *useRoute, Steal: *useSteal}
+	} else if *useRoute || *useSteal {
+		return fmt.Errorf("-route and -steal require -sched (placement and stealing read the scheduler's load signals)")
 	}
 	s, err := memcache.NewServer(memcache.Config{
 		Variant:    variant,
@@ -102,6 +106,9 @@ func run(args []string) error {
 	if schedCfg != nil {
 		fmt.Printf("sched: adaptive batch bound (ceiling %d), shard-affinity splits, rebalance interval %s\n",
 			s.MaxBatch(), rebalanceEvery.String())
+		if *useRoute || *useSteal {
+			fmt.Printf("sched: load-aware placement %v, cross-worker stealing %v\n", *useRoute, *useSteal)
+		}
 	}
 	if eng != nil {
 		pc := eng.Config()

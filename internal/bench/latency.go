@@ -1,0 +1,417 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"sdrad/internal/loadgen"
+	"sdrad/internal/memcache"
+	"sdrad/internal/sched"
+)
+
+// Latency-under-load curves for load-aware connection placement and
+// cross-worker stealing (BENCH_latency.json).
+//
+// Each cell offers a fixed open-loop arrival rate over real TCP against
+// two arms of the same hardened build: the pre-change path (scheduler
+// on, Route/Steal off — legacy round-robin connection pinning) and the
+// routed path (placement scorer + cross-worker stealing). Latency is
+// measured against each request's INTENDED start time (loadgen's
+// open-loop accounting), so a backlogged worker's queueing delay lands
+// in the tail instead of being coordinated away.
+//
+// Two load profiles per rate:
+//
+//   - uniform: plain keyed YCSB-style mix. Placement and stealing have
+//     nothing to win here; the cells exist to prove the routed path does
+//     not tax the common case (p50 within LatencyUniformTolerancePct of
+//     the legacy arm on the committed recording).
+//
+//   - hot-conn skew: the schedule is Zipfian-concentrated onto a few
+//     hot connections (loadgen ConnSkew) while an attacker hammers one
+//     storage shard's worker with CVE-2011-4971 traps. Every trap costs
+//     that worker a rewind (domain teardown + re-init) and pins its
+//     AIMD bound to the floor, so the shards routed to it build a
+//     backlog. The legacy arm leaves that backlog to the slowed worker;
+//     the routed arm's floor-pinned siblings steal shard-aligned
+//     segments of it, so innocent requests drain at the speed of the
+//     calm workers. The win is measured at the KNEE — the lowest swept
+//     rate where the legacy arm's p99 exceeds latencyKneeFactor x its
+//     lowest-rate p99 — and gated at LatencyKneeFloor.
+//
+// On this single-core box the routed arm cannot win by parallelism;
+// what the curve shows is avoided rewind collateral and queueing behind
+// a rewind-thrashed worker, which is exactly the mechanism the placement
+// and stealing layers exist for. The CI gate (CheckLatencyGate) reads
+// the committed recording and runs no benchmark, so it is deterministic.
+
+// latencySchema versions the JSON layout.
+const latencySchema = "sdrad-latency-bench/v1"
+
+// LatencyKneeFloor is the least the routed arm must win the hot-conn
+// skew cell by at the knee rate: legacy p99 >= 1.3x routed p99 on the
+// committed recording.
+const LatencyKneeFloor = 1.3
+
+// LatencyUniformTolerancePct bounds how much the routed arm may move
+// uniform-load p50 relative to the legacy arm below the knee (percent).
+const LatencyUniformTolerancePct = 5.0
+
+// latencyKneeFactor defines the knee: the lowest swept rate where the
+// legacy skew-arm p99 exceeds this factor times its lowest-rate p99.
+const latencyKneeFactor = 3.0
+
+// LatencyCell is one (profile, offered rate) measurement: both arms,
+// paired on the same schedule and seed.
+type LatencyCell struct {
+	Rate float64 `json:"rate"`
+	// Legacy arm: scheduler on, Route/Steal off (round-robin pinning).
+	RRP50Ns  int64 `json:"rr_p50_ns"`
+	RRP95Ns  int64 `json:"rr_p95_ns"`
+	RRP99Ns  int64 `json:"rr_p99_ns"`
+	RRErrors int   `json:"rr_errors"`
+	// Routed arm: placement scorer + cross-worker stealing.
+	RoutedP50Ns  int64 `json:"routed_p50_ns"`
+	RoutedP95Ns  int64 `json:"routed_p95_ns"`
+	RoutedP99Ns  int64 `json:"routed_p99_ns"`
+	RoutedErrors int   `json:"routed_errors"`
+	// P99Ratio is rr/routed (> 1 means the routed arm's tail is lower);
+	// P50DeltaPct is |routed-rr|/rr in percent (the common-case tax).
+	P99Ratio    float64 `json:"p99_ratio"`
+	P50DeltaPct float64 `json:"p50_delta_pct"`
+}
+
+// LatencyReport round-trips through BENCH_latency.json.
+type LatencyReport struct {
+	Schema        string  `json:"schema"`
+	CalibrationNs float64 `json:"calibration_ns"`
+	// CPUs/GoVersion document the recording substrate: latency curves
+	// measured on a single-core runner do not transfer to a 32-way box,
+	// and the gate's honesty depends on saying so.
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+	// Workload shape (informational).
+	Workers       int       `json:"workers"`
+	Conns         int       `json:"conns"`
+	ConnSkewTheta float64   `json:"conn_skew_theta"`
+	Rates         []float64 `json:"rates"`
+
+	Uniform []LatencyCell `json:"uniform"`
+	Skew    []LatencyCell `json:"skew"`
+
+	// KneeRate/KneeP99Ratio cache the gate inputs computed from the
+	// cells (CheckLatencyGate recomputes them; a hand-edited cache
+	// cannot pass the gate on its own).
+	KneeRate              float64 `json:"knee_rate"`
+	KneeP99Ratio          float64 `json:"knee_p99_ratio"`
+	UniformMaxP50DeltaPct float64 `json:"uniform_max_p50_delta_pct"`
+}
+
+// knee finds the knee cell index in the skew curve: the lowest rate
+// whose legacy p99 exceeds latencyKneeFactor x the lowest-rate legacy
+// p99, or the last cell when the sweep never leaves the flat region.
+func (r *LatencyReport) knee() int {
+	if len(r.Skew) == 0 {
+		return -1
+	}
+	base := r.Skew[0].RRP99Ns
+	for i, c := range r.Skew {
+		if float64(c.RRP99Ns) > latencyKneeFactor*float64(base) {
+			return i
+		}
+	}
+	return len(r.Skew) - 1
+}
+
+// uniformMaxP50Delta is the worst uniform-cell p50 delta at rates below
+// or at the knee rate (overloaded uniform cells are queue-dominated and
+// say nothing about the per-request tax).
+func (r *LatencyReport) uniformMaxP50Delta(kneeRate float64) float64 {
+	worst := 0.0
+	for _, c := range r.Uniform {
+		if c.Rate > kneeRate {
+			continue
+		}
+		if c.P50DeltaPct > worst {
+			worst = c.P50DeltaPct
+		}
+	}
+	return worst
+}
+
+// CheckLatencyGate asserts the committed recording holds both floors:
+// the routed arm wins the hot-conn-skew knee by >= LatencyKneeFloor and
+// taxes uniform p50 by <= LatencyUniformTolerancePct. It recomputes the
+// knee from the cells, runs no benchmark, and is deterministic.
+func (r *LatencyReport) CheckLatencyGate() error {
+	if r.Schema != latencySchema {
+		return fmt.Errorf("bench: latency: schema %q, want %q", r.Schema, latencySchema)
+	}
+	k := r.knee()
+	if k < 0 || len(r.Uniform) == 0 {
+		return fmt.Errorf("bench: latency: report has no cells (run sdrad-bench -latency)")
+	}
+	cell := r.Skew[k]
+	if cell.P99Ratio < LatencyKneeFloor {
+		return fmt.Errorf("bench: latency: skew p99 at the knee (%.0f req/s) is %.3fx routed, floor is %.2fx",
+			cell.Rate, cell.P99Ratio, LatencyKneeFloor)
+	}
+	if worst := r.uniformMaxP50Delta(cell.Rate); worst > LatencyUniformTolerancePct {
+		return fmt.Errorf("bench: latency: routed arm moves uniform p50 by %.1f%%, tolerance is %.1f%%",
+			worst, LatencyUniformTolerancePct)
+	}
+	return nil
+}
+
+// WriteJSON writes the report to path.
+func (r *LatencyReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadLatencyBaseline reads a previously committed report.
+func LoadLatencyBaseline(path string) (*LatencyReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r LatencyReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Latency workload shape. Two workers keep the story sharp on one core:
+// the attacker thrashes one, stealing recruits the other.
+const (
+	latencyWorkers  = 2
+	latencyConns    = 8
+	latencySkewTh   = 0.99
+	latencyRecords  = 256
+	latencyAtkEvery = 15 * time.Millisecond
+)
+
+// latencyArmResult is one arm's measured distribution.
+type latencyArmResult struct {
+	p50, p95, p99 int64
+	errors        int
+}
+
+// latencyArm serves one open-loop run over real TCP against a fresh
+// hardened server: route=false is the pre-change path (scheduler on,
+// legacy round-robin pinning), route=true adds placement + stealing.
+// With attack=true an attacker goroutine lands a CVE-2011-4971 trap on
+// a fixed key every latencyAtkEvery, so one worker's shards thrash with
+// rewinds for the whole run.
+func latencyArm(route, attack bool, rate, connSkew float64, dur time.Duration, seed int64) (latencyArmResult, error) {
+	schedCfg := sched.Config{}
+	if route {
+		schedCfg.Route = true
+		schedCfg.Steal = true
+	}
+	s, err := memcache.NewServer(memcache.Config{
+		Variant:    memcache.VariantSDRaD,
+		Workers:    latencyWorkers,
+		HashPower:  13,
+		CacheBytes: 16 << 20,
+		Sched:      &schedCfg,
+	})
+	if err != nil {
+		return latencyArmResult{}, err
+	}
+	defer s.Stop()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return latencyArmResult{}, err
+	}
+	defer func() { _ = ln.Close() }()
+	go func() { _ = s.ServeListener(ln) }()
+
+	// Preload the keyspace so run-phase gets always hit.
+	loader := s.NewConn()
+	val := bytes.Repeat([]byte("v"), 64)
+	for i := 0; i < latencyRecords; i++ {
+		key := fmt.Sprintf("user%010d", i)
+		resp, closed, err := loader.Do(memcache.FormatSet(key, val, 0))
+		if err != nil || closed || !bytes.Equal(resp, []byte("STORED\r\n")) {
+			return latencyArmResult{}, fmt.Errorf("bench: latency load: closed=%v err=%v resp=%q", closed, err, resp)
+		}
+	}
+
+	stopAtk := make(chan struct{})
+	atkDone := make(chan struct{})
+	if attack {
+		trap := memcache.FormatBSet("atk", 16<<20, []byte("payload"))
+		addr := ln.Addr().String()
+		go func() {
+			defer close(atkDone)
+			buf := make([]byte, 64)
+			for {
+				select {
+				case <-stopAtk:
+					return
+				case <-time.After(latencyAtkEvery):
+				}
+				// The trap costs the serving worker a rewind and the
+				// server closes the connection; redial per trap.
+				nc, err := net.DialTimeout("tcp", addr, time.Second)
+				if err != nil {
+					continue
+				}
+				_ = nc.SetDeadline(time.Now().Add(2 * time.Second))
+				if _, err := nc.Write(trap); err == nil {
+					_, _ = nc.Read(buf)
+				}
+				_ = nc.Close()
+			}
+		}()
+	} else {
+		close(atkDone)
+	}
+
+	res, err := loadgen.RunOpenLoop(loadgen.OpenLoopConfig{
+		Targets:      []string{ln.Addr().String()},
+		Rate:         rate,
+		Duration:     dur,
+		Conns:        latencyConns,
+		ConnSkew:     connSkew,
+		ReadFraction: 0.9,
+		Records:      latencyRecords,
+		ValueSize:    64,
+		Seed:         seed,
+	})
+	close(stopAtk)
+	<-atkDone
+	if err != nil {
+		return latencyArmResult{}, err
+	}
+	if attack && s.Rewinds() == 0 {
+		return latencyArmResult{}, fmt.Errorf("bench: latency: attacker landed no rewinds")
+	}
+	return latencyArmResult{
+		p50:    res.P50.Nanoseconds(),
+		p95:    res.P95.Nanoseconds(),
+		p99:    res.P99.Nanoseconds(),
+		errors: res.Errors,
+	}, nil
+}
+
+// latencyCellPair measures one (profile, rate) cell: both arms on the
+// same schedule and seed, order alternating by cell index so neither
+// arm always runs on a freshly quiet machine.
+func latencyCellPair(idx int, attack bool, rate, connSkew float64, dur time.Duration, seed int64) (LatencyCell, error) {
+	var rr, routed latencyArmResult
+	var err error
+	if idx%2 == 0 {
+		if rr, err = latencyArm(false, attack, rate, connSkew, dur, seed); err == nil {
+			routed, err = latencyArm(true, attack, rate, connSkew, dur, seed)
+		}
+	} else {
+		if routed, err = latencyArm(true, attack, rate, connSkew, dur, seed); err == nil {
+			rr, err = latencyArm(false, attack, rate, connSkew, dur, seed)
+		}
+	}
+	if err != nil {
+		return LatencyCell{}, err
+	}
+	cell := LatencyCell{
+		Rate:         rate,
+		RRP50Ns:      rr.p50,
+		RRP95Ns:      rr.p95,
+		RRP99Ns:      rr.p99,
+		RRErrors:     rr.errors,
+		RoutedP50Ns:  routed.p50,
+		RoutedP95Ns:  routed.p95,
+		RoutedP99Ns:  routed.p99,
+		RoutedErrors: routed.errors,
+	}
+	if routed.p99 > 0 {
+		cell.P99Ratio = float64(rr.p99) / float64(routed.p99)
+	}
+	if rr.p50 > 0 {
+		d := float64(routed.p50-rr.p50) / float64(rr.p50) * 100
+		if d < 0 {
+			d = -d
+		}
+		cell.P50DeltaPct = d
+	}
+	return cell, nil
+}
+
+// RunLatency sweeps the offered-rate curve for both load profiles and
+// returns the report plus a printable table.
+func RunLatency(sc Scale) (*LatencyReport, *Table, error) {
+	rates := []float64{1000, 2000, 4000, 8000}
+	dur := 2 * time.Second
+	if sc.MemcachedOps <= Quick.MemcachedOps {
+		rates = []float64{1000, 2000}
+		dur = 400 * time.Millisecond
+	}
+	rep := &LatencyReport{
+		Schema:        latencySchema,
+		CPUs:          runtime.NumCPU(),
+		GoVersion:     runtime.Version(),
+		Workers:       latencyWorkers,
+		Conns:         latencyConns,
+		ConnSkewTheta: latencySkewTh,
+		Rates:         rates,
+	}
+	for i, rate := range rates {
+		cell, err := latencyCellPair(i, false, rate, 0, dur, 1000+int64(i))
+		if err != nil {
+			return nil, nil, fmt.Errorf("latency uniform %.0f: %w", rate, err)
+		}
+		rep.Uniform = append(rep.Uniform, cell)
+	}
+	for i, rate := range rates {
+		cell, err := latencyCellPair(i, true, rate, latencySkewTh, dur, 2000+int64(i))
+		if err != nil {
+			return nil, nil, fmt.Errorf("latency skew %.0f: %w", rate, err)
+		}
+		rep.Skew = append(rep.Skew, cell)
+	}
+	if k := rep.knee(); k >= 0 {
+		rep.KneeRate = rep.Skew[k].Rate
+		rep.KneeP99Ratio = rep.Skew[k].P99Ratio
+	}
+	rep.UniformMaxP50DeltaPct = rep.uniformMaxP50Delta(rep.KneeRate)
+	rep.CalibrationNs = calibrationNs()
+
+	t := &Table{
+		ID:     "Latency",
+		Title:  "Latency under load: legacy round-robin pinning vs placement + stealing (open loop, vs intended start)",
+		Header: []string{"profile", "rate", "rr p50/p99", "routed p50/p99", "p99 ratio", "errors rr/routed"},
+		Notes: []string{
+			fmt.Sprintf("%d workers, %d conns over TCP; skew cells: ConnSkew %.2f + one trap per %v on a fixed shard",
+				latencyWorkers, latencyConns, latencySkewTh, latencyAtkEvery),
+			"both arms run the scheduler; the legacy arm is Route/Steal off — the pre-change path bit for bit",
+			fmt.Sprintf("knee = first rate where legacy skew p99 > %.0fx its lowest-rate p99; gate: knee ratio >= %.2fx, uniform p50 delta <= %.0f%%",
+				latencyKneeFactor, LatencyKneeFloor, LatencyUniformTolerancePct),
+			fmt.Sprintf("recorded on %d cpu(s), %s: single-core wins come from avoided rewind collateral, not parallelism",
+				rep.CPUs, rep.GoVersion),
+		},
+	}
+	addRows := func(profile string, cells []LatencyCell) {
+		for _, c := range cells {
+			t.AddRow(profile,
+				fmt.Sprintf("%.0f/s", c.Rate),
+				fmt.Sprintf("%s/%s", time.Duration(c.RRP50Ns), time.Duration(c.RRP99Ns)),
+				fmt.Sprintf("%s/%s", time.Duration(c.RoutedP50Ns), time.Duration(c.RoutedP99Ns)),
+				fmt.Sprintf("%.3fx", c.P99Ratio),
+				fmt.Sprintf("%d/%d", c.RRErrors, c.RoutedErrors),
+			)
+		}
+	}
+	addRows("uniform", rep.Uniform)
+	addRows("hot-conn skew", rep.Skew)
+	return rep, t, nil
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunLatency(t *testing.T) {
+	rep, tbl, err := RunLatency(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != latencySchema || rep.CalibrationNs <= 0 {
+		t.Errorf("schema %q calibration %v", rep.Schema, rep.CalibrationNs)
+	}
+	if rep.CPUs < 1 || rep.GoVersion == "" {
+		t.Errorf("substrate stamp missing: cpus=%d go=%q", rep.CPUs, rep.GoVersion)
+	}
+	if len(rep.Uniform) != len(rep.Rates) || len(rep.Skew) != len(rep.Rates) {
+		t.Fatalf("cells %d/%d for %d rates", len(rep.Uniform), len(rep.Skew), len(rep.Rates))
+	}
+	for _, c := range append(append([]LatencyCell(nil), rep.Uniform...), rep.Skew...) {
+		if c.RRP99Ns < c.RRP50Ns || c.RoutedP99Ns < c.RoutedP50Ns || c.RRP50Ns <= 0 || c.RoutedP50Ns <= 0 {
+			t.Errorf("implausible percentiles at %.0f/s: %+v", c.Rate, c)
+		}
+	}
+	if rep.KneeRate == 0 || rep.KneeP99Ratio <= 0 {
+		t.Errorf("knee not computed: rate=%v ratio=%v", rep.KneeRate, rep.KneeP99Ratio)
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	for _, want := range []string{"uniform", "hot-conn skew", "p99 ratio", "stealing"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// latencyFixture builds a report that holds both gate floors.
+func latencyFixture() *LatencyReport {
+	return &LatencyReport{
+		Schema: latencySchema,
+		Rates:  []float64{1000, 4000},
+		Uniform: []LatencyCell{
+			{Rate: 1000, RRP50Ns: 100_000, RoutedP50Ns: 102_000, P50DeltaPct: 2.0},
+			{Rate: 4000, RRP50Ns: 120_000, RoutedP50Ns: 123_000, P50DeltaPct: 2.5},
+		},
+		Skew: []LatencyCell{
+			{Rate: 1000, RRP99Ns: 1_000_000, RoutedP99Ns: 900_000, P99Ratio: 1.11},
+			{Rate: 4000, RRP99Ns: 9_000_000, RoutedP99Ns: 3_000_000, P99Ratio: 3.0},
+		},
+	}
+}
+
+func TestLatencyGateAcceptsHealthyReport(t *testing.T) {
+	rep := latencyFixture()
+	// The knee is the 4000/s cell (9ms > 3x 1ms); ratio 3.0 >= 1.3 and
+	// uniform deltas are within 5%.
+	if err := rep.CheckLatencyGate(); err != nil {
+		t.Fatalf("healthy report rejected: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "lat.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadLatencyBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.CheckLatencyGate(); err != nil {
+		t.Fatalf("round-tripped report rejected: %v", err)
+	}
+	if back.Skew[1].RRP99Ns != 9_000_000 {
+		t.Errorf("round trip lost data: %+v", back.Skew[1])
+	}
+}
+
+func TestLatencyGateRejectsThinKneeWin(t *testing.T) {
+	rep := latencyFixture()
+	rep.Skew[1].P99Ratio = 1.1
+	err := rep.CheckLatencyGate()
+	if err == nil || !strings.Contains(err.Error(), "knee") {
+		t.Fatalf("thin knee win passed the gate: %v", err)
+	}
+}
+
+func TestLatencyGateRejectsUniformTax(t *testing.T) {
+	rep := latencyFixture()
+	rep.Uniform[0].P50DeltaPct = 9.0
+	err := rep.CheckLatencyGate()
+	if err == nil || !strings.Contains(err.Error(), "uniform") {
+		t.Fatalf("uniform p50 tax passed the gate: %v", err)
+	}
+}
+
+func TestLatencyGateRejectsWrongSchema(t *testing.T) {
+	rep := latencyFixture()
+	rep.Schema = "bogus"
+	if err := rep.CheckLatencyGate(); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestLatencyGateIgnoresPostKneeUniformCells(t *testing.T) {
+	// A big p50 delta ABOVE the knee rate is queue-dominated noise and
+	// must not fail the gate.
+	rep := latencyFixture()
+	rep.Uniform = append(rep.Uniform, LatencyCell{Rate: 8000, RRP50Ns: 1_000_000, RoutedP50Ns: 1_500_000, P50DeltaPct: 50})
+	rep.Rates = append(rep.Rates, 8000)
+	rep.Skew = append(rep.Skew, LatencyCell{Rate: 8000, RRP99Ns: 20_000_000, RoutedP99Ns: 8_000_000, P99Ratio: 2.5})
+	if err := rep.CheckLatencyGate(); err != nil {
+		t.Fatalf("post-knee uniform cell failed the gate: %v", err)
+	}
+}

@@ -31,6 +31,11 @@ type SubstrateReport struct {
 	// ratio, so a baseline recorded on one machine remains meaningful on
 	// a runner with a different clock.
 	CalibrationNs float64 `json:"calibration_ns"`
+	// CPUs and GoVersion document the recording machine (informational,
+	// not compared — the calibration ratio is the yardstick). Absent in
+	// older baselines.
+	CPUs      int    `json:"cpus,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
 	// MemcachedRunOverheadPct records the YCSB run-phase throughput
 	// overhead of the sdrad variant vs vanilla per worker count, as a
 	// conventional overhead percentage: POSITIVE = sdrad slower (the
@@ -447,6 +452,8 @@ func RunSubstrate(sc Scale, workerCounts []int) (*SubstrateReport, *Table, error
 		Schema:                  substrateSchema,
 		MicroNsPerOp:            micro,
 		CalibrationNs:           calibrationNs(),
+		CPUs:                    runtime.NumCPU(),
+		GoVersion:               runtime.Version(),
 		MemcachedRunOverheadPct: overhead,
 		TelemetryRunOverheadPct: telOverhead,
 	}

@@ -25,6 +25,11 @@ type ThroughputReport struct {
 	// report records; regression checks rescale the baseline by the
 	// calibration ratio before comparing.
 	CalibrationNs float64 `json:"calibration_ns"`
+	// CPUs and GoVersion document the recording machine (informational,
+	// not compared — the calibration ratio is the yardstick). Absent in
+	// older baselines.
+	CPUs      int    `json:"cpus,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
 	// Records/Operations document the workload the cells were measured
 	// at (informational, not compared).
 	Records    int `json:"records"`
@@ -220,6 +225,8 @@ func RunThroughput(sc Scale, workerCounts, depths []int) (*ThroughputReport, *Ta
 	}
 	rep := &ThroughputReport{
 		Schema:       throughputSchema,
+		CPUs:         runtime.NumCPU(),
+		GoVersion:    runtime.Version(),
 		Records:      sc.MemcachedRecords,
 		Operations:   ops,
 		RunTput:      make(map[string]float64, 2*len(workerCounts)*len(depths)),

@@ -162,6 +162,7 @@ var campaigns = []Campaign{
 	{Name: "crypto", Desc: "cryptolib wrappers: injected faults inside EncryptUpdate, malicious certificate verification", run: runCrypto},
 	{Name: "policy", Desc: "resilience-policy ladder: hammer one UDI through backoff/quarantine/shed while siblings keep serving, then the memcached degraded path", run: runPolicyCampaign},
 	{Name: "cluster", Desc: "consistent-hash router over three backends: bset attack absorbed in place, a killed backend demotes after a bounded degraded burst and spills, a quarantined backend is routed around and readmits through probation", run: runCluster},
+	{Name: "route", Desc: "load-aware placement and cross-worker stealing: calm-worker placement after a trap, boundary-aligned steals serve a parked victim's backlog, a fault in a stolen segment discards only that segment, and a floor-pinned controller escalates the event domain into policy backoff", run: runRouteCampaign},
 }
 
 // Campaigns lists the registered campaigns.

@@ -1,0 +1,446 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"sdrad/internal/memcache"
+	"sdrad/internal/policy"
+	"sdrad/internal/proc"
+	"sdrad/internal/sched"
+)
+
+// runRouteCampaign drives load-aware connection placement and
+// cross-worker stealing through their four contracts on a two-worker
+// hardened memcached with a hand-advanced clock:
+//
+//  1. Placement steers toward calm workers: an idle cluster reproduces
+//     the legacy round-robin fill order exactly, and after one absorbed
+//     trap every new connection avoids the rewind-hot worker.
+//  2. Stealing is boundary-aligned: with the victim parked, an idle
+//     floor sibling takes shard-affinity-aligned halves of the victim's
+//     steal-eligible backlog and serves them, leaving the final pending
+//     event (latency, not backlog) to its owner.
+//  3. A fault inside a stolen segment discards exactly that segment —
+//     one rewind, one forensics report agreeing with the MMU fault log
+//     — while the other stolen shard group and the victim's remaining
+//     backlog commit; the thief's hot window stops further stealing.
+//  4. A controller pinned at the AIMD floor by a hot rewind window for
+//     a full window escalates the event domain into policy Backoff via
+//     the pressure side channel, with rewind-ladder thresholds set far
+//     out of reach so the signal is unambiguous.
+//
+// The manual clock freezes the rewind window between explicit advances,
+// so window heat — and therefore every placement and floor-pin decision
+// — is a deterministic function of the injected traps.
+func runRouteCampaign(cfg Config, r *Report) error {
+	const (
+		maxBatch = 16
+		window   = time.Second
+	)
+	rec := cfg.recorder()
+	clk := &policy.ManualClock{}
+	// Rewind-ladder thresholds far out of reach: any Backoff state in
+	// phase 4 must come from the floor-pin pressure signal alone.
+	eng := policy.New(policy.Config{
+		BackoffThreshold:    1000,
+		QuarantineThreshold: 1001,
+		ShedThreshold:       1002,
+		Clock:               clk.Now,
+	})
+	s, err := memcache.NewServer(memcache.Config{
+		Variant:   memcache.VariantSDRaD,
+		Workers:   2,
+		HashPower: 10,
+		MaxBatch:  maxBatch,
+		Seed:      cfg.Seed,
+		Telemetry: rec,
+		Policy:    eng,
+		Sched: &sched.Config{
+			Route:         true,
+			Steal:         true,
+			IdleRounds:    1,
+			StealInterval: 100 * time.Microsecond,
+			Window:        window,
+			Clock:         clk.Now,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Stop()
+
+	lib := s.Library()
+	as := s.Process().AddressSpace()
+	a := &auditor{r: r, lib: lib, rec: rec}
+	auditOn := func(idx int, label string) {
+		label = fmt.Sprintf("%s worker=%d", label, idx)
+		// Quiesce the worker through one monitor transition first: a
+		// keyless `version` is served on the pinned worker through the
+		// full guard path, so its register is the post-transition value
+		// the audit's PKRU condition is defined over. Without this the
+		// register can be a stale snapshot from before a sibling's rewind
+		// discarded a domain (per-thread PKRU has no cross-thread
+		// shootdown), which the audit rightly flags as a stale grant.
+		if _, closed, err := s.ConnOn(idx).Do([]byte("version\r\n")); err != nil || closed {
+			r.failf("%s: quiesce closed=%v err=%v", label, closed, err)
+		}
+		if err := s.ConnOn(idx).Inspect(func(t *proc.Thread) error {
+			a.audit(t, label)
+			if err := s.Storage().AuditShards(t.CPU()); err != nil {
+				r.failf("%s: shard audit: %v", label, err)
+			}
+			return nil
+		}); err != nil {
+			r.failf("%s: inspect worker %d failed: %v", label, idx, err)
+		}
+	}
+	// Park releases are idempotent and all registered on a deferred
+	// sweep, so an error return never strands a worker inside its
+	// control event (which would deadlock the deferred Stop).
+	var parks []func()
+	defer func() {
+		for _, f := range parks {
+			f()
+		}
+	}()
+	parkOn := func(idx int) (release func()) {
+		parked := make(chan struct{})
+		rel := make(chan struct{})
+		go func() {
+			_ = s.ConnOn(idx).Inspect(func(*proc.Thread) error {
+				close(parked)
+				<-rel
+				return nil
+			})
+		}()
+		<-parked
+		var once sync.Once
+		f := func() { once.Do(func() { close(rel) }) }
+		parks = append(parks, f)
+		return f
+	}
+	waitDepthOn := func(idx, want int) error {
+		deadline := time.Now().Add(5 * time.Second)
+		for s.QueueDepth(idx) < want {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("chaos: route: worker %d queue depth %d never reached %d",
+					idx, s.QueueDepth(idx), want)
+			}
+			time.Sleep(10 * time.Microsecond)
+		}
+		return nil
+	}
+	waitFloorOn := func(idx int) error {
+		deadline := time.Now().Add(5 * time.Second)
+		for s.SchedSnapshots()[idx].Bound != 1 {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("chaos: route: worker %d bound stuck at %d",
+					idx, s.SchedSnapshots()[idx].Bound)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		return nil
+	}
+	// mineKeys finds n distinct keys that route to worker wi and share
+	// one storage shard not in avoid, so staged backlogs have exact
+	// shard-segment compositions. Each phase mines a fresh shard: the
+	// fault isolation claims compare specific shard groups.
+	avoid := map[int]bool{}
+	mineKeys := func(wi, n int, prefix string) (keys []string, shard int) {
+		shard = -1
+		for i := 0; len(keys) < n && i < 200000; i++ {
+			k := fmt.Sprintf("%s%05d", prefix, i)
+			if s.KeyWorker([]byte(k)) != wi {
+				continue
+			}
+			sh := s.Storage().ShardFor([]byte(k))
+			if shard < 0 && !avoid[sh] {
+				shard = sh
+			}
+			if sh == shard {
+				keys = append(keys, k)
+			}
+		}
+		avoid[shard] = true
+		return keys, shard
+	}
+
+	// ---- Phase 1: placement. An idle two-worker cluster fills 0,1,0,1
+	// — the legacy round-robin order through the scorer's tie rotation.
+	var fill []int
+	for i := 0; i < 4; i++ {
+		fill = append(fill, s.NewConn().WorkerIndex())
+	}
+	for i, w := range fill {
+		if w != i%2 {
+			r.failf("phase=place: idle conn %d pinned to worker %d, want %d", i, w, i%2)
+		}
+	}
+	// One trap routed to worker 0 by its key's shard affinity. A single
+	// pending event is never stolen (one event is latency, not backlog),
+	// so the rewind lands on worker 0 regardless of the idle sibling.
+	trapKeys, trapShard := mineKeys(0, 1, "rt-atk")
+	if len(trapKeys) != 1 {
+		return fmt.Errorf("chaos: route: trap key mining failed")
+	}
+	preRewinds := lib.Stats().Rewinds.Load()
+	preForensics := a.forensicsPre()
+	evil := s.NewConn()
+	if _, closed, err := evil.Do(memcache.FormatBSet(trapKeys[0], 1<<20, nil)); err != nil || !closed {
+		r.failf("phase=place: trap closed=%v err=%v", closed, err)
+	}
+	r.Injected++
+	a.checkRewindDelta("phase=place", preRewinds, 1)
+	a.checkForensicsFault(as, "phase=place", preForensics)
+	// The frozen clock keeps worker 0's rewind window hot, so every new
+	// connection must land on the calm worker 1.
+	for i := 0; i < 4; i++ {
+		if w := s.NewConn().WorkerIndex(); w != 1 {
+			r.failf("phase=place: post-trap conn %d pinned to rewind-hot worker %d, want 1", i, w)
+		}
+	}
+	r.event("phase=place idle-fill=0,1,0,1 post-trap=1,1,1,1 rewinds=1")
+	auditOn(0, "phase=place")
+	auditOn(1, "phase=place")
+
+	// ---- Phase 2: boundary-aligned stealing. Park both workers, stage
+	// four same-shard steal-eligible sets on worker 0, then release only
+	// the thief: from the floor it takes half the backlog per round
+	// (4 -> take 2, 2 -> take 1) and serves it while the victim stays
+	// parked; the last pending event belongs to the victim.
+	if err := waitFloorOn(1); err != nil {
+		return err
+	}
+	releaseVictim := parkOn(0)
+	releaseThief := parkOn(1)
+	stealKeys, stealShard := mineKeys(0, 4, "rt-st")
+	if len(stealKeys) != 4 || stealShard == trapShard {
+		return fmt.Errorf("chaos: route: steal key mining failed (%d keys, shard %d)", len(stealKeys), stealShard)
+	}
+	type outcome struct {
+		key    string
+		resp   []byte
+		closed bool
+		err    error
+	}
+	stage := func(results chan outcome, depth int, key string, req []byte) error {
+		go func() {
+			c := s.ConnOn(0)
+			resp, closed, err := c.Do(req)
+			results <- outcome{key: key, resp: resp, closed: closed, err: err}
+		}()
+		return waitDepthOn(0, depth)
+	}
+	stealRes := make(chan outcome, len(stealKeys))
+	for i, k := range stealKeys {
+		if err := stage(stealRes, i+1, k, memcache.FormatSet(k, []byte("stolen-ok"), 0)); err != nil {
+			return err
+		}
+	}
+	preSteals, preStolen, preSegs := s.Steals(), s.StolenEvents(), s.StealSegments()
+	preRewinds = lib.Stats().Rewinds.Load()
+	preForensics = a.forensicsPre()
+	releaseThief()
+	for i := 0; i < len(stealKeys)-1; i++ {
+		select {
+		case o := <-stealRes:
+			if o.err != nil || o.closed || !bytes.Equal(o.resp, []byte("STORED\r\n")) {
+				r.failf("phase=steal: stolen set %q: resp=%q closed=%v err=%v", o.key, o.resp, o.closed, o.err)
+			}
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("chaos: route: only %d stolen responses arrived with the victim parked", i)
+		}
+	}
+	if d := s.Steals() - preSteals; d != 2 {
+		r.failf("phase=steal: %d steal rounds, want 2", d)
+	}
+	if d := s.StolenEvents() - preStolen; d != 3 {
+		r.failf("phase=steal: %d events stolen, want 3", d)
+	}
+	if d := s.StealSegments() - preSegs; d != 2 {
+		r.failf("phase=steal: %d stolen guard scopes, want 2 (one same-shard group per round)", d)
+	}
+	a.checkRewindDelta("phase=steal", preRewinds, 0)
+	a.checkForensics("phase=steal", preForensics, 0)
+	releaseVictim()
+	select {
+	case o := <-stealRes:
+		if o.err != nil || o.closed || !bytes.Equal(o.resp, []byte("STORED\r\n")) {
+			r.failf("phase=steal: victim-owned set %q: resp=%q closed=%v err=%v", o.key, o.resp, o.closed, o.err)
+		}
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("chaos: route: victim-owned response never arrived")
+	}
+	r.event("phase=steal stolen=3 rounds=2 segments=2 victim-served=1 rewinds=0")
+	auditOn(0, "phase=steal")
+	auditOn(1, "phase=steal")
+
+	// ---- Phase 3: fault in a stolen segment. Six events staged on the
+	// parked victim: a bset trap plus one innocent on shard A, then four
+	// innocents on shard B. The thief takes half — {trap, innocentA, b0}
+	// — and runs them as two shard groups; the trap must discard only
+	// its own group.
+	if err := waitFloorOn(1); err != nil {
+		return err
+	}
+	releaseVictim = parkOn(0)
+	releaseThief = parkOn(1)
+	aKeys, aShard := mineKeys(0, 2, "rt-bl-a")
+	bKeys, bShard := mineKeys(0, 4, "rt-bl-b")
+	if len(aKeys) != 2 || len(bKeys) != 4 || aShard == bShard {
+		return fmt.Errorf("chaos: route: blast key mining failed (%d/%d keys, shards %d/%d)",
+			len(aKeys), len(bKeys), aShard, bShard)
+	}
+	trapKey, innocentA := aKeys[0], aKeys[1]
+	blastRes := make(chan outcome, 6)
+	if err := stage(blastRes, 1, trapKey, memcache.FormatBSet(trapKey, 1<<20, nil)); err != nil {
+		return err
+	}
+	if err := stage(blastRes, 2, innocentA, memcache.FormatSet(innocentA, []byte("discarded"), 0)); err != nil {
+		return err
+	}
+	for i, k := range bKeys {
+		if err := stage(blastRes, 3+i, k, memcache.FormatSet(k, []byte("landed"), 0)); err != nil {
+			return err
+		}
+	}
+	preSteals, preStolen, preSegs = s.Steals(), s.StolenEvents(), s.StealSegments()
+	preRewinds = lib.Stats().Rewinds.Load()
+	preForensics = a.forensicsPre()
+	releaseThief()
+	r.Injected++
+	stolen := map[string]outcome{}
+	for i := 0; i < 3; i++ {
+		select {
+		case o := <-blastRes:
+			stolen[o.key] = o
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("chaos: route: stolen outcome %d never arrived with the victim parked", i)
+		}
+	}
+	if o, ok := stolen[trapKey]; !ok || !o.closed {
+		r.failf("phase=blast: trap outcome %+v, want closed by the segment rewind", o)
+	}
+	if o, ok := stolen[innocentA]; !ok || !o.closed {
+		r.failf("phase=blast: same-segment innocent outcome %+v, want closed with its segment", o)
+	}
+	if o, ok := stolen[bKeys[0]]; !ok || o.closed || !bytes.Equal(o.resp, []byte("STORED\r\n")) {
+		r.failf("phase=blast: other-segment stolen outcome %+v, want committed", o)
+	}
+	a.checkRewindDelta("phase=blast", preRewinds, 1)
+	a.checkForensicsFault(as, "phase=blast", preForensics)
+	if d := s.Steals() - preSteals; d != 1 {
+		r.failf("phase=blast: %d steal rounds, want 1 (the hot window stops the thief)", d)
+	}
+	if d := s.StolenEvents() - preStolen; d != 3 {
+		r.failf("phase=blast: %d events stolen, want 3", d)
+	}
+	if d := s.StealSegments() - preSegs; d != 2 {
+		r.failf("phase=blast: %d stolen guard scopes, want 2", d)
+	}
+	if wr := s.SchedSnapshots()[1].WindowRewinds; wr != 1 {
+		r.failf("phase=blast: thief window rewinds = %d, want 1", wr)
+	}
+	releaseVictim()
+	for i := 0; i < 3; i++ {
+		select {
+		case o := <-blastRes:
+			if o.err != nil || o.closed || !bytes.Equal(o.resp, []byte("STORED\r\n")) {
+				r.failf("phase=blast: victim outcome %+v, want committed untouched", o)
+			}
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("chaos: route: victim outcome never arrived after release")
+		}
+	}
+	probe := s.NewConn()
+	if resp, closed, err := probe.Do(memcache.FormatGet(innocentA)); err != nil || closed {
+		r.failf("phase=blast: probe %s: closed=%v err=%v", innocentA, closed, err)
+	} else if _, _, ok := memcache.ParseGetValue(resp); ok {
+		r.failf("phase=blast: write from the faulting stolen segment leaked into the database")
+	}
+	for _, k := range bKeys {
+		resp, closed, err := probe.Do(memcache.FormatGet(k))
+		if err != nil || closed {
+			r.failf("phase=blast: probe %s: closed=%v err=%v", k, closed, err)
+			continue
+		}
+		if val, _, ok := memcache.ParseGetValue(resp); !ok || !bytes.Equal(val, []byte("landed")) {
+			r.failf("phase=blast: innocent write %s = %q ok=%v, want committed", k, val, ok)
+		}
+	}
+	r.event("phase=blast stolen-closed=2 stolen-committed=1 victim-committed=3 rewinds=1 thief-window=1")
+	auditOn(0, "phase=blast")
+	auditOn(1, "phase=blast")
+
+	// ---- Phase 4: floor-pinned policy escalation. The thief stays
+	// parked so every keyed event belongs to worker 0. One trap heats
+	// the window at t0; once idle collapse parks the bound at 1 the
+	// controller starts the pin timer. A second trap at t0+W/2 keeps the
+	// window hot across the prune horizon, and at t0+W the pin has
+	// lasted a full window: exactly one OnFloorPinned fires, escalating
+	// the event domain into Backoff through the pressure side channel.
+	releaseThief = parkOn(1)
+	fire := func(label string) {
+		preRewinds := lib.Stats().Rewinds.Load()
+		preForensics := a.forensicsPre()
+		evil := s.ConnOn(0)
+		if _, closed, err := evil.Do(memcache.FormatBSet(trapKeys[0], 1<<20, nil)); err != nil || !closed {
+			r.failf("%s: trap closed=%v err=%v", label, closed, err)
+		}
+		r.Injected++
+		a.checkRewindDelta(label, preRewinds, 1)
+		a.checkForensicsFault(as, label, preForensics)
+	}
+	poke := func(label string) {
+		// A keyed get forces one ObserveRound on worker 0 so the floor-pin
+		// timer is read at the current manual time, not on a racing idle
+		// tick.
+		c := s.ConnOn(0)
+		if _, closed, err := c.Do(memcache.FormatGet(stealKeys[0])); err != nil || closed {
+			r.failf("%s: poke closed=%v err=%v", label, closed, err)
+		}
+	}
+	fire("phase=pin trap=0")
+	if err := waitFloorOn(0); err != nil {
+		return err
+	}
+	poke("phase=pin poke=0") // pin timer armed at t0
+	clk.Advance(window / 2)
+	fire("phase=pin trap=1") // fresh heat at t0+W/2 survives the prune below
+	clk.Advance(window / 2)
+	poke("phase=pin poke=1") // t0+W: pinned a full window -> fires
+	snap0 := s.SchedSnapshots()[0]
+	if snap0.FloorPins != 1 {
+		r.failf("phase=pin: %d floor pins, want exactly 1", snap0.FloorPins)
+	}
+	var ds *policy.DomainSnapshot
+	for _, d := range eng.Snapshot() {
+		if d.UDI == memcache.EventDomainUDI() {
+			c := d
+			ds = &c
+		}
+	}
+	if ds == nil {
+		r.failf("phase=pin: no policy state for the event domain")
+	} else {
+		if ds.State != policy.StateBackoff.String() {
+			r.failf("phase=pin: event-domain policy state %s, want %s", ds.State, policy.StateBackoff)
+		}
+		if ds.Escalations != 1 {
+			r.failf("phase=pin: %d escalations, want exactly 1 (one pin, one Backoff entry)", ds.Escalations)
+		}
+	}
+	r.event("phase=pin floorpins=1 state=Backoff escalations=1")
+	auditOn(0, "phase=pin")
+	releaseThief()
+	auditOn(1, "phase=pin")
+
+	if crashed, cause := s.Crashed(); crashed {
+		return fmt.Errorf("chaos: server process died: %v", cause)
+	}
+	r.event("final rewinds=%d steals=%d stolen=%d", lib.Stats().Rewinds.Load(), s.Steals(), s.StolenEvents())
+	return nil
+}

@@ -41,10 +41,20 @@ type AuditReport struct {
 	CurrentUDI UDI
 	EnterDepth int
 	// PKRU is the register value observed on entry; ExpectedPKRU is the
-	// policy re-derived from the control data. The two must be equal on a
-	// quiescent thread.
+	// policy re-derived from the control data. The register must never
+	// grant a right the policy denies; it may deny rights the policy
+	// grants (see PKRUStaleDenies).
 	PKRU         uint32
 	ExpectedPKRU uint32
+	// PKRUStaleDenies holds the deny bits set in the live register but
+	// clear in the policy. Non-zero is legal on a quiescent thread:
+	// PKRU is per-thread hardware state, so a sibling thread growing the
+	// shared domain topology (initializing a domain under root) widens
+	// the derived policy without touching this thread's register — the
+	// new rights are picked up at its next monitor transition. Only the
+	// opposite direction (stale rights the policy revoked) is an
+	// integrity violation.
+	PKRUStaleDenies uint32
 	// LedgerCalls is the monitor-call counter read from the transition
 	// ledger in the monitor data domain; MonitorCalls is the Go-side
 	// statistic it must match when the process is quiescent.
@@ -104,14 +114,19 @@ func (l *Library) Audit(t *proc.Thread) *AuditReport {
 		Rewinds:      l.stats.Rewinds.Load(),
 		MappedBytes:  as.Stats().MappedBytes.Load(),
 	}
-	// PKRU must equal the policy of the executing domain: a mismatch means
-	// a rewind (or a monitor bug) left stale rights installed — the ERIM
-	//-style integrity condition for PKU sandboxes.
+	// The ERIM-style integrity condition for PKU sandboxes is one-sided:
+	// the register must not hold rights the policy denies — clear deny
+	// bits where the policy sets them mean a rewind (or a monitor bug)
+	// left stale rights installed. The other direction is legal: a
+	// sibling thread initializing a domain under the shared root widens
+	// the policy, and this thread's register only catches up at its next
+	// monitor transition (PKRU is per-thread hardware state).
 	r.ExpectedPKRU = l.computePKRU(ts, ts.current)
-	if r.PKRU != r.ExpectedPKRU {
-		r.findingf("pkru mismatch: have 0x%08x, policy for domain %d is 0x%08x",
-			r.PKRU, ts.current.udi, r.ExpectedPKRU)
+	if excess := ^r.PKRU & r.ExpectedPKRU; excess != 0 {
+		r.findingf("pkru grants rights the policy denies: have 0x%08x, policy for domain %d is 0x%08x (stale grant bits 0x%08x)",
+			r.PKRU, ts.current.udi, r.ExpectedPKRU, excess)
 	}
+	r.PKRUStaleDenies = r.PKRU &^ r.ExpectedPKRU
 
 	// Transition-ledger consistency: the ledger is sharded into
 	// per-thread slots (see monitorEnter); their sum moves in lockstep

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"sdrad/internal/mem"
+	"sdrad/internal/proc"
+)
+
+// The PKRU integrity condition is one-sided: a quiescent thread's
+// register may deny rights the policy grants (a sibling thread widened
+// the shared root's policy since this thread's last transition), but
+// must never grant rights the policy denies.
+
+func TestAuditToleratesStaleRestrictivePKRU(t *testing.T) {
+	p, l := newLib(t)
+	run(t, p, func(th *proc.Thread) error {
+		before := th.CPU().PKRU()
+		ready := make(chan struct{})
+		release := make(chan struct{})
+		h := p.Spawn("sibling", func(th2 *proc.Thread) error {
+			return l.Guard(th2, 1, func() error {
+				close(ready)
+				<-release
+				return nil
+			}, Accessible())
+		})
+		<-ready
+		// The sibling initialized an accessible domain under the shared
+		// root; the policy widened but this thread's register cannot have
+		// moved without a transition of its own.
+		if got := th.CPU().PKRU(); got != before {
+			t.Fatalf("register moved without a transition: 0x%08x -> 0x%08x", before, got)
+		}
+		rep := l.Audit(th)
+		if rep.PKRU == rep.ExpectedPKRU {
+			t.Fatal("test vacuous: sibling's domain did not widen root policy")
+		}
+		if !rep.Ok() {
+			t.Errorf("stale-restrictive register flagged: %v", rep.Findings)
+		}
+		if rep.PKRUStaleDenies == 0 {
+			t.Error("stale deny bits not reported")
+		}
+		if rep.PKRUStaleDenies&rep.ExpectedPKRU != 0 {
+			t.Errorf("stale bits 0x%08x overlap policy denies 0x%08x",
+				rep.PKRUStaleDenies, rep.ExpectedPKRU)
+		}
+		close(release)
+		if err := h.Join(); err != nil {
+			t.Fatalf("sibling: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestAuditFlagsStalePermissivePKRU(t *testing.T) {
+	p, l := newLib(t)
+	run(t, p, func(th *proc.Thread) error {
+		// Install rights the policy denies: the monitor key is never
+		// accessible from domain code.
+		l.wrpkru(th, mem.PKRUAllow(th.CPU().PKRU(), l.monitorKey, true))
+		rep := l.Audit(th)
+		l.wrpkru(th, rep.ExpectedPKRU)
+		if rep.Ok() {
+			t.Fatal("register granting the monitor key passed the audit")
+		}
+		found := false
+		for _, f := range rep.Findings {
+			if len(f) >= 4 && f[:4] == "pkru" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no pkru finding in %v", rep.Findings)
+		}
+		return nil
+	})
+}

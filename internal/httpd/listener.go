@@ -4,21 +4,20 @@ import (
 	"bufio"
 	"bytes"
 	"net"
-	"sync/atomic"
 )
 
 // ServeListener bridges real TCP (or net.Pipe) connections to the
-// simulated workers, round-robin. It returns when the listener closes.
-// Intended for the runnable examples and the cmd binary; benchmarks use
-// Conn.Do directly.
+// simulated workers. Placement is PlaceWorker's: legacy round-robin, or
+// the load-aware scorer when Config.Sched.Route is on. It returns when
+// the listener closes. Intended for the runnable examples and the cmd
+// binary; benchmarks use Conn.Do directly.
 func (m *Master) ServeListener(ln net.Listener) error {
-	var rr atomic.Int64
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		w := m.Worker(int(rr.Add(1)-1) % m.Workers())
+		w := m.Worker(m.PlaceWorker())
 		go serveNetConn(w, nc)
 	}
 }

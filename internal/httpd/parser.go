@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"sdrad/internal/mem"
+	"sdrad/internal/telemetry"
 )
 
 // Method is a parsed HTTP method.
@@ -407,6 +408,15 @@ type Pool struct {
 	base mem.Addr
 	size uint64
 	off  uint64
+	high uint64
+
+	// Optional contention instruments (the parser-pool analog of the
+	// memcache shard gauges): high-water fill, resets, and allocation
+	// failures. Nil without telemetry; Alloc/Reset run on the worker
+	// thread, the instruments are atomics readable from anywhere.
+	hwGauge    *telemetry.Gauge
+	resetCtr   *telemetry.Counter
+	exhaustCtr *telemetry.Counter
 }
 
 // NewPool wraps [base, base+size) as a request pool.
@@ -414,14 +424,31 @@ func NewPool(base mem.Addr, size uint64) *Pool {
 	return &Pool{base: base, size: size}
 }
 
+// instrument attaches the pool's telemetry instruments.
+func (p *Pool) instrument(hw *telemetry.Gauge, resets, exhaustions *telemetry.Counter) {
+	p.hwGauge, p.resetCtr, p.exhaustCtr = hw, resets, exhaustions
+}
+
+// HighWater reports the deepest fill the pool has reached.
+func (p *Pool) HighWater() uint64 { return p.high }
+
 // Alloc grabs n bytes from the pool.
 func (p *Pool) Alloc(c *mem.CPU, n uint64) (mem.Addr, error) {
 	n = (n + 7) &^ 7
 	if p.off+n > p.size {
+		if p.exhaustCtr != nil {
+			p.exhaustCtr.Inc()
+		}
 		return 0, fmt.Errorf("httpd: pool exhausted (%d of %d used)", p.off, p.size)
 	}
 	a := p.base + mem.Addr(p.off)
 	p.off += n
+	if p.off > p.high {
+		p.high = p.off
+		if p.hwGauge != nil {
+			p.hwGauge.Set(int64(p.high))
+		}
+	}
 	return a, nil
 }
 
@@ -431,5 +458,8 @@ func (p *Pool) Reset(c *mem.CPU) {
 	if p.off > 0 {
 		c.Memset(p.base, 0, int(p.off))
 		p.off = 0
+		if p.resetCtr != nil {
+			p.resetCtr.Inc()
+		}
 	}
 }

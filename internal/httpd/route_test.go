@@ -1,0 +1,192 @@
+package httpd
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdrad/internal/policy"
+	"sdrad/internal/proc"
+	"sdrad/internal/sched"
+	"sdrad/internal/telemetry"
+)
+
+func startRouteMaster(t testing.TB, workers int, schedCfg sched.Config, pol *policy.Engine) *Master {
+	t.Helper()
+	m, err := NewMaster(Config{
+		Variant: VariantSDRaD,
+		Workers: workers,
+		Files:   testFiles,
+		Sched:   &schedCfg,
+		Policy:  pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	return m
+}
+
+func TestPlaceWorkerLegacyRoundRobin(t *testing.T) {
+	// Scheduler off entirely: the legacy cursor, unbuffered event queues.
+	plain := startMaster(t, VariantSDRaD, 3)
+	for i := 0; i < 7; i++ {
+		if got := plain.PlaceWorker(); got != i%3 {
+			t.Fatalf("sched-off placement %d = worker %d, want %d", i, got, i%3)
+		}
+	}
+	if got := cap(plain.Worker(0).ch); got != 0 {
+		t.Fatalf("sched-off event queue buffered to %d, want rendezvous", got)
+	}
+	// Scheduler on without Route: same cursor, queues buffered for the
+	// batch controller.
+	schedOn := startRouteMaster(t, 3, sched.Config{}, nil)
+	for i := 0; i < 7; i++ {
+		if got := schedOn.PlaceWorker(); got != i%3 {
+			t.Fatalf("route-off placement %d = worker %d, want %d", i, got, i%3)
+		}
+	}
+	if got := cap(schedOn.Worker(0).ch); got != schedOn.cfg.MaxBatch {
+		t.Fatalf("sched-on event queue cap = %d, want MaxBatch %d", got, schedOn.cfg.MaxBatch)
+	}
+}
+
+func TestPlaceWorkerAvoidsBackloggedWorker(t *testing.T) {
+	m := startRouteMaster(t, 2, sched.Config{Route: true}, nil)
+	// Idle cluster: the scorer's tie-break reproduces round-robin.
+	if a, b := m.PlaceWorker(), m.PlaceWorker(); a != 0 || b != 1 {
+		t.Fatalf("idle placement = %d,%d, want 0,1", a, b)
+	}
+	// Park worker 0 inside a control event and stage a backlog on its
+	// (now buffered) queue.
+	w0 := m.Worker(0)
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_ = w0.Inspect(func(*proc.Thread) error {
+			close(parked)
+			<-release
+			return nil
+		})
+	}()
+	<-parked
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := w0.NewConn()
+			_, _, _ = c.Do(FormatRequest("/index.html", true))
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(w0.ch) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker 0 queue stuck at %d events", len(w0.ch))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Every new connection lands on the calm worker 1, wherever the tie
+	// cursor sits.
+	for i := 0; i < 5; i++ {
+		if got := m.PlaceWorker(); got != 1 {
+			t.Fatalf("placement %d = backlogged worker %d, want 1", i, got)
+		}
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestPlaceWorkerAvoidsRewindHotWorker(t *testing.T) {
+	m := startRouteMaster(t, 2, sched.Config{Route: true}, nil)
+	// Heat worker 0's rewind window with a parser attack; placement must
+	// prefer the clean worker 1 afterwards even though both are idle.
+	evil := m.Worker(0).NewConn()
+	if _, closed, err := evil.Do(FormatRequest(attackURI(), true)); err != nil || !closed {
+		t.Fatalf("attack: closed=%v err=%v", closed, err)
+	}
+	for i := 0; i < 4; i++ {
+		if got := m.PlaceWorker(); got != 1 {
+			t.Fatalf("placement %d = rewind-hot worker %d, want 1", i, got)
+		}
+	}
+}
+
+func TestPoolContentionGauges(t *testing.T) {
+	rec := telemetry.New(telemetry.Options{})
+	m, err := NewMaster(Config{
+		Variant:   VariantSDRaD,
+		Workers:   1,
+		Files:     testFiles,
+		Telemetry: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	w := m.Worker(0)
+	c := w.NewConn()
+	// Only the complex-URI normalizer allocates from the request pool.
+	if resp := mustGet(t, c, "/subdir/../index.html"); !strings.HasPrefix(resp, "HTTP/1.1 200") {
+		t.Fatalf("unexpected response %q", resp)
+	}
+	if hw := w.pool.HighWater(); hw == 0 {
+		t.Fatal("pool high-water mark stayed 0 after a parsed request")
+	}
+	reg := rec.Registry()
+	hw := reg.GaugeVec("sdrad_httpd_pool_high_water_bytes", "", "worker").With("0")
+	if got := hw.Value(); got != int64(w.pool.HighWater()) {
+		t.Errorf("high-water gauge = %d, want %d", got, w.pool.HighWater())
+	}
+	resets := reg.CounterVec("sdrad_httpd_pool_resets_total", "", "worker").With("0")
+	if got := resets.Value(); got < 1 {
+		t.Errorf("pool resets counter = %d, want >= 1", got)
+	}
+	exh := reg.CounterVec("sdrad_httpd_pool_exhaustions_total", "", "worker").With("0")
+	if got := exh.Value(); got != 0 {
+		t.Errorf("pool exhaustions = %d on a healthy request", got)
+	}
+}
+
+func TestFloorPinnedFeedsPolicyBackoff(t *testing.T) {
+	// Thresholds far out of reach: the rewind ladder alone never
+	// escalates, so any Backoff state must come from the controller's
+	// floor-pin pressure signal.
+	eng := policy.New(policy.Config{
+		BackoffThreshold:    1000,
+		QuarantineThreshold: 1001,
+		ShedThreshold:       1002,
+	})
+	m := startRouteMaster(t, 1, sched.Config{Window: 50 * time.Millisecond}, eng)
+	w := m.Worker(0)
+	// Repeated attacks halve the bound to the floor and keep the rewind
+	// window hot past the 50ms pin window.
+	deadline := time.Now().Add(10 * time.Second)
+	for w.SchedSnapshot().FloorPins == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("controller never reported a floor pin")
+		}
+		evil := w.NewConn()
+		if _, closed, err := evil.Do(FormatRequest(attackURI(), true)); err != nil || !closed {
+			t.Fatalf("attack: closed=%v err=%v", closed, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var snap *policy.DomainSnapshot
+	for _, ds := range eng.Snapshot() {
+		if ds.UDI == int(parserUDI) {
+			s := ds
+			snap = &s
+		}
+	}
+	if snap == nil {
+		t.Fatal("no policy state for the parser UDI")
+	}
+	if snap.State != policy.StateBackoff.String() {
+		t.Fatalf("parser policy state = %s, want %s (floor-pin pressure)", snap.State, policy.StateBackoff)
+	}
+	if snap.Escalations < 1 {
+		t.Fatalf("escalations = %d, want >= 1", snap.Escalations)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -138,12 +139,32 @@ type Master struct {
 	cfg      Config
 	workers  []*Worker
 	restarts atomic.Int64
+
+	// route enables load-aware connection placement; rr is the legacy
+	// round-robin cursor, place the scorer's tie-break cursor.
+	route bool
+	rr    atomic.Int64
+	place atomic.Int64
 }
 
 // NewMaster builds the master and starts its workers.
 func NewMaster(cfg Config) (*Master, error) {
 	cfg.setDefaults()
+	if cfg.Sched != nil && cfg.Variant == VariantSDRaD {
+		schedCfg := *cfg.Sched
+		if schedCfg.OnFloorPinned == nil && cfg.Policy != nil {
+			// A controller pinned at the AIMD floor by a hot rewind window
+			// is sustained pressure on the parser domain: feed it to the
+			// policy engine as a backoff signal.
+			eng := cfg.Policy
+			schedCfg.OnFloorPinned = func(int64) { eng.OnPressure(int(parserUDI)) }
+		}
+		cfg.Sched = &schedCfg
+	}
 	m := &Master{cfg: cfg}
+	if cfg.Sched != nil && cfg.Variant == VariantSDRaD {
+		m.route = cfg.Sched.Route && cfg.Workers > 1
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w, err := newWorker(cfg, i)
 		if err != nil {
@@ -152,6 +173,26 @@ func NewMaster(cfg Config) (*Master, error) {
 		m.workers = append(m.workers, w)
 	}
 	return m, nil
+}
+
+// PlaceWorker picks the worker index for a newly accepted connection.
+// Without Config.Sched.Route this is the legacy round-robin cursor, bit
+// for bit; with routing on, a placement scorer weighs each worker's
+// queue depth, EWMA per-request service latency, and rewind-window heat,
+// steering new connections away from backlogged or rewind-hot workers.
+// On an idle cluster the scorer's tie-break reproduces round-robin.
+func (m *Master) PlaceWorker() int {
+	if !m.route {
+		return int(m.rr.Add(1)-1) % len(m.workers)
+	}
+	loads := make([]sched.WorkerLoad, len(m.workers))
+	for i, w := range m.workers {
+		loads[i].Queue = len(w.ch)
+		if w.ctrl != nil {
+			loads[i].EWMAItemNs, loads[i].WindowRewinds = w.ctrl.Load()
+		}
+	}
+	return sched.PlacementPick(loads, int(m.place.Add(1)-1))
 }
 
 // Worker returns worker i.
@@ -279,11 +320,19 @@ func (t tlsfShim) Free(c *mem.CPU, ptr mem.Addr) error             { return t.h.
 
 // newWorker provisions and starts one worker process.
 func newWorker(cfg Config, idx int) (*Worker, error) {
+	// With the scheduler on, the event queue is buffered to MaxBatch so
+	// queue depth is visible to the batch controller and the placement
+	// scorer; without it the channel stays unbuffered, bit-identical to
+	// the legacy rendezvous.
+	chCap := 0
+	if cfg.Sched != nil && cfg.Variant == VariantSDRaD {
+		chCap = cfg.MaxBatch
+	}
 	w := &Worker{
 		idx: idx,
 		cfg: cfg,
 		p:   proc.NewProcess(fmt.Sprintf("nginx-worker-%d-%s", idx, cfg.Variant.String()), proc.WithSeed(cfg.Seed+int64(idx))),
-		ch:  make(chan *event),
+		ch:  make(chan *event, chCap),
 	}
 	if cfg.Sched != nil && cfg.Variant == VariantSDRaD {
 		w.ctrl = sched.NewController(*cfg.Sched, cfg.MaxBatch)
@@ -311,6 +360,20 @@ func newWorker(cfg Config, idx int) (*Worker, error) {
 	}
 	if err := w.p.Attach("init", w.provision); err != nil {
 		return nil, fmt.Errorf("httpd: provisioning worker %d: %w", idx, err)
+	}
+	if cfg.Telemetry != nil && w.pool != nil {
+		// Request-pool contention gauges, per worker — the parser-pool
+		// analog of the memcache shard occupancy instruments.
+		reg := cfg.Telemetry.Registry()
+		label := strconv.Itoa(idx)
+		w.pool.instrument(
+			reg.GaugeVec("sdrad_httpd_pool_high_water_bytes",
+				"Deepest request-pool fill seen by each worker, in bytes.", "worker").With(label),
+			reg.CounterVec("sdrad_httpd_pool_resets_total",
+				"Request-pool resets per worker (one per parsed request).", "worker").With(label),
+			reg.CounterVec("sdrad_httpd_pool_exhaustions_total",
+				"Request-pool allocation failures per worker.", "worker").With(label),
+		)
 	}
 	w.handle = w.p.Spawn("event-loop", w.run)
 	return w, nil

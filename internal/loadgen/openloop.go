@@ -10,6 +10,7 @@ import (
 	"sdrad/internal/cluster"
 	"sdrad/internal/memcache"
 	"sdrad/internal/telemetry"
+	"sdrad/internal/ycsb"
 )
 
 // OpenLoopConfig describes an open-loop run against one or more
@@ -36,6 +37,15 @@ type OpenLoopConfig struct {
 	// The executors drain the arrival queue; fewer executors than the
 	// service time demands means a growing backlog — which is the point.
 	Conns int
+	// ConnSkew, when > 0, skews the schedule across executor connections
+	// with a scrambled-Zipfian distribution of that theta: arrivals are
+	// queued per (target, connection) instead of per target, so a hot
+	// connection accumulates a disproportionate share of the load — the
+	// hot-conn workload that load-aware placement and cross-worker
+	// stealing are built for. 0 keeps the legacy shared per-target
+	// queue, where any idle executor of the target drains the next
+	// arrival.
+	ConnSkew float64
 	// ReadFraction is the share of arrivals that are gets (default 0.9;
 	// the rest are sets).
 	ReadFraction float64
@@ -103,6 +113,10 @@ type OpenLoopResult struct {
 	Throughput float64
 	// PerTarget counts completed requests by target index.
 	PerTarget []int
+	// PerConn counts completed requests by global connection index;
+	// connection c of target t is index c*len(Targets)+t. Under ConnSkew
+	// the sorted shares follow the configured Zipfian.
+	PerConn []int
 	// P50, P95, P99 are intended-start latency percentiles.
 	P50, P95, P99 time.Duration
 }
@@ -166,17 +180,34 @@ func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
 			"Open-loop request latency vs intended start time, nanoseconds.")
 	}
 	var completed, errs atomic.Int64
-	perTarget := make([]atomic.Int64, len(cfg.Targets))
+	nTargets := len(cfg.Targets)
+	nConns := nTargets * cfg.Conns
+	perTarget := make([]atomic.Int64, nTargets)
+	perConn := make([]atomic.Int64, nConns)
 
-	queues := make([]chan arrival, len(cfg.Targets))
+	// With ConnSkew the queues are per (target, connection) so the
+	// Zipfian chooser can pin a share of the schedule to one hot
+	// connection; without it they stay per target, drained by whichever
+	// executor is free — the legacy dispatch, bit for bit.
+	skewed := cfg.ConnSkew > 0
+	nQueues := nTargets
+	if skewed {
+		nQueues = nConns
+	}
+	queues := make([]chan arrival, nQueues)
 	for i := range queues {
 		queues[i] = make(chan arrival, n)
 	}
 	var wg sync.WaitGroup
 	for t := range cfg.Targets {
 		for c := 0; c < cfg.Conns; c++ {
+			q := queues[t]
+			g := c*nTargets + t
+			if skewed {
+				q = queues[g]
+			}
 			wg.Add(1)
-			go func(target int) {
+			go func(target, g int, q chan arrival) {
 				defer wg.Done()
 				var conn *cluster.Client
 				defer func() {
@@ -184,7 +215,7 @@ func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
 						_ = conn.Close()
 					}
 				}()
-				for a := range queues[target] {
+				for a := range q {
 					if conn == nil {
 						var err error
 						conn, err = cluster.Dial(cfg.Targets[target], cfg.DialTimeout, cfg.IOTimeout)
@@ -209,9 +240,18 @@ func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
 					}
 					completed.Add(1)
 					perTarget[target].Add(1)
+					perConn[g].Add(1)
 				}
-			}(t)
+			}(t, g, q)
 		}
+	}
+
+	// chooseConn is called from the dispatcher goroutine only (the
+	// chooser is not safe for concurrent use); queue g belongs to
+	// connection g/nTargets of target g%nTargets.
+	var chooseConn func() int
+	if skewed {
+		chooseConn = ycsb.ZipfianChooser(nConns, cfg.ConnSkew, cfg.Seed+2)
 	}
 
 	// Dispatch on the timetable: arrival i is due at start + i*interval.
@@ -221,7 +261,11 @@ func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
 		if d := time.Until(due); d > 0 {
 			time.Sleep(d)
 		}
-		queues[i%len(cfg.Targets)] <- arrival{req: reqs[i], intended: due}
+		qi := i % nTargets
+		if skewed {
+			qi = chooseConn()
+		}
+		queues[qi] <- arrival{req: reqs[i], intended: due}
 	}
 	for _, q := range queues {
 		close(q)
@@ -235,13 +279,17 @@ func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
 		Errors:     int(errs.Load()),
 		Elapsed:    elapsed,
 		Throughput: float64(completed.Load()) / elapsed.Seconds(),
-		PerTarget:  make([]int, len(cfg.Targets)),
+		PerTarget:  make([]int, nTargets),
+		PerConn:    make([]int, nConns),
 		P50:        time.Duration(lat.Quantile(0.50)),
 		P95:        time.Duration(lat.Quantile(0.95)),
 		P99:        time.Duration(lat.Quantile(0.99)),
 	}
 	for i := range perTarget {
 		res.PerTarget[i] = int(perTarget[i].Load())
+	}
+	for i := range perConn {
+		res.PerConn[i] = int(perConn[i].Load())
 	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"bufio"
 	"net"
+	"sort"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -137,5 +138,72 @@ func TestOpenLoopChargesCoordinatedOmission(t *testing.T) {
 func TestOpenLoopValidation(t *testing.T) {
 	if _, err := RunOpenLoop(OpenLoopConfig{}); err == nil {
 		t.Fatal("no targets accepted")
+	}
+}
+
+func TestOpenLoopConnSkewDistribution(t *testing.T) {
+	addr := startMemcached(t)
+	res, err := RunOpenLoop(OpenLoopConfig{
+		Targets:  []string{addr},
+		Rate:     20_000,
+		Duration: 100 * time.Millisecond,
+		Conns:    8,
+		ConnSkew: 0.99,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Intended {
+		t.Fatalf("completed %d of %d (%d errors)", res.Completed, res.Intended, res.Errors)
+	}
+	if len(res.PerConn) != 8 {
+		t.Fatalf("PerConn has %d entries, want 8", len(res.PerConn))
+	}
+	counts := append([]int(nil), res.PerConn...)
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != res.Completed {
+		t.Fatalf("PerConn sums to %d, want %d", total, res.Completed)
+	}
+	// The chooser is a scrambled Zipfian, so compare sorted shares: with
+	// theta 0.99 over 8 connections the hottest carries ~37% of the
+	// schedule and the uniform share is 12.5%.
+	hot := float64(counts[0]) / float64(total)
+	if hot < 0.25 {
+		t.Fatalf("hottest connection carried %.1f%% of the load, want >= 25%% (counts %v)", 100*hot, counts)
+	}
+	cold := float64(counts[len(counts)-1]) / float64(total)
+	if cold > 0.125 {
+		t.Fatalf("coldest connection carried %.1f%%, want below the 12.5%% uniform share (counts %v)", 100*cold, counts)
+	}
+}
+
+func TestOpenLoopConnSkewZeroKeepsSharedQueues(t *testing.T) {
+	addr := startMemcached(t)
+	res, err := RunOpenLoop(OpenLoopConfig{
+		Targets:  []string{addr},
+		Rate:     5000,
+		Duration: 50 * time.Millisecond,
+		Conns:    4,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Intended {
+		t.Fatalf("completed %d of %d", res.Completed, res.Intended)
+	}
+	// Legacy dispatch: a shared queue per target; every executor drains
+	// some of it, and the counts still sum to the total.
+	total := 0
+	for _, c := range res.PerConn {
+		total += c
+	}
+	if total != res.Completed {
+		t.Fatalf("PerConn sums to %d, want %d", total, res.Completed)
 	}
 }

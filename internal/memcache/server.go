@@ -181,7 +181,13 @@ type Server struct {
 	telSplits     *telemetry.Counter   // shard-affinity batch splits, nil without telemetry
 	router        *sched.Router        // shard→worker affinity bias, nil without Sched
 	rebalancer    *sched.Rebalancer    // hot-slot move planner, nil without Sched
+	route         bool                 // load-aware connection placement (Sched.Route)
+	steal         bool                 // cross-worker stealing (Sched.Steal, Workers > 1)
 	rr            atomic.Int64
+	place         atomic.Int64 // placement tie-break cursor (route mode)
+	steals        atomic.Int64 // cross-worker steal rounds
+	stolenEvents  atomic.Int64 // events taken by stealing
+	stealSegments atomic.Int64 // guard scopes run for stolen shard segments
 	connIDs       atomic.Int64
 	rewinds       atomic.Int64
 	closedByAtk   atomic.Int64
@@ -190,10 +196,16 @@ type Server struct {
 }
 
 type worker struct {
-	idx    int
-	s      *Server
-	ch     chan *event
-	handle *proc.Handle
+	idx int
+	s   *Server
+	ch  chan *event
+	// stealch is the steal-eligible queue, created only in steal mode:
+	// single keyed requests land here (pipelined, keyless, and control
+	// events stay on ch, whose events are never stolen). Exposing the
+	// eligible backlog on its own channel is what lets an idle sibling
+	// take a segment without perturbing event kinds it cannot safely run.
+	stealch chan *event
+	handle  *proc.Handle
 
 	// ctrl is the worker's adaptive batch-bound controller (nil without
 	// Config.Sched — the drain loop then uses the fixed MaxBatch bound).
@@ -394,11 +406,26 @@ func NewServer(cfg Config) (*Server, error) {
 				return enter.Quantile(0.5) + exit.Quantile(0.5)
 			}
 		}
+		if schedCfg.OnFloorPinned == nil && cfg.Policy != nil {
+			// A controller pinned at the floor by a hot rewind window for a
+			// whole window means batching already shrank the blast radius
+			// to single requests and the event domain is STILL rewinding:
+			// surface it to the policy engine as a backoff signal.
+			eng := cfg.Policy
+			schedCfg.OnFloorPinned = func(int64) { eng.OnPressure(int(eventUDI)) }
+		}
+		s.route = schedCfg.Route && cfg.Workers > 1
+		s.steal = schedCfg.Steal && cfg.Workers > 1
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		// The channel is buffered so a pipelining client can enqueue a
 		// full batch before the worker drains it.
 		w := &worker{idx: i, s: s, ch: make(chan *event, cfg.MaxBatch)}
+		if s.steal {
+			// The eligible queue is deeper than one batch so a backlogged
+			// victim shows siblings something worth taking.
+			w.stealch = make(chan *event, 4*cfg.MaxBatch)
+		}
 		if cfg.Sched != nil {
 			w.ctrl = sched.NewController(schedCfg, cfg.MaxBatch)
 		}
@@ -433,6 +460,12 @@ func NewServer(cfg Config) (*Server, error) {
 			}
 			s.telSplits = reg.Counter("sdrad_sched_batch_splits_total",
 				"Mixed batches split into per-shard guard scopes.")
+			reg.CounterFunc("sdrad_sched_steals_total",
+				"Cross-worker steal rounds executed by idle floor workers.", s.steals.Load)
+			reg.CounterFunc("sdrad_sched_stolen_events_total",
+				"Pending events taken by cross-worker stealing.", s.stolenEvents.Load)
+			reg.CounterFunc("sdrad_sched_steal_segments_total",
+				"Guard scopes run for stolen shard-affinity segments.", s.stealSegments.Load)
 			wait := reg.CounterVec("sdrad_memcache_shard_lock_wait_ns",
 				"Nanoseconds spent waiting on contended shard-lock acquisitions.", "shard")
 			ops := reg.CounterVec("sdrad_memcache_shard_batch_ops",
@@ -543,11 +576,42 @@ func (w *worker) run(t *proc.Thread) error {
 		var ev *event
 		if pending != nil {
 			ev, pending = pending, nil
-		} else {
+		} else if w.stealch == nil {
 			select {
 			case <-s.p.Done():
 				return nil
 			case ev = <-w.ch:
+			}
+		} else {
+			// Steal mode: prefer own work (either queue); only when both
+			// are empty does the worker consider taking a sibling's
+			// backlog, and only from the AIMD floor — a worker with any
+			// batching headroom of its own is not idle capacity.
+			select {
+			case ev = <-w.ch:
+			case ev = <-w.stealch:
+			default:
+			}
+			if ev == nil {
+				if w.ctrl.AtFloor() && s.trySteal(t, w) {
+					continue
+				}
+				timer := time.NewTimer(w.ctrl.StealInterval())
+				select {
+				case <-s.p.Done():
+					timer.Stop()
+					return nil
+				case ev = <-w.ch:
+					timer.Stop()
+				case ev = <-w.stealch:
+					timer.Stop()
+				case <-timer.C:
+					// A traffic-free interval: walk the bound toward the
+					// floor so even a never-loaded worker becomes a steal
+					// candidate, then rescan.
+					w.ctrl.ObserveIdle()
+					continue
+				}
 			}
 		}
 		if ev.inspect != nil {
@@ -566,9 +630,17 @@ func (w *worker) run(t *proc.Thread) error {
 		w.items = appendItems(w.items[:0], ev)
 	drain:
 		for len(w.items) < bound {
+			// A nil stealch case can never fire, so the legacy single-queue
+			// drain is preserved bit for bit outside steal mode.
 			select {
 			case ev2 := <-w.ch:
 				if ev2.inspect != nil || len(w.items)+ev2.nreq() > bound {
+					pending = ev2
+					break drain
+				}
+				w.items = appendItems(w.items, ev2)
+			case ev2 := <-w.stealch:
+				if len(w.items)+ev2.nreq() > bound {
 					pending = ev2
 					break drain
 				}
@@ -582,7 +654,7 @@ func (w *worker) run(t *proc.Thread) error {
 			continue
 		}
 		drained := len(w.items)
-		if pending == nil && drained == 1 && len(w.ch) == 0 && w.ctrl.AtFloor() {
+		if pending == nil && drained == 1 && w.queued() == 0 && w.ctrl.AtFloor() {
 			// Idle floor fast path: a lone event with nothing queued behind
 			// it cannot move a controller already at bound 1 with a cold
 			// rewind window, so the round skips the clock reads and the
@@ -593,7 +665,7 @@ func (w *worker) run(t *proc.Thread) error {
 		}
 		t0 := w.ctrl.Now()
 		s.dispatchSched(t, w)
-		backlog := len(w.ch)
+		backlog := w.queued()
 		if pending != nil {
 			backlog++
 		}
@@ -650,6 +722,111 @@ func (s *Server) dispatchSched(t *proc.Thread, w *worker) {
 	}
 	seg := items[start:]
 	deliver(seg, s.dispatchBatch(t, w, seg))
+}
+
+// queued is the worker's undrained event count across both queues.
+func (w *worker) queued() int {
+	n := len(w.ch)
+	if w.stealch != nil {
+		n += len(w.stealch)
+	}
+	return n
+}
+
+// trySteal is the cross-worker stealing round: the caller is at the
+// AIMD floor with empty queues, so it takes up to half of the most
+// backlogged sibling's steal-eligible events (capped at one batch
+// ceiling) and runs them in its own guard scopes via dispatchStolen.
+// The thief's own controller observes the round, so a fault in stolen
+// work heats the thief's rewind window, drops it off the floor, and
+// stops it stealing until the window drains — the blast-radius
+// convergence the AIMD ladder gives normal traffic applies to stolen
+// traffic unchanged. Returns false when no sibling had at least two
+// pending events (one pending event is latency, not backlog).
+func (s *Server) trySteal(t *proc.Thread, w *worker) bool {
+	victim, best := -1, 1
+	for _, v := range s.workers {
+		if v == w || v.stealch == nil {
+			continue
+		}
+		if n := len(v.stealch); n > best {
+			victim, best = v.idx, n
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	take := best / 2
+	if max := w.ctrl.MaxBatch(); take > max {
+		take = max
+	}
+	if take < 1 {
+		take = 1
+	}
+	v := s.workers[victim]
+	w.items = w.items[:0]
+steal:
+	for len(w.items) < take {
+		select {
+		case ev := <-v.stealch:
+			w.items = appendItems(w.items, ev)
+		default:
+			break steal // raced with the victim's own drain
+		}
+	}
+	if len(w.items) == 0 {
+		return false
+	}
+	s.steals.Add(1)
+	s.stolenEvents.Add(int64(len(w.items)))
+	t0 := w.ctrl.Now()
+	s.dispatchStolen(t, w)
+	w.ctrl.ObserveRound(w.queued(), len(w.items), w.ctrl.Now()-t0)
+	if w.boundGauge != nil {
+		w.boundGauge.Set(int64(w.ctrl.Bound()))
+	}
+	return true
+}
+
+// dispatchStolen runs a stolen segment. Items are grouped by storage
+// shard and every group runs as its OWN guard scope: the router's
+// epoch-handoff rules promise that one scope never sees a split key
+// view, and a fault on the thief discards exactly the stolen group it
+// hit — one rewind, one forensics report, and the victim's remaining
+// backlog commits untouched. Only single-request keyed events are
+// steal-eligible (the submit path enforces it), so reordering across
+// groups cannot reorder any one connection's requests: Do is
+// synchronous, one event per connection in flight.
+func (s *Server) dispatchStolen(t *proc.Thread, w *worker) {
+	items := w.items
+	if cap(w.evShards) < len(items) {
+		w.evShards = make([]int, len(items))
+	}
+	shards := w.evShards[:len(items)]
+	for i := range items {
+		shards[i] = -1
+		if key := requestKeyBytes(items[i].req); key != nil {
+			shards[i] = s.st.ShardFor(key)
+		}
+	}
+	// Stable insertion sort by shard — stolen segments are at most one
+	// batch ceiling long, so O(n²) beats allocating a sorter.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && shards[j-1] > shards[j]; j-- {
+			shards[j-1], shards[j] = shards[j], shards[j-1]
+			items[j-1], items[j] = items[j], items[j-1]
+		}
+	}
+	start := 0
+	for i := 1; i <= len(items); i++ {
+		if i < len(items) && shards[i] == shards[start] {
+			continue
+		}
+		seg := items[start:i]
+		deliver(seg, s.dispatchBatch(t, w, seg))
+		s.stealSegments.Add(1)
+		start = i
+	}
 }
 
 // requestKeyBytes extracts the (first) key token of a text-protocol
@@ -1209,14 +1386,60 @@ func (s *Server) RunInline(name string, body func(newConn func() *Conn, do Inlin
 	return h.Join()
 }
 
-// NewConn opens a client connection pinned round-robin to a worker.
+// NewConn opens a client connection pinned to a worker: round-robin by
+// default, or by the load-aware placement scorer when Sched.Route is on
+// — queue depth, EWMA service latency, and rewind-window heat steer new
+// connections onto calm workers at the one moment they can still be
+// steered.
 func (s *Server) NewConn() *Conn {
-	idx := int(s.rr.Add(1)-1) % len(s.workers)
 	return &Conn{
 		id: int(s.connIDs.Add(1)),
-		w:  s.workers[idx],
+		w:  s.placeWorker(),
 	}
 }
+
+// placeWorker picks the worker a new connection is pinned to. Outside
+// route mode it is the legacy round-robin cursor, bit for bit. In route
+// mode every worker has a controller (route requires Sched), and the
+// scorer's rotated tie-break reproduces the round-robin fill order
+// exactly while the cluster is idle.
+func (s *Server) placeWorker() *worker {
+	if !s.route {
+		return s.workers[int(s.rr.Add(1)-1)%len(s.workers)]
+	}
+	loads := make([]sched.WorkerLoad, len(s.workers))
+	for i, w := range s.workers {
+		ewma, wins := w.ctrl.Load()
+		loads[i] = sched.WorkerLoad{Queue: w.queued(), EWMAItemNs: ewma, WindowRewinds: wins}
+	}
+	return s.workers[sched.PlacementPick(loads, int(s.place.Add(1)-1))]
+}
+
+// WorkerIndex reports which worker the connection is pinned to (chaos
+// campaigns assert placement decisions through it).
+func (c *Conn) WorkerIndex() int { return c.w.idx }
+
+// ConnOn opens a connection pinned to worker idx, bypassing placement.
+// Chaos campaigns use it to park a chosen worker or stage a
+// deterministic backlog; real accept paths go through NewConn.
+func (s *Server) ConnOn(idx int) *Conn {
+	return &Conn{id: int(s.connIDs.Add(1)), w: s.workers[idx]}
+}
+
+// KeyWorker reports which worker a single keyed request for key routes
+// to under shard-affinity routing (the connection's pinning is
+// irrelevant for keyed traffic once the scheduler routes). Returns -1
+// without a router (scheduler off, or a single worker).
+func (s *Server) KeyWorker(key []byte) int {
+	if s.router == nil {
+		return -1
+	}
+	return s.router.Worker(s.st.ShardFor(key))
+}
+
+// EventDomainUDI is the UDI of the per-worker event-handling domain,
+// for policy-snapshot assertions outside the package.
+func EventDomainUDI() int { return int(eventUDI) }
 
 // Do sends one request on the connection and waits for the response.
 // closed reports that the server closed the connection (quit command or
@@ -1232,7 +1455,7 @@ func (c *Conn) Do(req []byte) (resp []byte, closed bool, err error) {
 	s := c.w.s
 	ev := &event{conn: c, req: req, resp: make(chan result, 1)}
 	select {
-	case s.workerFor(c, req).ch <- ev:
+	case s.submitQueue(c, req) <- ev:
 	case <-s.p.Done():
 		return nil, true, ErrServerDown
 	}
@@ -1256,6 +1479,17 @@ func (s *Server) workerFor(c *Conn, req []byte) *worker {
 		return c.w
 	}
 	return s.workers[s.router.Worker(s.st.ShardFor(key))]
+}
+
+// submitQueue picks the channel a single Do request is submitted on:
+// the target worker's steal-eligible queue for keyed requests in steal
+// mode (a sibling at the floor may take them), its main queue otherwise.
+func (s *Server) submitQueue(c *Conn, req []byte) chan<- *event {
+	w := s.workerFor(c, req)
+	if w.stealch != nil && requestKeyBytes(req) != nil {
+		return w.stealch
+	}
+	return w.ch
 }
 
 // PipelineResult is one request's outcome from DoPipeline.
@@ -1321,10 +1555,19 @@ func (c *Conn) DoPipeline(reqs [][]byte) []PipelineResult {
 func (s *Server) MaxBatch() int { return s.cfg.MaxBatch }
 
 // QueueDepth reports how many events are queued (undrained) for worker
-// i. It is a monitoring signal: the scheduler benchmark and operational
-// dashboards use it to observe backlog; the value is stale the moment
-// it is read.
-func (s *Server) QueueDepth(i int) int { return len(s.workers[i].ch) }
+// i, across both its queues. It is a monitoring signal: the scheduler
+// benchmark and operational dashboards use it to observe backlog; the
+// value is stale the moment it is read.
+func (s *Server) QueueDepth(i int) int { return s.workers[i].queued() }
+
+// Steals reports completed cross-worker steal rounds.
+func (s *Server) Steals() int64 { return s.steals.Load() }
+
+// StolenEvents reports how many pending events stealing moved.
+func (s *Server) StolenEvents() int64 { return s.stolenEvents.Load() }
+
+// StealSegments reports the guard scopes run for stolen shard segments.
+func (s *Server) StealSegments() int64 { return s.stealSegments.Load() }
 
 // Inspect runs fn on the worker thread that owns this connection, like a
 // request but with the worker's thread handed to the closure. The chaos

@@ -365,6 +365,52 @@ func (e *Engine) OnRewind(udi int) Decision {
 	return dec
 }
 
+// PressureReporter is the optional load-pressure side channel: the
+// scheduler calls OnPressure when a worker's batch controller has been
+// pinned at the AIMD floor by a hot rewind window for a full window —
+// batching has already shrunk the blast radius to single requests and
+// the domain is STILL rewinding, so admission should start backing off
+// before the raw rewind count crosses BackoffThreshold on its own.
+// *Engine implements it; alternative policies may.
+type PressureReporter interface {
+	OnPressure(udi int) Decision
+}
+
+var _ PressureReporter = (*Engine)(nil)
+
+// OnPressure records a sustained-pressure signal against udi: a Healthy
+// or Backoff domain (re-)enters Backoff with the next exponential
+// hold-off; Quarantined and Shedding domains already dominate the
+// signal and are left untouched. Nil-engine safe.
+func (e *Engine) OnPressure(udi int) Decision {
+	if e == nil {
+		return Decision{UDI: udi, Action: ActionNone}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	ds := e.state(udi)
+	e.pruneWindow(ds, now)
+	dec := Decision{UDI: udi, WindowCount: len(ds.window), TimeNs: now}
+	switch ds.state {
+	case StateQuarantined, StateShedding:
+		dec.Action = ActionNone
+	default:
+		if ds.state != StateBackoff {
+			ds.escalations++
+		}
+		ds.state = StateBackoff
+		ds.backoffStep++
+		hold := e.backoffHold(ds.backoffStep)
+		ds.deniedUntil = now + hold
+		dec.Action = ActionBackoff
+		dec.RetryAfterNs = hold
+	}
+	dec.State = ds.state
+	e.recordLocked(dec, false)
+	return dec
+}
+
 // backoffHold computes the exponential hold-off for escalation step.
 func (e *Engine) backoffHold(step int) int64 {
 	hold := int64(e.cfg.BackoffBase)

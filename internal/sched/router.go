@@ -11,6 +11,7 @@ import "sync/atomic"
 type Router struct {
 	workers int
 	assign  []atomic.Int32
+	keyless atomic.Int64 // round-robin cursor for keyless/out-of-range shards
 }
 
 // NewRouter builds the initial bias: shard s → worker s mod workers, a
@@ -29,11 +30,14 @@ func NewRouter(workers, shards int) *Router {
 	return r
 }
 
-// Worker returns the worker biased to shard. Out-of-range shards map to
-// worker 0 (callers pass -1 for "no key").
+// Worker returns the worker biased to shard. Out-of-range shards
+// (callers pass -1 for "no key") have no affinity to preserve, so they
+// are spread round-robin — pinning them all to worker 0, as an earlier
+// version did, silently concentrated every keyless command on one
+// worker.
 func (r *Router) Worker(shard int) int {
 	if shard < 0 || shard >= len(r.assign) {
-		return 0
+		return int(r.keyless.Add(1)-1) % r.workers
 	}
 	return int(r.assign[shard].Load())
 }

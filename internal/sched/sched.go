@@ -61,6 +61,26 @@ type Config struct {
 	// observed per-item latency the controller grows in bigger steps —
 	// amortization is paying for itself.
 	GuardCostNs func() int64
+	// Route enables load-aware connection placement: the accept path
+	// scores workers by queue depth, EWMA service latency, and
+	// rewind-window heat instead of blind round-robin. Off keeps the
+	// legacy round-robin pinning bit-identical.
+	Route bool
+	// Steal enables cross-worker stealing: a worker at the AIMD floor
+	// with an empty queue takes a shard-affinity-aligned segment of the
+	// most-backlogged sibling's pending events and runs it as its own
+	// guard scope. Off keeps the legacy per-worker queues bit-identical.
+	Steal bool
+	// StealInterval bounds how long an idle floor worker blocks before
+	// re-checking sibling backlogs (default 200µs). Chaos campaigns set
+	// it very large so steals happen only when explicitly poked.
+	StealInterval time.Duration
+	// OnFloorPinned, when non-nil, fires when a controller has been
+	// pinned at bound 1 by a hot rewind window for a full Window — the
+	// signal that batching alone cannot absorb the fault rate and the
+	// policy engine should start backing the domain off. Called from the
+	// owning worker goroutine with the pinned duration in nanoseconds.
+	OnFloorPinned func(pinnedNs int64)
 }
 
 func (c Config) withDefaults(maxBatch int) Config {
@@ -78,6 +98,9 @@ func (c Config) withDefaults(maxBatch int) Config {
 	}
 	if c.MinSplitRun == 0 {
 		c.MinSplitRun = 4
+	}
+	if c.StealInterval <= 0 {
+		c.StealInterval = 200 * time.Microsecond
 	}
 	if c.Clock == nil {
 		c.Clock = func() int64 { return time.Now().UnixNano() }
@@ -98,10 +121,18 @@ type Controller struct {
 	ewmaItemNs int64
 	rewinds    []int64 // rewind timestamps inside the window, oldest first
 	lastNow    int64   // monotonic clamp, mirroring policy.Engine.now
+	floorSince int64   // clock ns when the bound became rewind-pinned at 1; 0 = not pinned
+
+	// Cross-goroutine mirrors of the worker-owned load signals, published
+	// so the conn-accept placement scorer can read them without racing
+	// the drain loop.
+	ewmaPub atomic.Int64
+	winPub  atomic.Int32
 
 	grows     atomic.Int64
 	shrinks   atomic.Int64
 	collapses atomic.Int64
+	floorPins atomic.Int64
 }
 
 // NewController builds a controller. maxBatch is the server's configured
@@ -128,6 +159,22 @@ func (c *Controller) MinSplitRun() int { return c.cfg.MinSplitRun }
 // Now reads the controller clock (the worker uses it to time rounds so
 // manual-clock runs stay deterministic).
 func (c *Controller) Now() int64 { return c.cfg.Clock() }
+
+// Route reports whether load-aware connection placement is enabled.
+func (c *Controller) Route() bool { return c.cfg.Route }
+
+// Steal reports whether cross-worker stealing is enabled.
+func (c *Controller) Steal() bool { return c.cfg.Steal }
+
+// StealInterval is the idle floor worker's backlog re-check period.
+func (c *Controller) StealInterval() time.Duration { return c.cfg.StealInterval }
+
+// Load returns the published load signals — EWMA per-item latency and
+// the live rewind-window count — safe to read from any goroutine. The
+// placement scorer combines them with queue depth to pick calm workers.
+func (c *Controller) Load() (ewmaItemNs int64, windowRewinds int) {
+	return c.ewmaPub.Load(), int(c.winPub.Load())
+}
 
 // AtFloor reports that the controller sits at bound 1 with an empty
 // rewind window — the state a lone idle request cannot move, which lets
@@ -157,6 +204,31 @@ func (c *Controller) pruneWindow(now int64) {
 	if i > 0 {
 		c.rewinds = append(c.rewinds[:0], c.rewinds[i:]...)
 	}
+	c.winPub.Store(int32(len(c.rewinds)))
+}
+
+// checkFloorPin tracks how long the bound has been rewind-pinned at the
+// floor. Idle collapse also parks the bound at 1, but that is healthy;
+// only "1 because the rewind window keeps it there" counts. Once the
+// pin has lasted a full Window the OnFloorPinned hook fires and the
+// timer re-arms, so a persistently faulting domain escalates once per
+// window rather than once per round.
+func (c *Controller) checkFloorPin(now int64) {
+	if c.bound.Load() != 1 || len(c.rewinds) == 0 {
+		c.floorSince = 0
+		return
+	}
+	if c.floorSince == 0 {
+		c.floorSince = now
+		return
+	}
+	if pinned := now - c.floorSince; pinned >= int64(c.cfg.Window) {
+		c.floorPins.Add(1)
+		c.floorSince = now
+		if c.cfg.OnFloorPinned != nil {
+			c.cfg.OnFloorPinned(pinned)
+		}
+	}
 }
 
 // rewindCap is the multiplicative ceiling the hot rewind window imposes:
@@ -181,6 +253,7 @@ func (c *Controller) NoteRewind() {
 	now := c.now()
 	c.pruneWindow(now)
 	c.rewinds = append(c.rewinds, now)
+	c.winPub.Store(int32(len(c.rewinds)))
 	b := int(c.bound.Load()) / 2
 	if b < 1 {
 		b = 1
@@ -190,6 +263,7 @@ func (c *Controller) NoteRewind() {
 	}
 	c.bound.Store(int64(b))
 	c.shrinks.Add(1)
+	c.checkFloorPin(now)
 }
 
 // ObserveRound feeds one drain-round observation: backlog is the channel
@@ -216,6 +290,7 @@ func (c *Controller) ObserveRound(backlog, drained int, elapsedNs int64) {
 	}
 	ewma := (3*prev + itemNs) / 4
 	c.ewmaItemNs = ewma
+	c.ewmaPub.Store(ewma)
 
 	if cap := c.rewindCap(); b > cap {
 		b = cap
@@ -266,6 +341,26 @@ func (c *Controller) ObserveRound(backlog, drained int, elapsedNs int64) {
 		b = 1
 	}
 	c.bound.Store(int64(b))
+	c.checkFloorPin(now)
+}
+
+// ObserveIdle feeds one traffic-free round (a steal-interval timeout
+// with nothing drained). ObserveRound ignores drained==0, so a worker
+// that never sees traffic would otherwise be stuck at the MaxBatch
+// starting bound forever and never reach the floor that makes it a
+// steal candidate. Call it from the owning worker goroutine.
+func (c *Controller) ObserveIdle() {
+	now := c.now()
+	c.pruneWindow(now)
+	c.idle++
+	if c.idle >= c.cfg.IdleRounds {
+		c.idle = 0
+		if b := int(c.bound.Load()); b > 1 {
+			c.bound.Store(int64(b / 2))
+			c.collapses.Add(1)
+		}
+	}
+	c.checkFloorPin(now)
 }
 
 // Snapshot is a point-in-time controller state for chaos assertions,
@@ -278,6 +373,7 @@ type Snapshot struct {
 	Grows         int64
 	Shrinks       int64
 	Collapses     int64
+	FloorPins     int64
 }
 
 // Snapshot reads the controller state. Bound and the counters are exact
@@ -293,5 +389,6 @@ func (c *Controller) Snapshot() Snapshot {
 		Grows:         c.grows.Load(),
 		Shrinks:       c.shrinks.Load(),
 		Collapses:     c.collapses.Load(),
+		FloorPins:     c.floorPins.Load(),
 	}
 }

@@ -160,12 +160,37 @@ func TestRouterUniformInitialAssignment(t *testing.T) {
 			t.Fatalf("shard %d → worker %d, want %d", s, got, s%4)
 		}
 	}
-	if got := r.Worker(-1); got != 0 {
-		t.Fatalf("keyless events route to worker %d, want 0", got)
-	}
 	r.Rebias(5, 3)
 	if got := r.Worker(5); got != 3 {
 		t.Fatalf("after rebias shard 5 → worker %d, want 3", got)
+	}
+}
+
+func TestRouterKeylessSpreadsRoundRobin(t *testing.T) {
+	// Keyless (-1) and out-of-range shards have no affinity to honour;
+	// they must spread round-robin across all workers instead of piling
+	// onto worker 0.
+	r := NewRouter(4, 16)
+	counts := make([]int, 4)
+	for i := 0; i < 40; i++ {
+		shard := -1
+		if i%2 == 1 {
+			shard = 16 + i // out-of-range behaves like keyless
+		}
+		w := r.Worker(shard)
+		if w < 0 || w >= 4 {
+			t.Fatalf("keyless pick %d out of range", w)
+		}
+		counts[w]++
+	}
+	for w, n := range counts {
+		if n != 10 {
+			t.Fatalf("worker %d got %d keyless events, want 10 (counts %v)", w, n, counts)
+		}
+	}
+	// Keyed routing is unaffected by the keyless cursor.
+	if got := r.Worker(7); got != 7%4 {
+		t.Fatalf("keyed shard 7 → worker %d, want %d", got, 7%4)
 	}
 }
 
